@@ -1,0 +1,510 @@
+// Package gosrb_test holds the benchmark harness: one benchmark (or
+// sub-benchmark family) per reproduction experiment E1–E10 from
+// DESIGN.md §3. The full tables print via `go run ./cmd/srbbench`;
+// these benches expose each experiment's core operation to `go test
+// -bench` with per-op numbers. WAN-dominated experiments report a
+// "sim-ms/op" metric from the simulated clock instead of sleeping.
+package gosrb_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gosrb/internal/auth"
+	"gosrb/internal/client"
+	"gosrb/internal/container"
+	"gosrb/internal/core"
+	"gosrb/internal/mcat"
+	"gosrb/internal/metadata"
+	"gosrb/internal/replica"
+	"gosrb/internal/server"
+	"gosrb/internal/simnet"
+	"gosrb/internal/sqlengine"
+	"gosrb/internal/storage"
+	"gosrb/internal/storage/archivefs"
+	"gosrb/internal/storage/memfs"
+	"gosrb/internal/tlang"
+	"gosrb/internal/types"
+	"gosrb/internal/workload"
+)
+
+// simClock accumulates simulated waits.
+type simClock struct{ total time.Duration }
+
+func (c *simClock) sleep(d time.Duration) { c.total += d }
+
+// reportSim attaches the simulated per-op cost as a metric.
+func reportSim(b *testing.B, clock *simClock) {
+	b.ReportMetric(float64(clock.total.Microseconds())/1000/float64(b.N), "sim-ms/op")
+}
+
+// BenchmarkE1ContainerWAN compares per-file WAN access against reading
+// members from a locally staged container (paper §2's container claim).
+func BenchmarkE1ContainerWAN(b *testing.B) {
+	profile := simnet.LinkProfile{RTT: 10 * time.Millisecond, BandwidthBytesPerSec: 10 << 20}
+	payload := workload.NewGen(1).Bytes(2048)
+	remote := memfs.New()
+	storage.WriteAll(remote, "/f", payload)
+	w, _ := container.NewWriter(remote, "/seg")
+	off, _ := w.Append(payload)
+
+	b.Run("direct", func(b *testing.B) {
+		clock := &simClock{}
+		wan := simnet.WrapDriver(remote, profile, clock.sleep)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := storage.ReadAll(wan, "/f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportSim(b, clock)
+	})
+	b.Run("container", func(b *testing.B) {
+		clock := &simClock{}
+		wan := simnet.WrapDriver(remote, profile, clock.sleep)
+		local := memfs.New()
+		if _, err := storage.Copy(local, "/seg", wan, "/seg"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := container.Read(local, "/seg", off, int64(len(payload))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportSim(b, clock) // staging cost amortised over b.N member reads
+	})
+}
+
+// benchCatalogs caches built catalogs: the benchmark framework re-runs
+// each sub-benchmark with growing b.N, and rebuilding a 100k-object
+// catalog every time would dominate the run.
+var benchCatalogs sync.Map // int -> *mcat.Catalog
+
+// benchCatalog builds (or reuses) an n-object catalog.
+func benchCatalog(b *testing.B, n int) *mcat.Catalog {
+	b.Helper()
+	if c, ok := benchCatalogs.Load(n); ok {
+		return c.(*mcat.Catalog)
+	}
+	cat := mcat.New("admin", "sdsc")
+	gen := workload.NewGen(7)
+	specs := gen.SkySurvey("/lib", n, 16)
+	cat.MkCollAll("/lib", "admin")
+	for i := 0; i < 16 && i < n; i++ {
+		cat.MkCollAll(fmt.Sprintf("/lib/plate%03d", i), "admin")
+	}
+	for _, s := range specs {
+		if _, err := cat.RegisterObject(&types.DataObject{
+			Name: s.Name, Collection: s.Collection, Owner: "admin", DataType: s.DataType,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range s.Meta {
+			cat.AddMeta(s.Path(), types.MetaUser, m)
+		}
+	}
+	benchCatalogs.Store(n, cat)
+	return cat
+}
+
+// BenchmarkE2CatalogScaling measures equality-query latency at growing
+// catalog sizes — "scalable to handle millions of datasets" (§2).
+func BenchmarkE2CatalogScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("objects=%d", n), func(b *testing.B) {
+			cat := benchCatalog(b, n)
+			q := mcat.Query{Scope: "/lib", Conds: []mcat.Condition{
+				{Attr: "survey", Op: "=", Value: "2mass"},
+				{Attr: "band", Op: "=", Value: "J"},
+			}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cat.RunQuery(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2Ingest measures catalog registration throughput.
+func BenchmarkE2Ingest(b *testing.B) {
+	cat := mcat.New("admin", "sdsc")
+	cat.MkColl("/d", "admin")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.RegisterObject(&types.DataObject{
+			Name: fmt.Sprintf("f%09d", i), Collection: "/d", Owner: "admin",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3Failover measures reads while the primary resource is
+// down: the automatic redirect to a live replica (§3.4).
+func BenchmarkE3Failover(b *testing.B) {
+	cat := mcat.New("admin", "sdsc")
+	br := core.New(cat, "srb1")
+	for _, r := range []string{"r1", "r2"} {
+		br.AddPhysicalResource("admin", r, types.ClassFileSystem, "memfs", memfs.New())
+	}
+	cat.MkColl("/d", "admin")
+	br.Ingest("admin", core.IngestOpts{Path: "/d/f", Data: workload.NewGen(1).Bytes(16 << 10), Resource: "r1"})
+	br.Replicate("admin", "/d/f", "r2")
+	b.Run("healthy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := br.Get("admin", "/d/f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("failover", func(b *testing.B) {
+		cat.SetResourceOnline("r1", false)
+		defer cat.SetResourceOnline("r1", true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := br.Get("admin", "/d/f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4LoadBalance measures concurrent reads over k replicas with
+// both selection policies (§3.2 plus the E4a ablation).
+func BenchmarkE4LoadBalance(b *testing.B) {
+	payload := workload.NewGen(13).Bytes(4 << 10)
+	for _, k := range []int{1, 2, 4} {
+		for _, policy := range []replica.Policy{replica.FirstAlive, replica.RoundRobin} {
+			name := fmt.Sprintf("replicas=%d/first-alive", k)
+			if policy == replica.RoundRobin {
+				name = fmt.Sprintf("replicas=%d/round-robin", k)
+			}
+			b.Run(name, func(b *testing.B) {
+				cat := mcat.New("admin", "sdsc")
+				br := core.New(cat, "srb1")
+				for i := 0; i < k; i++ {
+					br.AddPhysicalResource("admin", fmt.Sprintf("r%d", i), types.ClassFileSystem, "memfs", memfs.New())
+				}
+				cat.MkColl("/d", "admin")
+				br.Ingest("admin", core.IngestOpts{Path: "/d/f", Data: payload, Resource: "r0"})
+				for i := 1; i < k; i++ {
+					br.Replicate("admin", "/d/f", fmt.Sprintf("r%d", i))
+				}
+				br.Replicas().SetPolicy(policy)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := br.Get("admin", "/d/f"); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// fedRig wires a two-server zone for the federation benches.
+type fedRig struct {
+	s1, s2       *server.Server
+	addr1, addr2 string
+}
+
+func newFedRig(b *testing.B, mode server.FederationMode, payload []byte) *fedRig {
+	b.Helper()
+	cat := mcat.New("admin", "sdsc")
+	b1 := core.New(cat, "srb1")
+	b2 := core.New(cat, "srb2")
+	b1.AddPhysicalResource("admin", "disk1", types.ClassFileSystem, "memfs", memfs.New())
+	b2.AddPhysicalResource("admin", "disk2", types.ClassFileSystem, "memfs", memfs.New())
+	cat.MkColl("/d", "admin")
+	if _, err := b2.Ingest("admin", core.IngestOpts{Path: "/d/f", Data: payload, Resource: "disk2"}); err != nil {
+		b.Fatal(err)
+	}
+	authn := auth.New()
+	authn.Register("admin", "pw")
+	s1 := server.New(b1, authn, mode)
+	s2 := server.New(b2, authn, mode)
+	addr1, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s1.AddPeer("srb2", addr2, "zs")
+	s2.AddPeer("srb1", addr1, "zs")
+	b.Cleanup(func() { s1.Close(); s2.Close() })
+	return &fedRig{s1: s1, s2: s2, addr1: addr1, addr2: addr2}
+}
+
+// BenchmarkE5Federation measures gets against the owner directly, via
+// a proxying peer, and after a redirect (§3.1; E5a ablation).
+func BenchmarkE5Federation(b *testing.B) {
+	payload := workload.NewGen(17).Bytes(64 << 10)
+	cases := []struct {
+		name string
+		mode server.FederationMode
+		via  func(*fedRig) string
+	}{
+		{"direct", server.Proxy, func(r *fedRig) string { return r.addr2 }},
+		{"proxy", server.Proxy, func(r *fedRig) string { return r.addr1 }},
+		{"redirect", server.Redirect, func(r *fedRig) string { return r.addr1 }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			rig := newFedRig(b, tc.mode, payload)
+			cl, err := client.Dial(tc.via(rig), "admin", "pw")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			if _, err := cl.Get("/d/f"); err != nil { // warm (redirect hops here)
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Get("/d/f"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6ParallelTransfer measures multi-stream bulk retrieval of a
+// 4 MiB object over loopback TCP.
+func BenchmarkE6ParallelTransfer(b *testing.B) {
+	size := 4 << 20
+	payload := workload.NewGen(19).Bytes(size)
+	rig := newFedRig(b, server.Proxy, payload)
+	for _, streams := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			cl, err := client.Dial(rig.addr2, "admin", "pw")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := cl.ParallelGet("/d/f", streams)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(data) != size {
+					b.Fatal("short read")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7SyncIngest measures ingest into logical resources of
+// growing width, reporting the simulated synchronous-replication cost.
+func BenchmarkE7SyncIngest(b *testing.B) {
+	payload := workload.NewGen(3).Bytes(64 << 10)
+	profile := simnet.LinkProfile{RTT: 5 * time.Millisecond, BandwidthBytesPerSec: 50 << 20}
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("members=%d", k), func(b *testing.B) {
+			cat := mcat.New("admin", "sdsc")
+			br := core.New(cat, "srb1")
+			clock := &simClock{}
+			names := make([]string, k)
+			for i := 0; i < k; i++ {
+				names[i] = fmt.Sprintf("disk%d", i)
+				wan := simnet.WrapDriver(memfs.New(), profile, clock.sleep)
+				br.AddPhysicalResource("admin", names[i], types.ClassFileSystem, "memfs", wan)
+			}
+			target := names[0]
+			if k > 1 {
+				br.AddLogicalResource("admin", "lr", names)
+				target = "lr"
+			}
+			cat.MkColl("/d", "admin")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := br.Ingest("admin", core.IngestOpts{
+					Path: fmt.Sprintf("/d/f%09d", i), Data: payload, Resource: target,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportSim(b, clock)
+		})
+	}
+}
+
+// BenchmarkE8MetadataQuery measures the MySRB operator set on a 50k
+// catalog: indexed equality vs scanning comparisons (§6).
+func BenchmarkE8MetadataQuery(b *testing.B) {
+	cat := benchCatalog(b, 50000)
+	cases := []struct {
+		name  string
+		conds []mcat.Condition
+	}{
+		{"eq-indexed", []mcat.Condition{{Attr: "survey", Op: "=", Value: "2mass"}}},
+		{"eq-and-eq", []mcat.Condition{{Attr: "survey", Op: "=", Value: "2mass"}, {Attr: "band", Op: "=", Value: "J"}}},
+		{"range-scan", []mcat.Condition{{Attr: "mag", Op: ">", Value: "12"}}},
+		{"like-scan", []mcat.Condition{{Attr: "telescope", Op: "like", Value: "%palomar%"}}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			q := mcat.Query{Scope: "/lib", Conds: tc.conds}
+			for i := 0; i < b.N; i++ {
+				if _, err := cat.RunQuery(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9TLang measures T-language extraction and the built-in
+// result templates (§5).
+func BenchmarkE9TLang(b *testing.B) {
+	gen := workload.NewGen(9)
+	spec := gen.SkySurvey("/lib", 1, 1)[0]
+	header := gen.FITSHeader(spec)
+	reg := metadata.NewRegistry()
+	b.Run("extract-fits", func(b *testing.B) {
+		b.SetBytes(int64(len(header)))
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Extract("fits image", "fits-cards", bytes.NewReader(header)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res := &sqlengine.Result{Columns: []string{"survey", "name", "mag"}}
+	for i := 0; i < 1000; i++ {
+		res.Rows = append(res.Rows, sqlengine.Row{
+			sqlengine.String("2mass"), sqlengine.String(fmt.Sprintf("obj%06d", i)), sqlengine.Number(float64(i % 17)),
+		})
+	}
+	for _, tpl := range []string{"HTMLREL", "HTMLNEST", "XMLREL"} {
+		b.Run("render-"+tpl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sb bytes.Buffer
+				if err := tlang.RenderBuiltin(tpl, &sb, res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10ArchiveCache measures archive reads cold (staging) and
+// from a cache replica (§5's pin/purge machinery keeps the latter).
+func BenchmarkE10ArchiveCache(b *testing.B) {
+	cat := mcat.New("admin", "sdsc")
+	br := core.New(cat, "srb1")
+	clock := &simClock{}
+	arch := archivefs.New(archivefs.Config{StageLatency: 50 * time.Millisecond, StageCapacity: 1})
+	arch.SetSleep(clock.sleep)
+	br.AddPhysicalResource("admin", "tape", types.ClassArchive, "archivefs", arch)
+	br.AddPhysicalResource("admin", "cache1", types.ClassCache, "memfs", memfs.New())
+	cat.MkColl("/a", "admin")
+	gen := workload.NewGen(4)
+	// Two objects so a capacity-1 stage cache always misses.
+	br.Ingest("admin", core.IngestOpts{Path: "/a/o1", Data: gen.Bytes(8 << 10), Resource: "tape"})
+	br.Ingest("admin", core.IngestOpts{Path: "/a/o2", Data: gen.Bytes(8 << 10), Resource: "tape"})
+	b.Run("archive-cold", func(b *testing.B) {
+		clock.total = 0
+		for i := 0; i < b.N; i++ {
+			p := "/a/o1"
+			if i%2 == 1 {
+				p = "/a/o2"
+			}
+			if _, err := br.Get("admin", p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportSim(b, clock)
+	})
+	b.Run("cache-replica", func(b *testing.B) {
+		br.Replicate("admin", "/a/o1", "cache1")
+		clock.total = 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := br.Replicas().ReadAll("/a/o1", "cache1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportSim(b, clock)
+	})
+}
+
+// BenchmarkE1aContainerGranularity is the member-size ablation.
+func BenchmarkE1aContainerGranularity(b *testing.B) {
+	gen := workload.NewGen(2)
+	for _, size := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("member=%dB", size), func(b *testing.B) {
+			d := memfs.New()
+			w, _ := container.NewWriter(d, "/seg")
+			off, _ := w.Append(gen.Bytes(size))
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := container.Read(d, "/seg", off, int64(size)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireRoundTrip isolates the protocol cost: an authenticated
+// stat round trip on loopback.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	rig := newFedRig(b, server.Proxy, []byte("x"))
+	cl, err := client.Dial(rig.addr2, "admin", "pw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Stat("/d/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentBrokerOps drives mixed metadata/data load through
+// one broker to expose catalog lock contention.
+func BenchmarkConcurrentBrokerOps(b *testing.B) {
+	cat := mcat.New("admin", "sdsc")
+	br := core.New(cat, "srb1")
+	br.AddPhysicalResource("admin", "r1", types.ClassFileSystem, "memfs", memfs.New())
+	cat.MkColl("/d", "admin")
+	payload := workload.NewGen(5).Bytes(1 << 10)
+	for i := 0; i < 100; i++ {
+		br.Ingest("admin", core.IngestOpts{
+			Path: fmt.Sprintf("/d/f%03d", i), Data: payload, Resource: "r1",
+			Meta: []types.AVU{{Name: "i", Value: fmt.Sprint(i % 10)}},
+		})
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			switch i % 3 {
+			case 0:
+				br.Get("admin", fmt.Sprintf("/d/f%03d", i%100))
+			case 1:
+				br.Query("admin", mcat.Query{Scope: "/d", Conds: []mcat.Condition{{Attr: "i", Op: "=", Value: "3"}}})
+			case 2:
+				br.List("admin", "/d")
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Command mysrbd serves the MySRB web interface over an in-process SRB
+// broker — the web gateway of the paper, available in the original at
+// https://srb.npaci.edu/mySRB.html.
+//
+// Example:
+//
+//	mysrbd -addr :8080 \
+//	       -resource disk1=posixfs:/var/srb/vault1 \
+//	       -user curator=pw -catalog /var/srb/mcat.json
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gosrb/internal/auth"
+	"gosrb/internal/core"
+	"gosrb/internal/mcat"
+	"gosrb/internal/mysrb"
+	"gosrb/internal/storage/archivefs"
+	"gosrb/internal/storage/dbfs"
+	"gosrb/internal/storage/memfs"
+	"gosrb/internal/storage/posixfs"
+	"gosrb/internal/types"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		adminUser = flag.String("admin", "admin", "administrator user name")
+		adminPw   = flag.String("admin-pw", os.Getenv("SRB_ADMIN_PW"), "administrator password (or $SRB_ADMIN_PW)")
+		catalog   = flag.String("catalog", "", "MCAT snapshot to load/save")
+	)
+	var resources, users repeated
+	flag.Var(&resources, "resource", "resource: name=driver:arg; repeatable")
+	flag.Var(&users, "user", "user account: name=password; repeatable")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mysrbd: ", log.LstdFlags)
+	if *adminPw == "" {
+		*adminPw = "admin"
+		logger.Printf("warning: using default admin password; set -admin-pw")
+	}
+
+	cat := mcat.New(*adminUser, "local")
+	if *catalog != "" {
+		if err := cat.LoadFile(*catalog); err == nil {
+			logger.Printf("catalog loaded from %s", *catalog)
+		}
+	}
+	broker := core.New(cat, "mysrb")
+	authn := auth.New()
+	authn.Register(*adminUser, *adminPw)
+	for _, u := range users {
+		parts := strings.SplitN(u, "=", 2)
+		if len(parts) != 2 {
+			logger.Fatalf("bad -user %q", u)
+		}
+		authn.Register(parts[0], parts[1])
+		if _, err := cat.GetUser(parts[0]); err != nil {
+			cat.AddUser(types.User{Name: parts[0], Domain: "local"})
+		}
+	}
+	for _, spec := range resources {
+		if err := mountResource(broker, *adminUser, spec); err != nil {
+			logger.Fatalf("-resource %q: %v", spec, err)
+		}
+	}
+	if len(resources) == 0 {
+		// A usable default so the quickstart works out of the box.
+		if err := broker.AddPhysicalResource(*adminUser, "disk1", types.ClassCache, "memfs", memfs.New()); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("no -resource given; using in-memory resource disk1")
+	}
+
+	app := mysrb.New(broker, authn)
+	logger.Printf("MySRB at http://%s/mySRB.html", *addr)
+	if *catalog != "" {
+		go func() {
+			for range time.Tick(time.Minute) {
+				cat.SaveFile(*catalog)
+			}
+		}()
+	}
+	if err := http.ListenAndServe(*addr, app); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func mountResource(b *core.Broker, admin, spec string) error {
+	eq := strings.SplitN(spec, "=", 2)
+	if len(eq) != 2 {
+		return errBadSpec
+	}
+	da := strings.SplitN(eq[1], ":", 2)
+	arg := ""
+	if len(da) == 2 {
+		arg = da[1]
+	}
+	switch da[0] {
+	case "posixfs":
+		fs, err := posixfs.New(arg)
+		if err != nil {
+			return err
+		}
+		return b.AddPhysicalResource(admin, eq[0], types.ClassFileSystem, "posixfs", fs)
+	case "memfs":
+		return b.AddPhysicalResource(admin, eq[0], types.ClassCache, "memfs", memfs.New())
+	case "archivefs":
+		cfg := archivefs.Config{StageLatency: 100 * time.Millisecond}
+		if arg != "" {
+			lat, err := time.ParseDuration(arg)
+			if err != nil {
+				return err
+			}
+			cfg.StageLatency = lat
+		}
+		return b.AddPhysicalResource(admin, eq[0], types.ClassArchive, "archivefs", archivefs.New(cfg))
+	case "dbfs":
+		return b.AddPhysicalResource(admin, eq[0], types.ClassDatabase, "dbfs", dbfs.New())
+	default:
+		return errBadSpec
+	}
+}
+
+var errBadSpec = types.E("resource", "", types.ErrInvalid)

@@ -1,0 +1,405 @@
+// Command srb is the command-line client — the Scommands of the SRB
+// distribution rolled into one binary with subcommands.
+//
+//	srb -server host:5544 -user alice ls /home
+//	srb put local.dat /home/remote.dat -resource disk1
+//	srb get /home/remote.dat out.dat
+//	srb query /home survey=2mass 'mag>7'
+//
+// The password comes from $SRB_PASSWORD or -password.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gosrb/internal/client"
+	"gosrb/internal/mcat"
+	"gosrb/internal/types"
+)
+
+func main() {
+	var (
+		serverAddr = flag.String("server", "127.0.0.1:5544", "SRB server address")
+		user       = flag.String("user", os.Getenv("SRB_USER"), "user name (or $SRB_USER)")
+		password   = flag.String("password", os.Getenv("SRB_PASSWORD"), "password (or $SRB_PASSWORD)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cl, err := client.Dial(*serverAddr, *user, *password)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	if err := run(cl, args[0], args[1:]); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "srb:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: srb [flags] <command> [args]
+
+commands:
+  ls <coll>                          list a collection
+  stat <path>                        describe a path
+  mkdir <coll>                       create a collection
+  rmdir <coll>                       remove an empty collection
+  put <local> <path> [-resource r | -container c] [-type t]
+  get <path> [local]                 retrieve (stdout when no local file)
+  pget <path> <local> <streams>      parallel retrieve
+  rm <path>                          delete an object
+  rmreplica <path> <n>               delete one replica
+  mv <src> <dst>                     logical move
+  cp <src> <dst> [resource]          copy
+  ln <target> <link>                 soft link
+  replicate <path> <resource>        add a replica
+  meta add <path> <name> <value> [units]
+  meta ls <path> [class]             show metadata (user|system|type|file)
+  annotate <path> <text>             add a comment
+  annotations <path>                 list commentary
+  query <scope> <cond>...            conjunctive query, conds like mag>7 name=like:m%%
+  attrs <scope>                      list queryable attribute names
+  chmod <path> <grantee> <level>     grant (none|read|annotate|write|own|curate)
+  lock <path> <shared|exclusive>     lock for an hour
+  unlock <path>
+  checkout <path> / checkin <path> <local> [comment]
+  mkcontainer <path> <resource>      create a container
+  sql <path> [suffix]                execute a registered SQL object
+  invoke <path> [args...]            run a method object
+  resources                          list storage resources
+  audit [user]                       show the audit trail tail (admin)
+  stats                              server statistics
+`)
+}
+
+func run(cl *client.Client, cmd string, args []string) error {
+	switch cmd {
+	case "ls":
+		coll := "/"
+		if len(args) > 0 {
+			coll = args[0]
+		}
+		stats, err := cl.List(coll)
+		if err != nil {
+			return err
+		}
+		for _, st := range stats {
+			kind := st.Kind.String()
+			if st.IsCollect {
+				kind = "collection"
+			}
+			fmt.Printf("%-12s %10d  %-10s %s\n", kind, st.Size, st.Owner, st.Path)
+		}
+		return nil
+
+	case "stat":
+		st, err := cl.Stat(need(args, 0, "path"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("path: %s\nkind: %v\nsize: %d\nowner: %s\nreplicas: %d\nmodified: %s\n",
+			st.Path, st.Kind, st.Size, st.Owner, st.Replicas, st.ModifiedAt.Format(time.RFC3339))
+		return nil
+
+	case "mkdir":
+		return cl.Mkdir(need(args, 0, "collection"))
+
+	case "rmdir":
+		return cl.RmColl(need(args, 0, "collection"))
+
+	case "put":
+		local, remote := need(args, 0, "local file"), need(args, 1, "path")
+		opts := client.PutOpts{}
+		for i := 2; i < len(args)-1; i += 2 {
+			switch args[i] {
+			case "-resource":
+				opts.Resource = args[i+1]
+			case "-container":
+				opts.Container = args[i+1]
+			case "-type":
+				opts.DataType = args[i+1]
+			}
+		}
+		data, err := os.ReadFile(local)
+		if err != nil {
+			return err
+		}
+		o, err := cl.Put(remote, data, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ingested %s (%d bytes, %d replicas)\n", o.Path(), o.Size, len(o.Replicas))
+		return nil
+
+	case "get":
+		data, err := cl.Get(need(args, 0, "path"))
+		if err != nil {
+			return err
+		}
+		if len(args) > 1 {
+			return os.WriteFile(args[1], data, 0o644)
+		}
+		os.Stdout.Write(data)
+		return nil
+
+	case "pget":
+		path, local := need(args, 0, "path"), need(args, 1, "local file")
+		streams := 4
+		if len(args) > 2 {
+			streams, _ = strconv.Atoi(args[2])
+		}
+		data, err := cl.ParallelGet(path, streams)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(local, data, 0o644)
+
+	case "rm":
+		return cl.Delete(need(args, 0, "path"))
+
+	case "rmreplica":
+		n, err := strconv.Atoi(need(args, 1, "replica number"))
+		if err != nil {
+			return err
+		}
+		return cl.DeleteReplica(args[0], n)
+
+	case "mv":
+		return cl.Move(need(args, 0, "src"), need(args, 1, "dst"))
+
+	case "cp":
+		res := ""
+		if len(args) > 2 {
+			res = args[2]
+		}
+		return cl.Copy(need(args, 0, "src"), need(args, 1, "dst"), res)
+
+	case "ln":
+		return cl.Link(need(args, 0, "target"), need(args, 1, "link path"))
+
+	case "replicate":
+		rep, err := cl.Replicate(need(args, 0, "path"), need(args, 1, "resource"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replica %d on %s\n", rep.Number, rep.Resource)
+		return nil
+
+	case "meta":
+		sub := need(args, 0, "add|ls")
+		switch sub {
+		case "add":
+			avu := types.AVU{Name: need(args, 2, "name"), Value: need(args, 3, "value")}
+			if len(args) > 4 {
+				avu.Units = args[4]
+			}
+			return cl.AddMeta(args[1], types.MetaUser, avu)
+		case "ls":
+			class := types.MetaUser
+			if len(args) > 2 {
+				switch args[2] {
+				case "system":
+					class = types.MetaSystem
+				case "type":
+					class = types.MetaType
+				case "file":
+					class = types.MetaFile
+				}
+			}
+			avus, err := cl.GetMeta(need(args, 1, "path"), class)
+			if err != nil {
+				return err
+			}
+			for _, a := range avus {
+				fmt.Printf("%-24s %-32s %s\n", a.Name, a.Value, a.Units)
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown meta subcommand %q", sub)
+		}
+
+	case "annotate":
+		return cl.Annotate(need(args, 0, "path"), types.Annotation{Text: strings.Join(args[1:], " "), Kind: "comment"})
+
+	case "annotations":
+		anns, err := cl.Annotations(need(args, 0, "path"))
+		if err != nil {
+			return err
+		}
+		for _, a := range anns {
+			fmt.Printf("[%s] %s: %s\n", a.Kind, a.Author, a.Text)
+		}
+		return nil
+
+	case "query":
+		scope := need(args, 0, "scope")
+		q := mcat.Query{Scope: scope}
+		for _, cond := range args[1:] {
+			c, err := parseCond(cond)
+			if err != nil {
+				return err
+			}
+			q.Conds = append(q.Conds, c)
+		}
+		hits, err := cl.Query(q)
+		if err != nil {
+			return err
+		}
+		for _, h := range hits {
+			fmt.Println(h.Path)
+		}
+		fmt.Fprintf(os.Stderr, "%d objects\n", len(hits))
+		return nil
+
+	case "attrs":
+		names, err := cl.QueryAttrNames(need(args, 0, "scope"))
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case "chmod":
+		return cl.Chmod(need(args, 0, "path"), need(args, 1, "grantee"), need(args, 2, "level"))
+
+	case "lock":
+		return cl.Lock(need(args, 0, "path"), need(args, 1, "shared|exclusive"), time.Hour)
+
+	case "unlock":
+		return cl.Unlock(need(args, 0, "path"))
+
+	case "checkout":
+		return cl.Checkout(need(args, 0, "path"))
+
+	case "checkin":
+		data, err := os.ReadFile(need(args, 1, "local file"))
+		if err != nil {
+			return err
+		}
+		comment := ""
+		if len(args) > 2 {
+			comment = strings.Join(args[2:], " ")
+		}
+		return cl.Checkin(args[0], data, comment)
+
+	case "mkcontainer":
+		o, err := cl.MkContainer(need(args, 0, "path"), need(args, 1, "resource"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("container %s (%d segment replicas)\n", o.Path(), len(o.Replicas))
+		return nil
+
+	case "sql":
+		suffix := ""
+		if len(args) > 1 {
+			suffix = strings.Join(args[1:], " ")
+		}
+		out, err := cl.ExecSQL(need(args, 0, "path"), suffix)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(out)
+		return nil
+
+	case "invoke":
+		out, err := cl.Invoke(need(args, 0, "path"), args[1:])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(out)
+		return nil
+
+	case "audit":
+		// srb audit [user] — admin-only view of the audit trail tail.
+		filterUser := ""
+		if len(args) > 0 {
+			filterUser = args[0]
+		}
+		recs, err := cl.Audit(filterUser, "", "", 50)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			status := "ok"
+			if !r.OK {
+				status = "DENIED"
+			}
+			fmt.Printf("%s  %-8s %-12s %-30s %s %s\n",
+				r.Time.Format("15:04:05"), r.User, r.Op, r.Target, status, r.Detail)
+		}
+		return nil
+
+	case "resources":
+		rs, err := cl.Resources()
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			extra := r.Driver
+			if r.Kind == types.ResourceLogical {
+				extra = "members: " + strings.Join(r.Members, ",")
+			}
+			state := "online"
+			if !r.Online {
+				state = "OFFLINE"
+			}
+			fmt.Printf("%-12s %-9s %-10s %-8s %s\n", r.Name, r.Kind, r.Class, state, extra)
+		}
+		return nil
+
+	case "stats":
+		st, err := cl.ServerStats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server: %s\nobjects: %d\ncollections: %d\nresources: %d\nusers: %d\n",
+			st.Server, st.Objects, st.Collections, st.Resources, st.Users)
+		return nil
+
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// need returns args[i] or exits with a usage message.
+func need(args []string, i int, what string) string {
+	if i >= len(args) {
+		fatal(fmt.Errorf("missing argument: %s", what))
+	}
+	return args[i]
+}
+
+// parseCond parses "attr=val", "attr>val", "attr=like:pattern", ...
+func parseCond(s string) (mcat.Condition, error) {
+	for _, op := range []string{">=", "<=", "<>", "=", ">", "<"} {
+		if i := strings.Index(s, op); i > 0 {
+			attr, val := s[:i], s[i+len(op):]
+			if op == "=" && strings.HasPrefix(val, "like:") {
+				return mcat.Condition{Attr: attr, Op: "like", Value: strings.TrimPrefix(val, "like:")}, nil
+			}
+			if op == "=" && strings.HasPrefix(val, "notlike:") {
+				return mcat.Condition{Attr: attr, Op: "not like", Value: strings.TrimPrefix(val, "notlike:")}, nil
+			}
+			return mcat.Condition{Attr: attr, Op: op, Value: val}, nil
+		}
+	}
+	return mcat.Condition{}, fmt.Errorf("cannot parse condition %q (want attr=value, attr>value, attr=like:pat)", s)
+}

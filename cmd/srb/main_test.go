@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseCond(t *testing.T) {
+	cases := []struct {
+		in   string
+		attr string
+		op   string
+		val  string
+	}{
+		{"survey=2mass", "survey", "=", "2mass"},
+		{"mag>7", "mag", ">", "7"},
+		{"mag>=7.5", "mag", ">=", "7.5"},
+		{"mag<=2", "mag", "<=", "2"},
+		{"mag<10", "mag", "<", "10"},
+		{"band<>J", "band", "<>", "J"},
+		{"name=like:m%", "name", "like", "m%"},
+		{"name=notlike:tmp%", "name", "not like", "tmp%"},
+	}
+	for _, c := range cases {
+		got, err := parseCond(c.in)
+		if err != nil {
+			t.Errorf("parseCond(%q): %v", c.in, err)
+			continue
+		}
+		if got.Attr != c.attr || got.Op != c.op || got.Value != c.val {
+			t.Errorf("parseCond(%q) = %+v, want %s %s %s", c.in, got, c.attr, c.op, c.val)
+		}
+	}
+	for _, bad := range []string{"nocond", "=value", ""} {
+		if _, err := parseCond(bad); err == nil {
+			t.Errorf("parseCond(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"gosrb/internal/client"
+)
+
+// buildSrbd compiles the daemon once per test run.
+func buildSrbd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "srbd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startSrbd launches the daemon and returns its bound address and a
+// stop function that shuts it down gracefully.
+func startSrbd(t *testing.T, bin string, extraArgs ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-name", "srb-e2e",
+		"-admin-pw", "adminpw",
+		"-user", "alice=alicepw",
+		"-resource", "disk1=memfs:",
+		"-save-every", "0",
+	}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon logs "<name> listening on <addr>".
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("srbd did not report a listen address")
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	t.Cleanup(stop)
+	return addr, stop
+}
+
+// TestDaemonEndToEnd drives the real binary: put/get over TCP, graceful
+// shutdown with a snapshot + journal, and recovery on restart.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildSrbd(t)
+	state := t.TempDir()
+	catalog := filepath.Join(state, "mcat.json")
+	journal := filepath.Join(state, "mcat.journal")
+
+	addr, stop := startSrbd(t, bin, "-catalog", catalog, "-journal", journal)
+
+	cl, err := client.Dial(addr, "alice", "alicepw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Mkdir("/home"); err == nil {
+		t.Fatal("alice should not create top-level collections")
+	}
+	admin, err := client.Dial(addr, "admin", "adminpw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Mkdir("/home"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Chmod("/home", "alice", "write"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("/home/persisted.txt", []byte("across restarts"), client.PutOpts{Resource: "disk1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cl.Get("/home/persisted.txt")
+	if err != nil || string(data) != "across restarts" {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	// Audit over the wire (admin only).
+	if _, err := cl.Audit("", "", "", 10); err == nil {
+		t.Error("non-admin audit should fail")
+	}
+	recs, err := admin.Audit("alice", "", "", 10)
+	if err != nil || len(recs) == 0 {
+		t.Errorf("admin audit = %d records, %v", len(recs), err)
+	}
+	cl.Close()
+	admin.Close()
+
+	// Graceful shutdown snapshots the catalog.
+	stop()
+	if _, err := os.Stat(catalog); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	// Restart: the catalog (namespace + metadata + ACLs) survives. The
+	// bytes do not — disk1 is an in-memory resource — which is exactly
+	// what the catalog records as a now-unreachable replica.
+	addr2, stop2 := startSrbd(t, bin, "-catalog", catalog, "-journal", journal)
+	defer stop2()
+	cl2, err := client.Dial(addr2, "alice", "alicepw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	st, err := cl2.Stat("/home/persisted.txt")
+	if err != nil {
+		t.Fatalf("catalog entry lost across restart: %v", err)
+	}
+	if st.Size != int64(len("across restarts")) {
+		t.Errorf("stat after restart = %+v", st)
+	}
+	// ACLs survived too: alice can still create under /home.
+	if err := cl2.Mkdir("/home/again"); err != nil {
+		t.Errorf("ACL lost across restart: %v", err)
+	}
+}
+
+// TestDaemonJournalRecovery kills the daemon without a graceful
+// shutdown: the snapshot is stale, but the journal tail replays.
+func TestDaemonJournalRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildSrbd(t)
+	state := t.TempDir()
+	catalog := filepath.Join(state, "mcat.json")
+	journal := filepath.Join(state, "mcat.journal")
+
+	args := []string{
+		"-addr", "127.0.0.1:0", "-name", "srb-e2e", "-admin-pw", "adminpw",
+		"-resource", "disk1=memfs:", "-save-every", "0",
+		"-catalog", catalog, "-journal", journal,
+	}
+	cmd := exec.Command(bin, args...)
+	stderr, _ := cmd.StderrPipe()
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(10 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				found <- m[1]
+				return
+			}
+		}
+	}()
+	select {
+	case addr = <-found:
+	case <-deadline:
+		cmd.Process.Kill()
+		t.Fatal("no listen address")
+	}
+
+	admin, err := client.Dial(addr, "admin", "adminpw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Mkdir("/crash-survivor"); err != nil {
+		t.Fatal(err)
+	}
+	admin.Close()
+	// Give the journal writer a moment, then kill hard: no snapshot.
+	time.Sleep(200 * time.Millisecond)
+	cmd.Process.Kill()
+	cmd.Wait()
+	if _, err := os.Stat(catalog); err == nil {
+		t.Log("note: snapshot exists (unexpected but harmless)")
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil || !strings.Contains(string(raw), "crash-survivor") {
+		t.Fatalf("journal missing the mutation: %v", err)
+	}
+
+	// Restart: the journal replays the lost mutation.
+	addr2, stop2 := startSrbd(t, bin, "-catalog", catalog, "-journal", journal)
+	defer stop2()
+	admin2, err := client.Dial(addr2, "admin", "adminpw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin2.Close()
+	if _, err := admin2.Stat("/crash-survivor"); err != nil {
+		t.Errorf("journal recovery failed: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module gosrb
+
+go 1.22

@@ -1,0 +1,133 @@
+// Package acl implements SRB access control: a permission lattice from
+// none up to curate ("a role-based access matrix from curator to
+// public", paper §4), access-control lists per object and collection,
+// and group resolution.
+//
+// The catalog stores the lists; the broker asks this package what a
+// user's effective level on a target is and whether it suffices for an
+// operation. Per the paper, the DGA controls access "at multiple levels
+// (collections, datasets, resources, etc) for users and user groups
+// beyond that offered by file systems".
+package acl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level is a rung of the permission lattice. Higher levels include all
+// rights of lower ones.
+type Level int
+
+const (
+	// None grants nothing.
+	None Level = iota
+	// Read grants viewing data and metadata, and — per the paper, which
+	// lets "any user with a read permission" annotate — adding
+	// annotations.
+	Read
+	// Annotate grants adding annotations and ratings even where broader
+	// write access is withheld (used for the curator scenario's
+	// "selected users [who] add additional metadata").
+	Annotate
+	// Write grants modifying data contents and adding user metadata.
+	Write
+	// Own grants full control: ACL changes, deletion, metadata schema.
+	Own
+	// Curate grants Own plus structural-metadata control on collections
+	// and the right to impose ingestion requirements.
+	Curate
+)
+
+var levelNames = [...]string{
+	None:     "none",
+	Read:     "read",
+	Annotate: "annotate",
+	Write:    "write",
+	Own:      "own",
+	Curate:   "curate",
+}
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	if l < 0 || int(l) >= len(levelNames) {
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// ParseLevel parses a level name, case-insensitively.
+func ParseLevel(s string) (Level, error) {
+	for i, n := range levelNames {
+		if strings.EqualFold(s, n) {
+			return Level(i), nil
+		}
+	}
+	return None, fmt.Errorf("acl: unknown permission level %q", s)
+}
+
+// Includes reports whether holding l satisfies a requirement of need.
+func (l Level) Includes(need Level) bool { return l >= need }
+
+// Public is the grantee name matching every user.
+const Public = "public"
+
+// GroupPrefix marks a grantee entry that names a group.
+const GroupPrefix = "g:"
+
+// Entry grants a level to a grantee: a user name, GroupPrefix+group, or
+// Public.
+type Entry struct {
+	Grantee string
+	Level   Level
+}
+
+// List is the access-control list of one target. Order is not
+// significant; the effective level is the maximum matching grant.
+type List []Entry
+
+// Grant returns the list with the grantee set to exactly level,
+// replacing any previous entry. Granting None removes the entry.
+func (l List) Grant(grantee string, level Level) List {
+	out := make(List, 0, len(l)+1)
+	for _, e := range l {
+		if e.Grantee != grantee {
+			out = append(out, e)
+		}
+	}
+	if level != None {
+		out = append(out, Entry{Grantee: grantee, Level: level})
+	}
+	return out
+}
+
+// LevelFor computes the user's effective level: the maximum over the
+// user's direct grants, grants to any group in groups, and Public.
+func (l List) LevelFor(user string, groups map[string]bool) Level {
+	best := None
+	for _, e := range l {
+		var applies bool
+		switch {
+		case e.Grantee == Public:
+			applies = true
+		case strings.HasPrefix(e.Grantee, GroupPrefix):
+			applies = groups[strings.TrimPrefix(e.Grantee, GroupPrefix)]
+		default:
+			applies = e.Grantee == user
+		}
+		if applies && e.Level > best {
+			best = e.Level
+		}
+	}
+	return best
+}
+
+// Clone returns an independent copy of the list.
+func (l List) Clone() List {
+	return append(List(nil), l...)
+}
+
+// Levels enumerates every level in ascending order (for UIs).
+func Levels() []Level {
+	return []Level{None, Read, Annotate, Write, Own, Curate}
+}

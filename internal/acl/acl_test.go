@@ -1,0 +1,101 @@
+package acl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelOrdering(t *testing.T) {
+	if !Curate.Includes(Own) || !Own.Includes(Write) || !Write.Includes(Annotate) ||
+		!Annotate.Includes(Read) || !Read.Includes(None) {
+		t.Error("lattice ordering broken")
+	}
+	if Read.Includes(Write) {
+		t.Error("read must not include write")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, l := range Levels() {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("round trip %v: %v %v", l, got, err)
+		}
+	}
+	if got, err := ParseLevel("CURATE"); err != nil || got != Curate {
+		t.Errorf("case-insensitive parse: %v %v", got, err)
+	}
+	if _, err := ParseLevel("root"); err == nil {
+		t.Error("unknown level should fail")
+	}
+	if Level(42).String() != "Level(42)" {
+		t.Error("out-of-range String")
+	}
+}
+
+func TestGrantReplacesAndRemoves(t *testing.T) {
+	var l List
+	l = l.Grant("alice", Read)
+	l = l.Grant("alice", Own)
+	if len(l) != 1 || l[0].Level != Own {
+		t.Errorf("grant should replace: %+v", l)
+	}
+	l = l.Grant("bob", Write)
+	l = l.Grant("alice", None)
+	if len(l) != 1 || l[0].Grantee != "bob" {
+		t.Errorf("grant None should remove: %+v", l)
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	l := List{}.
+		Grant("alice", Own).
+		Grant(GroupPrefix+"curators", Curate).
+		Grant(Public, Read)
+	noGroups := map[string]bool{}
+	if got := l.LevelFor("alice", noGroups); got != Own {
+		t.Errorf("alice = %v", got)
+	}
+	if got := l.LevelFor("stranger", noGroups); got != Read {
+		t.Errorf("public fallback = %v", got)
+	}
+	if got := l.LevelFor("carol", map[string]bool{"curators": true}); got != Curate {
+		t.Errorf("group grant = %v", got)
+	}
+	// Max wins: alice in curators gets Curate, not Own.
+	if got := l.LevelFor("alice", map[string]bool{"curators": true}); got != Curate {
+		t.Errorf("max of grants = %v", got)
+	}
+	empty := List{}
+	if got := empty.LevelFor("anyone", noGroups); got != None {
+		t.Errorf("empty list = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	l := List{}.Grant("a", Read)
+	c := l.Clone()
+	c = c.Grant("a", Own)
+	if l.LevelFor("a", nil) != Read {
+		t.Error("clone should not alias the original")
+	}
+}
+
+// Property: LevelFor never exceeds the max granted level and Grant is
+// idempotent.
+func TestGrantProperties(t *testing.T) {
+	f := func(user string, lvl uint8) bool {
+		if user == Public || len(user) >= 2 && user[:2] == GroupPrefix {
+			return true // special grantees resolve differently by design
+		}
+		level := Level(int(lvl) % len(Levels()))
+		l := List{}.Grant(user, level).Grant(user, level)
+		if level == None {
+			return len(l) == 0
+		}
+		return len(l) == 1 && l.LevelFor(user, nil) == level
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

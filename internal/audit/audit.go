@@ -1,0 +1,121 @@
+// Package audit implements the auditing facility the DGA requires:
+// "in some cases, it may be necessary to audit usage of the
+// collections/datasets" (paper §2). Every brokered operation appends a
+// record; the log is bounded and queryable.
+package audit
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"gosrb/internal/types"
+)
+
+// DefaultCapacity bounds the in-memory log when no capacity is given.
+const DefaultCapacity = 100_000
+
+// Log is a bounded, append-only audit trail. Safe for concurrent use.
+// When the capacity is exceeded the oldest records are dropped.
+type Log struct {
+	mu      sync.Mutex
+	records []types.AuditRecord
+	start   int // ring start
+	count   int
+	dropped int64
+	now     func() time.Time
+}
+
+// New returns a log holding up to capacity records (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{records: make([]types.AuditRecord, capacity), now: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (l *Log) SetClock(now func() time.Time) { l.now = now }
+
+// Record appends an entry, stamping the time if unset.
+func (l *Log) Record(rec types.AuditRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec.Time.IsZero() {
+		rec.Time = l.now()
+	}
+	if l.count < len(l.records) {
+		l.records[(l.start+l.count)%len(l.records)] = rec
+		l.count++
+		return
+	}
+	l.records[l.start] = rec
+	l.start = (l.start + 1) % len(l.records)
+	l.dropped++
+}
+
+// Op is a convenience wrapper recording one operation outcome.
+func (l *Log) Op(user, op, target string, ok bool, detail string) {
+	l.Record(types.AuditRecord{User: user, Op: op, Target: target, OK: ok, Detail: detail})
+}
+
+// Len reports how many records are held.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Dropped reports how many records were displaced by the ring bound.
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Filter selects audit records; zero fields match everything. Target
+// matches the record target itself or any record under it when the
+// target is a collection path.
+type Filter struct {
+	User   string
+	Op     string
+	Target string
+	Since  time.Time
+	Until  time.Time
+}
+
+func (f Filter) matches(r types.AuditRecord) bool {
+	if f.User != "" && r.User != f.User {
+		return false
+	}
+	if f.Op != "" && r.Op != f.Op {
+		return false
+	}
+	if f.Target != "" {
+		if r.Target != f.Target && !(strings.HasPrefix(f.Target, "/") && types.Within(f.Target, r.Target)) {
+			return false
+		}
+	}
+	if !f.Since.IsZero() && r.Time.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && r.Time.After(f.Until) {
+		return false
+	}
+	return true
+}
+
+// Query returns matching records in append order.
+func (l *Log) Query(f Filter) []types.AuditRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []types.AuditRecord
+	for i := 0; i < l.count; i++ {
+		r := l.records[(l.start+i)%len(l.records)]
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

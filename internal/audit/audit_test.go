@@ -1,0 +1,100 @@
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gosrb/internal/types"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	l := New(10)
+	now := time.Unix(100, 0)
+	l.SetClock(func() time.Time { return now })
+	l.Op("alice", "get", "/c/f1", true, "")
+	l.Op("bob", "ingest", "/c/f2", true, "")
+	l.Op("alice", "delete", "/c/f1", false, "permission denied")
+
+	if got := len(l.Query(Filter{User: "alice"})); got != 2 {
+		t.Errorf("alice records = %d", got)
+	}
+	if got := len(l.Query(Filter{Op: "ingest"})); got != 1 {
+		t.Errorf("ingest records = %d", got)
+	}
+	recs := l.Query(Filter{})
+	if len(recs) != 3 || recs[0].Op != "get" || recs[2].OK {
+		t.Errorf("all records = %+v", recs)
+	}
+	if recs[0].Time != now {
+		t.Error("time should be stamped")
+	}
+}
+
+func TestTargetSubtreeFilter(t *testing.T) {
+	l := New(10)
+	l.Op("u", "get", "/a/b/f", true, "")
+	l.Op("u", "get", "/other/f", true, "")
+	if got := len(l.Query(Filter{Target: "/a"})); got != 1 {
+		t.Errorf("subtree filter = %d", got)
+	}
+	if got := len(l.Query(Filter{Target: "/a/b/f"})); got != 1 {
+		t.Errorf("exact filter = %d", got)
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	l := New(10)
+	base := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		l.Record(types.AuditRecord{User: "u", Op: "op", Time: base.Add(time.Duration(i) * time.Hour)})
+	}
+	got := l.Query(Filter{Since: base.Add(time.Hour), Until: base.Add(3 * time.Hour)})
+	if len(got) != 3 {
+		t.Errorf("window = %d records", len(got))
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Op("u", "op", fmt.Sprintf("/f%d", i), true, "")
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("Dropped = %d", l.Dropped())
+	}
+	recs := l.Query(Filter{})
+	if recs[0].Target != "/f2" || recs[2].Target != "/f4" {
+		t.Errorf("ring contents = %+v", recs)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l := New(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Op("u", "op", "/t", true, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d, want 800", l.Len())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := New(0)
+	l.Op("u", "op", "/t", true, "")
+	if l.Len() != 1 {
+		t.Error("default-capacity log should accept records")
+	}
+}

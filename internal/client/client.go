@@ -1,0 +1,554 @@
+// Package client is the SRB client library: it speaks the wire
+// protocol to any federated server, authenticates with
+// challenge–response (the password never crosses the wire), follows
+// federation redirects transparently, and offers the Scommand-style
+// operation set plus parallel multi-stream bulk transfer.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gosrb/internal/auth"
+	"gosrb/internal/mcat"
+	"gosrb/internal/storage"
+	"gosrb/internal/types"
+	"gosrb/internal/wire"
+)
+
+// DialTimeout bounds connection establishment.
+const DialTimeout = 10 * time.Second
+
+// Client is one authenticated connection to an SRB server. Methods are
+// safe for concurrent use (requests are serialised on the connection);
+// use ParallelGet for concurrent bulk streams.
+type Client struct {
+	mu   sync.Mutex
+	nc   net.Conn
+	c    *wire.Conn
+	addr string
+	// server is the federation name reported at handshake.
+	server string
+
+	user     string
+	password string
+
+	// dial allows tests to shape connections.
+	dial func(addr string) (net.Conn, error)
+}
+
+// Dial connects and authenticates to the server at addr.
+func Dial(addr, user, password string) (*Client, error) {
+	return DialWith(addr, user, password, nil)
+}
+
+// DialWith is Dial with a custom transport dialer (nil = TCP).
+func DialWith(addr, user, password string, dialer func(addr string) (net.Conn, error)) (*Client, error) {
+	if dialer == nil {
+		dialer = func(a string) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, DialTimeout)
+		}
+	}
+	cl := &Client{addr: addr, user: user, password: password, dial: dialer}
+	if err := cl.connect(addr); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// connect establishes and authenticates one connection, replacing the
+// current one.
+func (cl *Client) connect(addr string) error {
+	nc, err := cl.dial(addr)
+	if err != nil {
+		return types.E("dial", addr, err)
+	}
+	c := wire.NewConn(nc)
+	var ch wire.Challenge
+	if err := c.ReadJSON(wire.MsgChallenge, &ch); err != nil {
+		nc.Close()
+		return types.E("handshake", addr, err)
+	}
+	resp := auth.Respond(auth.DeriveKey(cl.user, cl.password), ch.Nonce)
+	if err := c.WriteJSON(wire.MsgAuth, wire.Auth{User: cl.user, Response: resp}); err != nil {
+		nc.Close()
+		return types.E("handshake", addr, err)
+	}
+	var ok struct{ Server string }
+	if err := c.ReadJSON(wire.MsgAuthOK, &ok); err != nil {
+		nc.Close()
+		return types.E("login", cl.user, types.ErrAuth)
+	}
+	if cl.nc != nil {
+		cl.nc.Close()
+	}
+	cl.nc, cl.c, cl.addr, cl.server = nc, c, addr, ok.Server
+	return nil
+}
+
+// Close drops the connection.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.nc == nil {
+		return nil
+	}
+	err := cl.nc.Close()
+	cl.nc = nil
+	return err
+}
+
+// Server returns the federation name of the currently connected server.
+func (cl *Client) Server() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.server
+}
+
+// Addr returns the address currently connected to (it changes after a
+// federation redirect).
+func (cl *Client) Addr() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.addr
+}
+
+// call performs one request/response cycle. sendData, when non-nil, is
+// streamed after the request. The response body is decoded into out
+// (when non-nil); a data stream, when announced, is returned.
+func (cl *Client) call(op string, args any, sendData []byte, out any) ([]byte, error) {
+	return cl.callTicket(op, args, sendData, out, "")
+}
+
+// callTicket is call with an optional delegated-access ticket attached.
+func (cl *Client) callTicket(op string, args any, sendData []byte, out any, ticket string) ([]byte, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for redirects := 0; ; redirects++ {
+		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket)
+		if err != nil {
+			return nil, err
+		}
+		if redirect == nil {
+			return data, nil
+		}
+		if redirects >= 4 {
+			return nil, types.E(op, redirect.Addr, types.ErrInvalid)
+		}
+		// Transparent federation redirect: reconnect and retry. Single
+		// sign-on means the same credential works on every zone server.
+		if err := cl.connect(redirect.Addr); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket string) ([]byte, *wire.Redirect, error) {
+	raw, err := json.Marshal(args)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cl.c.WriteJSON(wire.MsgRequest, wire.Request{Op: op, Args: raw, Ticket: ticket}); err != nil {
+		return nil, nil, types.E(op, "", err)
+	}
+	if sendData != nil {
+		if err := cl.c.SendData(bytes.NewReader(sendData)); err != nil {
+			return nil, nil, types.E(op, "", err)
+		}
+	}
+	t, payload, err := cl.c.ReadMsg()
+	if err != nil {
+		return nil, nil, types.E(op, "", err)
+	}
+	switch t {
+	case wire.MsgRedirect:
+		var rd wire.Redirect
+		if err := json.Unmarshal(payload, &rd); err != nil {
+			return nil, nil, err
+		}
+		return nil, &rd, nil
+	case wire.MsgResponse:
+		var resp wire.Response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			return nil, nil, err
+		}
+		if !resp.OK {
+			return nil, nil, resp.Err()
+		}
+		if out != nil && len(resp.Body) > 0 {
+			if err := json.Unmarshal(resp.Body, out); err != nil {
+				return nil, nil, err
+			}
+		}
+		if resp.DataFollows {
+			var buf bytes.Buffer
+			if _, err := cl.c.RecvData(&buf); err != nil {
+				return nil, nil, err
+			}
+			return buf.Bytes(), nil, nil
+		}
+		return nil, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("client: unexpected frame %d: %w", t, types.ErrInvalid)
+	}
+}
+
+// ---- Scommand-style API ----
+
+// Mkdir creates a collection (Smkdir).
+func (cl *Client) Mkdir(path string) error {
+	_, err := cl.call(wire.OpMkdir, wire.PathArgs{Path: path}, nil, nil)
+	return err
+}
+
+// RmColl removes an empty collection (Srmdir).
+func (cl *Client) RmColl(path string) error {
+	_, err := cl.call(wire.OpRmColl, wire.PathArgs{Path: path}, nil, nil)
+	return err
+}
+
+// List lists a collection (Sls).
+func (cl *Client) List(path string) ([]types.Stat, error) {
+	var out []types.Stat
+	_, err := cl.call(wire.OpList, wire.PathArgs{Path: path}, nil, &out)
+	return out, err
+}
+
+// Stat describes a path.
+func (cl *Client) Stat(path string) (types.Stat, error) {
+	var out types.Stat
+	_, err := cl.call(wire.OpStat, wire.PathArgs{Path: path}, nil, &out)
+	return out, err
+}
+
+// GetObject fetches the full catalog record of an object.
+func (cl *Client) GetObject(path string) (types.DataObject, error) {
+	var out types.DataObject
+	_, err := cl.call(wire.OpGetObject, wire.PathArgs{Path: path}, nil, &out)
+	return out, err
+}
+
+// PutOpts parameterise Put.
+type PutOpts struct {
+	Resource  string
+	Container string
+	DataType  string
+	Meta      []types.AVU
+}
+
+// Put ingests data at path (Sput).
+func (cl *Client) Put(path string, data []byte, opts PutOpts) (types.DataObject, error) {
+	var out types.DataObject
+	args := wire.IngestArgs{
+		Path: path, Resource: opts.Resource, Container: opts.Container,
+		DataType: opts.DataType, Meta: opts.Meta,
+	}
+	if data == nil {
+		data = []byte{}
+	}
+	_, err := cl.call(wire.OpIngest, args, data, &out)
+	return out, err
+}
+
+// Reput replaces an object's contents, keeping its metadata.
+func (cl *Client) Reput(path string, data []byte) error {
+	if data == nil {
+		data = []byte{}
+	}
+	_, err := cl.call(wire.OpReingest, wire.PathArgs{Path: path}, data, nil)
+	return err
+}
+
+// Get retrieves an object's contents (Sget).
+func (cl *Client) Get(path string) ([]byte, error) {
+	return cl.call(wire.OpGet, wire.PathArgs{Path: path}, nil, nil)
+}
+
+// GetRange reads length bytes at offset; length < 0 reads to the end.
+func (cl *Client) GetRange(path string, offset, length int64) ([]byte, error) {
+	return cl.call(wire.OpReadRange, wire.RangeArgs{Path: path, Offset: offset, Length: length}, nil, nil)
+}
+
+// ParallelGet retrieves an object over streams concurrent connections,
+// each fetching a contiguous range — SRB's parallel bulk transfer.
+func (cl *Client) ParallelGet(path string, streams int) ([]byte, error) {
+	st, err := cl.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size
+	if streams < 1 {
+		streams = 1
+	}
+	if int64(streams) > size {
+		streams = int(size)
+	}
+	if streams <= 1 || size == 0 {
+		return cl.Get(path)
+	}
+	out := make([]byte, size)
+	chunk := (size + int64(streams) - 1) / int64(streams)
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		off := int64(i) * chunk
+		length := chunk
+		if off+length > size {
+			length = size - off
+		}
+		go func(off, length int64) {
+			// Each stream is its own authenticated connection.
+			sub, err := DialWith(cl.Addr(), cl.user, cl.password, cl.dial)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sub.Close()
+			data, err := sub.GetRange(path, off, length)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int64(len(data)) != length {
+				errs <- types.E("parallelget", path, fmt.Errorf("short range read (%d of %d)", len(data), length))
+				return
+			}
+			copy(out[off:], data)
+			errs <- nil
+		}(off, length)
+	}
+	for i := 0; i < streams; i++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Replicate adds a replica on resource (Sreplicate).
+func (cl *Client) Replicate(path, resource string) (types.Replica, error) {
+	var out types.Replica
+	_, err := cl.call(wire.OpReplicate, wire.ReplicateArgs{Path: path, Resource: resource}, nil, &out)
+	return out, err
+}
+
+// Delete removes an object (Srm).
+func (cl *Client) Delete(path string) error {
+	_, err := cl.call(wire.OpDelete, wire.PathArgs{Path: path}, nil, nil)
+	return err
+}
+
+// DeleteReplica removes one replica.
+func (cl *Client) DeleteReplica(path string, number int) error {
+	_, err := cl.call(wire.OpDeleteReplica, wire.ReplicaArgs{Path: path, Number: number}, nil, nil)
+	return err
+}
+
+// Move renames an object or collection (Smv).
+func (cl *Client) Move(src, dst string) error {
+	_, err := cl.call(wire.OpMove, wire.MoveArgs{Src: src, Dst: dst}, nil, nil)
+	return err
+}
+
+// Copy copies an object or collection (Scp).
+func (cl *Client) Copy(src, dst, resource string) error {
+	_, err := cl.call(wire.OpCopy, wire.CopyArgs{Src: src, Dst: dst, Resource: resource}, nil, nil)
+	return err
+}
+
+// Link creates a soft link (Sln).
+func (cl *Client) Link(target, linkPath string) error {
+	_, err := cl.call(wire.OpLink, wire.LinkArgs{Target: target, LinkPath: linkPath}, nil, nil)
+	return err
+}
+
+// AddMeta attaches a metadata triplet.
+func (cl *Client) AddMeta(path string, class types.MetaClass, avu types.AVU) error {
+	_, err := cl.call(wire.OpAddMeta, wire.MetaArgs{Path: path, Class: int(class), AVU: avu}, nil, nil)
+	return err
+}
+
+// GetMeta fetches one metadata class.
+func (cl *Client) GetMeta(path string, class types.MetaClass) ([]types.AVU, error) {
+	var out []types.AVU
+	_, err := cl.call(wire.OpGetMeta, wire.GetMetaArgs{Path: path, Class: int(class)}, nil, &out)
+	return out, err
+}
+
+// Annotate adds commentary.
+func (cl *Client) Annotate(path string, ann types.Annotation) error {
+	_, err := cl.call(wire.OpAnnotate, wire.AnnotateArgs{Path: path, Ann: ann}, nil, nil)
+	return err
+}
+
+// Annotations lists commentary.
+func (cl *Client) Annotations(path string) ([]types.Annotation, error) {
+	var out []types.Annotation
+	_, err := cl.call(wire.OpAnnotations, wire.PathArgs{Path: path}, nil, &out)
+	return out, err
+}
+
+// Query runs a conjunctive metadata query.
+func (cl *Client) Query(q mcat.Query) ([]mcat.Hit, error) {
+	var out []mcat.Hit
+	_, err := cl.call(wire.OpQuery, wire.QueryArgs{Q: q}, nil, &out)
+	return out, err
+}
+
+// QueryAttrNames fetches the queryable attribute names under scope.
+func (cl *Client) QueryAttrNames(scope string) ([]string, error) {
+	var out []string
+	_, err := cl.call(wire.OpQueryAttrs, wire.PathArgs{Path: scope}, nil, &out)
+	return out, err
+}
+
+// Chmod grants a permission level ("none", "read", "annotate", "write",
+// "own", "curate") to a grantee.
+func (cl *Client) Chmod(path, grantee, level string) error {
+	_, err := cl.call(wire.OpChmod, wire.ChmodArgs{Path: path, Grantee: grantee, Level: level}, nil, nil)
+	return err
+}
+
+// Lock places a "shared" or "exclusive" lock.
+func (cl *Client) Lock(path, kind string, ttl time.Duration) error {
+	_, err := cl.call(wire.OpLock, wire.LockArgs{Path: path, Kind: kind, TTLSeconds: int64(ttl / time.Second)}, nil, nil)
+	return err
+}
+
+// Unlock removes the caller's lock.
+func (cl *Client) Unlock(path string) error {
+	_, err := cl.call(wire.OpUnlock, wire.PathArgs{Path: path}, nil, nil)
+	return err
+}
+
+// Pin protects a replica from cache purging.
+func (cl *Client) Pin(path, resource string, ttl time.Duration) error {
+	_, err := cl.call(wire.OpPin, wire.PinArgs{Path: path, Resource: resource, TTLSeconds: int64(ttl / time.Second)}, nil, nil)
+	return err
+}
+
+// Unpin removes the caller's pin.
+func (cl *Client) Unpin(path, resource string) error {
+	_, err := cl.call(wire.OpUnpin, wire.PinArgs{Path: path, Resource: resource}, nil, nil)
+	return err
+}
+
+// Checkout takes an object out for editing.
+func (cl *Client) Checkout(path string) error {
+	_, err := cl.call(wire.OpCheckout, wire.PathArgs{Path: path}, nil, nil)
+	return err
+}
+
+// Checkin stores new contents, preserving the old as a version.
+func (cl *Client) Checkin(path string, data []byte, comment string) error {
+	if data == nil {
+		data = []byte{}
+	}
+	_, err := cl.call(wire.OpCheckin, wire.CheckinArgs{Path: path, Comment: comment}, data, nil)
+	return err
+}
+
+// RegisterURL registers a URL object.
+func (cl *Client) RegisterURL(path, url string) (types.DataObject, error) {
+	var out types.DataObject
+	_, err := cl.call(wire.OpRegisterURL, wire.RegisterURLArgs{Path: path, URL: url}, nil, &out)
+	return out, err
+}
+
+// RegisterSQL registers a SQL query object.
+func (cl *Client) RegisterSQL(path string, spec types.SQLSpec) (types.DataObject, error) {
+	var out types.DataObject
+	_, err := cl.call(wire.OpRegisterSQL, wire.RegisterSQLArgs{Path: path, Spec: spec}, nil, &out)
+	return out, err
+}
+
+// ExecSQL executes a registered SQL object with an optional suffix.
+func (cl *Client) ExecSQL(path, suffix string) ([]byte, error) {
+	return cl.call(wire.OpExecSQL, wire.ExecSQLArgs{Path: path, Suffix: suffix}, nil, nil)
+}
+
+// Invoke runs a method object with extra arguments.
+func (cl *Client) Invoke(path string, args []string) ([]byte, error) {
+	return cl.call(wire.OpInvoke, wire.InvokeArgs{Path: path, Args: args}, nil, nil)
+}
+
+// MkContainer creates a container on a resource.
+func (cl *Client) MkContainer(path, resource string) (types.DataObject, error) {
+	var out types.DataObject
+	_, err := cl.call(wire.OpMkContainer, wire.ContainerArgs{Path: path, Resource: resource}, nil, &out)
+	return out, err
+}
+
+// SyncContainer refreshes dirty container replicas.
+func (cl *Client) SyncContainer(path string) (int, error) {
+	var out wire.CountReply
+	_, err := cl.call(wire.OpSyncContainer, wire.PathArgs{Path: path}, nil, &out)
+	return out.N, err
+}
+
+// Extract runs a metadata extraction method on the server.
+func (cl *Client) Extract(path, method, from string) (int, error) {
+	var out wire.CountReply
+	_, err := cl.call(wire.OpExtract, wire.ExtractArgs{Path: path, Method: method, From: from}, nil, &out)
+	return out.N, err
+}
+
+// IssueTicket mints a delegated-access ticket for path at the given
+// level ("read", ...), valid for uses redemptions (negative =
+// unlimited) and ttl. The caller must hold Own on the path.
+func (cl *Client) IssueTicket(path, level string, uses int, ttl time.Duration) (string, error) {
+	var out wire.TicketReply
+	_, err := cl.call(wire.OpIssueTicket, wire.TicketArgs{
+		Path: path, Level: level, Uses: uses, TTLSeconds: int64(ttl / time.Second),
+	}, nil, &out)
+	return out.ID, err
+}
+
+// GetWithTicket retrieves an object using a delegated-access ticket,
+// independent of the caller's own grants.
+func (cl *Client) GetWithTicket(path, ticket string) ([]byte, error) {
+	return cl.callTicket(wire.OpGet, wire.PathArgs{Path: path}, nil, nil, ticket)
+}
+
+// ShadowList lists entries inside a registered (shadow) directory.
+func (cl *Client) ShadowList(path, rel string) ([]storage.FileInfo, error) {
+	var out []storage.FileInfo
+	_, err := cl.call(wire.OpShadowList, wire.ShadowArgs{Path: path, Rel: rel}, nil, &out)
+	return out, err
+}
+
+// ShadowOpen reads one file inside a shadow directory's cone.
+func (cl *Client) ShadowOpen(path, rel string) ([]byte, error) {
+	return cl.call(wire.OpShadowOpen, wire.ShadowArgs{Path: path, Rel: rel}, nil, nil)
+}
+
+// AddUser registers an account with its password (administrators only).
+func (cl *Client) AddUser(name, domain, password string, admin bool) error {
+	_, err := cl.call(wire.OpAddUser, wire.AddUserArgs{Name: name, Domain: domain, Password: password, Admin: admin}, nil, nil)
+	return err
+}
+
+// Audit queries the audit trail (administrators only); limit bounds
+// the tail returned (0 = everything).
+func (cl *Client) Audit(user, op, target string, limit int) ([]types.AuditRecord, error) {
+	var out []types.AuditRecord
+	_, err := cl.call(wire.OpAudit, wire.AuditArgs{User: user, Op: op, Target: target, Limit: limit}, nil, &out)
+	return out, err
+}
+
+// Resources lists the registered storage resources.
+func (cl *Client) Resources() ([]types.Resource, error) {
+	var out []types.Resource
+	_, err := cl.call(wire.OpResources, struct{}{}, nil, &out)
+	return out, err
+}
+
+// ServerStats fetches catalog size counters.
+func (cl *Client) ServerStats() (wire.StatsReply, error) {
+	var out wire.StatsReply
+	_, err := cl.call(wire.OpServerStats, struct{}{}, nil, &out)
+	return out, err
+}

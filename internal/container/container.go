@@ -1,0 +1,179 @@
+// Package container implements SRB containers: append-only segment
+// files that aggregate many small data objects into one physical block,
+// "for storage into archives, and for decreasing latency when accessed
+// over a wide area network" (paper §2). "One can view containers as
+// tarfiles but with more flexibility in accessing and updating files."
+//
+// A segment begins with a file header and holds a sequence of records,
+// each framed with a marker and length so segments are self-describing:
+// Scan recovers the member table from the bytes alone, while in normal
+// operation MCAT tracks each member's (offset, size) and members are
+// read directly by range without touching the rest of the segment.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"gosrb/internal/storage"
+	"gosrb/internal/types"
+)
+
+// fileMagic begins every container segment.
+var fileMagic = []byte("SRBC0001")
+
+// recMagic begins every record header.
+var recMagic = []byte("RC01")
+
+// recHeaderSize is the record framing overhead: marker + 8-byte length.
+const recHeaderSize = 4 + 8
+
+// HeaderSize is the segment file header length.
+const HeaderSize = 8
+
+// Writer appends records to a container segment on a storage driver.
+// It is not safe for concurrent use; the broker serialises appends per
+// container.
+type Writer struct {
+	d    storage.Driver
+	path string
+	off  int64 // current end of segment
+}
+
+// NewWriter opens (or creates) the segment at path on d and positions
+// at its end.
+func NewWriter(d storage.Driver, path string) (*Writer, error) {
+	fi, err := d.Stat(path)
+	switch {
+	case errors.Is(err, types.ErrNotFound):
+		w, err := d.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(fileMagic); err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		return &Writer{d: d, path: path, off: HeaderSize}, nil
+	case err != nil:
+		return nil, err
+	}
+	if fi.Size < HeaderSize {
+		return nil, types.E("container", path, fmt.Errorf("segment shorter than header: %w", types.ErrInvalid))
+	}
+	return &Writer{d: d, path: path, off: fi.Size}, nil
+}
+
+// Size returns the current segment length in bytes.
+func (w *Writer) Size() int64 { return w.off }
+
+// Path returns the segment's physical path.
+func (w *Writer) Path() string { return w.path }
+
+// Append frames data as one record at the end of the segment and
+// returns the payload offset MCAT should record for the member.
+func (w *Writer) Append(data []byte) (offset int64, err error) {
+	h, err := w.d.OpenAppend(w.path)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [recHeaderSize]byte
+	copy(hdr[:4], recMagic)
+	binary.BigEndian.PutUint64(hdr[4:], uint64(len(data)))
+	if _, err := h.Write(hdr[:]); err != nil {
+		h.Close()
+		return 0, err
+	}
+	if _, err := h.Write(data); err != nil {
+		h.Close()
+		return 0, err
+	}
+	if err := h.Close(); err != nil {
+		return 0, err
+	}
+	offset = w.off + recHeaderSize
+	w.off += recHeaderSize + int64(len(data))
+	return offset, nil
+}
+
+// Read extracts one member's bytes given the payload offset and size
+// recorded in the catalog, without reading the rest of the segment.
+func Read(d storage.Driver, path string, offset, size int64) ([]byte, error) {
+	if offset < HeaderSize+recHeaderSize || size < 0 {
+		return nil, types.E("container-read", path, types.ErrInvalid)
+	}
+	buf, err := storage.ReadRange(d, path, offset, size)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) != size {
+		return nil, types.E("container-read", path, io.ErrUnexpectedEOF)
+	}
+	return buf, nil
+}
+
+// Record locates one member found by Scan.
+type Record struct {
+	Offset int64 // payload offset
+	Size   int64
+}
+
+// Scan walks the segment's framing and returns every record. It is the
+// recovery path when a catalog must be rebuilt from raw segments.
+func Scan(d storage.Driver, path string) ([]Record, error) {
+	r, err := d.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var head [HeaderSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, types.E("container-scan", path, types.ErrInvalid)
+	}
+	if string(head[:]) != string(fileMagic) {
+		return nil, types.E("container-scan", path, fmt.Errorf("bad segment magic: %w", types.ErrInvalid))
+	}
+	var out []Record
+	off := int64(HeaderSize)
+	for {
+		var hdr [recHeaderSize]byte
+		_, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, types.E("container-scan", path, fmt.Errorf("truncated record header at %d: %w", off, types.ErrInvalid))
+		}
+		if string(hdr[:4]) != string(recMagic) {
+			return out, types.E("container-scan", path, fmt.Errorf("bad record magic at %d: %w", off, types.ErrInvalid))
+		}
+		size := int64(binary.BigEndian.Uint64(hdr[4:]))
+		if size < 0 {
+			return out, types.E("container-scan", path, types.ErrInvalid)
+		}
+		payload := off + recHeaderSize
+		if _, err := r.Seek(size, io.SeekCurrent); err != nil {
+			return out, types.E("container-scan", path, err)
+		}
+		// Verify the payload is fully present by probing its last byte.
+		if size > 0 {
+			var b [1]byte
+			if _, err := r.ReadAt(b[:], payload+size-1); err != nil {
+				return out, types.E("container-scan", path, fmt.Errorf("truncated payload at %d: %w", payload, types.ErrInvalid))
+			}
+		}
+		out = append(out, Record{Offset: payload, Size: size})
+		off = payload + size
+	}
+}
+
+// Copy duplicates a whole segment between drivers (container
+// replication and cache-to-archive sync use this).
+func Copy(dst storage.Driver, dstPath string, src storage.Driver, srcPath string) (int64, error) {
+	return storage.Copy(dst, dstPath, src, srcPath)
+}

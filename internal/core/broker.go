@@ -1,0 +1,275 @@
+// Package core implements the SRB broker: the component that realises
+// the paper's storage-resource-brokering semantics over the MCAT
+// catalog and the storage drivers. Every operation the Scommands, the
+// federated server and the MySRB web interface offer is a method here,
+// with access control, lock discipline and auditing enforced uniformly.
+//
+// The broker is fully usable in-process (the examples and tests drive
+// it directly); internal/server exposes the same surface over the wire.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"gosrb/internal/acl"
+	"gosrb/internal/mcat"
+	"gosrb/internal/metadata"
+	"gosrb/internal/replica"
+	"gosrb/internal/sqlengine"
+	"gosrb/internal/storage"
+	"gosrb/internal/storage/dbfs"
+	"gosrb/internal/storage/urlfs"
+	"gosrb/internal/types"
+)
+
+// CommandFunc is a proxy command executed by a registered method
+// object. Commands are installed by an administrator, mirroring the
+// paper's "users have to ask a SRB administrator to place an object in
+// a, possibly remote, SRB bin directory".
+type CommandFunc func(args []string) ([]byte, error)
+
+// Broker brokers access to the data grid.
+type Broker struct {
+	// Cat is the metadata catalog, exposed for read-side integrations
+	// (MySRB renders listings straight from it).
+	Cat *mcat.Catalog
+
+	rm      *replica.Manager
+	extract *metadata.Registry
+	fetcher *urlfs.Fetcher
+
+	mu       sync.RWMutex
+	drivers  map[string]storage.Driver
+	dbs      map[string]*sqlengine.DB
+	commands map[string]CommandFunc
+
+	// containerMu serialises appends per container path.
+	containerMu sync.Mutex
+	contLocks   map[string]*sync.Mutex
+
+	serverName string
+	now        func() time.Time
+}
+
+// New returns a broker over the catalog. serverName identifies this
+// broker's server in the federation (resources it owns carry it).
+func New(cat *mcat.Catalog, serverName string) *Broker {
+	b := &Broker{
+		Cat:        cat,
+		extract:    metadata.NewRegistry(),
+		fetcher:    urlfs.NewFetcher(),
+		drivers:    make(map[string]storage.Driver),
+		dbs:        make(map[string]*sqlengine.DB),
+		commands:   make(map[string]CommandFunc),
+		contLocks:  make(map[string]*sync.Mutex),
+		serverName: serverName,
+		now:        time.Now,
+	}
+	b.rm = replica.NewManager(cat, b)
+	return b
+}
+
+// SetClock overrides the time source (tests).
+func (b *Broker) SetClock(now func() time.Time) { b.now = now }
+
+// ServerName returns the federation name of this broker's server.
+func (b *Broker) ServerName() string { return b.serverName }
+
+// Replicas exposes the replica manager (benchmarks tune its policy).
+func (b *Broker) Replicas() *replica.Manager { return b.rm }
+
+// Extractors exposes the metadata extraction registry.
+func (b *Broker) Extractors() *metadata.Registry { return b.extract }
+
+// Fetcher exposes the URL fetcher (examples register mem:// content).
+func (b *Broker) Fetcher() *urlfs.Fetcher { return b.fetcher }
+
+// Driver implements replica.DriverMap.
+func (b *Broker) Driver(resource string) (storage.Driver, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	d, ok := b.drivers[resource]
+	if !ok {
+		return nil, types.E("driver", resource, types.ErrNotFound)
+	}
+	return d, nil
+}
+
+// Database returns the SQL engine behind a database resource.
+func (b *Broker) Database(resource string) (*sqlengine.DB, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	db, ok := b.dbs[resource]
+	if !ok {
+		return nil, types.E("database", resource, types.ErrNotFound)
+	}
+	return db, nil
+}
+
+// AddPhysicalResource registers a physical resource and its driver.
+// Only administrators may register resources.
+func (b *Broker) AddPhysicalResource(user, name string, class types.ResourceClass, driverName string, d storage.Driver) error {
+	if !b.Cat.IsAdmin(user) {
+		return types.E("addresource", name, types.ErrPermission)
+	}
+	err := b.Cat.AddResource(types.Resource{
+		Name: name, Kind: types.ResourcePhysical, Class: class,
+		Driver: driverName, Server: b.serverName,
+	})
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.drivers[name] = d
+	if db, ok := d.(*dbfs.FS); ok {
+		b.dbs[name] = db.Database()
+	}
+	b.mu.Unlock()
+	b.audit(user, "addresource", name, true, driverName)
+	return nil
+}
+
+// AddLogicalResource groups physical resources; storing into it
+// replicates synchronously into every member (paper §5).
+func (b *Broker) AddLogicalResource(user, name string, members []string) error {
+	if !b.Cat.IsAdmin(user) {
+		return types.E("addresource", name, types.ErrPermission)
+	}
+	err := b.Cat.AddResource(types.Resource{
+		Name: name, Kind: types.ResourceLogical, Server: b.serverName, Members: members,
+	})
+	if err != nil {
+		return err
+	}
+	b.audit(user, "addresource", name, true, "logical")
+	return nil
+}
+
+// Remount installs the driver for a resource already present in the
+// catalog — the restart path, when srbd reloads a catalog snapshot and
+// re-attaches its local storage.
+func (b *Broker) Remount(name string, d storage.Driver) error {
+	if _, err := b.Cat.GetResource(name); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.drivers[name] = d
+	if db, ok := d.(*dbfs.FS); ok {
+		b.dbs[name] = db.Database()
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// RegisterCommand installs a proxy command under name. Administrators
+// only, per the paper's security precaution.
+func (b *Broker) RegisterCommand(user, name string, fn CommandFunc) error {
+	if !b.Cat.IsAdmin(user) {
+		return types.E("registercommand", name, types.ErrPermission)
+	}
+	b.mu.Lock()
+	b.commands[name] = fn
+	b.mu.Unlock()
+	b.audit(user, "registercommand", name, true, "")
+	return nil
+}
+
+// command resolves a proxy command.
+func (b *Broker) command(name string) (CommandFunc, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	fn, ok := b.commands[name]
+	return fn, ok
+}
+
+// contLock returns the append mutex for one container path.
+func (b *Broker) contLock(path string) *sync.Mutex {
+	b.containerMu.Lock()
+	defer b.containerMu.Unlock()
+	m, ok := b.contLocks[path]
+	if !ok {
+		m = &sync.Mutex{}
+		b.contLocks[path] = m
+	}
+	return m
+}
+
+// audit records one operation outcome.
+func (b *Broker) audit(user, op, target string, ok bool, detail string) {
+	b.Cat.Audit.Op(user, op, target, ok, detail)
+}
+
+// ---- permission and lock helpers ----
+
+// need verifies the user's effective level on path.
+func (b *Broker) need(user, path string, level acl.Level, op string) error {
+	if b.Cat.EffectiveLevel(path, user) >= level {
+		return nil
+	}
+	b.audit(user, op, path, false, "permission denied (need "+level.String()+")")
+	return types.E(op, path, types.ErrPermission)
+}
+
+// writeBlocked reports whether locks or a checkout block writes by user.
+func writeBlocked(o *types.DataObject, user string, now time.Time) bool {
+	if o.Lock.Active(now) && o.Lock.Holder != user {
+		return true
+	}
+	if o.CheckedOutBy != "" && o.CheckedOutBy != user {
+		return true
+	}
+	return false
+}
+
+// readBlocked reports whether an exclusive lock blocks reads by user.
+func readBlocked(o *types.DataObject, user string, now time.Time) bool {
+	return o.Lock.Active(now) && o.Lock.Kind == types.LockExclusive && o.Lock.Holder != user
+}
+
+// checkWrite combines the ACL and lock checks for mutating an object.
+func (b *Broker) checkWrite(user, path, op string) (types.DataObject, error) {
+	o, err := b.Cat.GetObject(path)
+	if err != nil {
+		return o, types.E(op, path, types.ErrNotFound)
+	}
+	if err := b.need(user, path, acl.Write, op); err != nil {
+		return o, err
+	}
+	if writeBlocked(&o, user, b.now()) {
+		b.audit(user, op, path, false, "locked")
+		return o, types.E(op, path, types.ErrLocked)
+	}
+	return o, nil
+}
+
+// checkRead combines the ACL and lock checks for reading an object.
+// Links check against the resolved target per the paper ("The access
+// control of the original object is inherited by the linked object").
+func (b *Broker) checkRead(user, path, op string) (types.DataObject, error) {
+	o, err := b.Cat.GetObject(path)
+	if err != nil {
+		return o, types.E(op, path, types.ErrNotFound)
+	}
+	if o.Kind == types.KindLink {
+		target, err := b.Cat.GetObject(o.LinkTarget)
+		if err != nil {
+			return o, types.E(op, o.LinkTarget, types.ErrNotFound)
+		}
+		if err := b.need(user, target.Path(), acl.Read, op); err != nil {
+			return o, err
+		}
+		if readBlocked(&target, user, b.now()) {
+			return o, types.E(op, path, types.ErrLocked)
+		}
+		return o, nil
+	}
+	if err := b.need(user, path, acl.Read, op); err != nil {
+		return o, err
+	}
+	if readBlocked(&o, user, b.now()) {
+		b.audit(user, op, path, false, "locked")
+		return o, types.E(op, path, types.ErrLocked)
+	}
+	return o, nil
+}

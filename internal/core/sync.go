@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"gosrb/internal/types"
+)
+
+// SyncAllDirty sweeps the whole catalog and repairs every dirty replica
+// it can reach: plain objects through the replica manager, container
+// segments through SyncContainer. It returns how many replicas were
+// refreshed. srbd runs this periodically so replica consistency is
+// maintained "with very little effort on the part of the users"
+// (paper §2). Administrators only.
+func (b *Broker) SyncAllDirty(user string) (int, error) {
+	if !b.Cat.IsAdmin(user) {
+		return 0, types.E("syncall", "", types.ErrPermission)
+	}
+	total := 0
+	for _, p := range b.Cat.SubtreeObjects("/") {
+		o, err := b.Cat.GetObject(p)
+		if err != nil {
+			continue
+		}
+		dirty := false
+		for _, r := range o.Replicas {
+			if r.Status == types.ReplicaDirty {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			continue
+		}
+		var n int
+		if o.DataType == ContainerDataType {
+			n, err = b.SyncContainer(user, p)
+		} else if o.Kind == types.KindFile && o.Container == "" {
+			n, err = b.rm.SyncDirty(p)
+		}
+		if err == nil {
+			total += n
+		}
+	}
+	if total > 0 {
+		b.audit(user, "syncall", "/", true, fmt.Sprintf("%d replicas refreshed", total))
+	}
+	return total, nil
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gosrb/internal/auth"
+	"gosrb/internal/client"
+	"gosrb/internal/core"
+	"gosrb/internal/mcat"
+	"gosrb/internal/replica"
+	"gosrb/internal/server"
+	"gosrb/internal/storage"
+	"gosrb/internal/storage/memfs"
+	"gosrb/internal/types"
+	"gosrb/internal/workload"
+)
+
+// E3Failover measures the fault-tolerance claim: reads transparently
+// move to a replica when the first storage system is unavailable (§3.4).
+func E3Failover(scale int) Table {
+	t := Table{
+		ID:      "E3",
+		Title:   "automatic failover to replicas",
+		Claim:   `"the system automatically redirecting access to a replica on a separate storage system when the first storage system is unavailable" (§3.4)`,
+		Columns: []string{"scenario", "outcome", "mean_latency_us"},
+	}
+	nReads := 200 * scale
+	gen := workload.NewGen(11)
+	cat := mcat.New("admin", "sdsc")
+	b := core.New(cat, "srb1")
+	for _, r := range []string{"r1", "r2"} {
+		if err := b.AddPhysicalResource("admin", r, types.ClassFileSystem, "memfs", memfs.New()); err != nil {
+			panic(err)
+		}
+	}
+	cat.MkColl("/d", "admin")
+	if _, err := b.Ingest("admin", core.IngestOpts{Path: "/d/f", Data: gen.Bytes(16 << 10), Resource: "r1"}); err != nil {
+		panic(err)
+	}
+	if _, err := b.Replicate("admin", "/d/f", "r2"); err != nil {
+		panic(err)
+	}
+	// Unreplicated baseline object, ingested while r1 is healthy.
+	if _, err := b.Ingest("admin", core.IngestOpts{Path: "/d/solo", Data: gen.Bytes(16 << 10), Resource: "r1"}); err != nil {
+		panic(err)
+	}
+
+	measure := func() (time.Duration, error) {
+		for i := 0; i < 20; i++ { // warm caches and allocator
+			b.Get("admin", "/d/f")
+		}
+		start := time.Now()
+		var lastErr error
+		for i := 0; i < nReads; i++ {
+			if _, err := b.Get("admin", "/d/f"); err != nil {
+				lastErr = err
+			}
+		}
+		return time.Since(start) / time.Duration(nReads), lastErr
+	}
+
+	normal, _ := measure()
+	t.Rows = append(t.Rows, []string{"both replicas online", "served from r1", us(normal)})
+
+	cat.SetResourceOnline("r1", false)
+	failover, err := measure()
+	outcome := "served from r2"
+	if err != nil {
+		outcome = "ERROR: " + err.Error()
+	}
+	t.Rows = append(t.Rows, []string{"r1 offline (failover)", outcome, us(failover)})
+
+	// Without a replica, the same outage is fatal — the paper's
+	// motivation for replication.
+	if _, err := b.Get("admin", "/d/solo"); err != nil {
+		t.Rows = append(t.Rows, []string{"unreplicated, r1 offline", "offline error", "-"})
+	}
+
+	cat.SetResourceOnline("r2", false)
+	start := time.Now()
+	_, err = b.Get("admin", "/d/f")
+	dead := time.Since(start)
+	outcome = "unexpected success"
+	if err != nil {
+		outcome = "offline error (no replica left)"
+	}
+	t.Rows = append(t.Rows, []string{"both offline", outcome, us(dead)})
+	return t
+}
+
+// busyDriver serialises access to an inner driver and charges a fixed
+// service time per open — a saturated storage server. Load spread
+// across replicas then shows up as aggregate throughput.
+type busyDriver struct {
+	storage.Driver
+	mu      sync.Mutex
+	service time.Duration
+}
+
+func (b *busyDriver) Open(path string) (storage.ReadFile, error) {
+	b.mu.Lock()
+	time.Sleep(b.service)
+	b.mu.Unlock()
+	return b.Driver.Open(path)
+}
+
+// E4LoadBalance measures the load-balancing claim (§3.2): concurrent
+// readers over 1, 2 and 4 replicas, comparing the round-robin replica
+// selection against always-first (SRB 1.1.8's behaviour) as the
+// selection-policy ablation (E4a).
+func E4LoadBalance(scale int) Table {
+	t := Table{
+		ID:      "E4",
+		Title:   "replication for load balancing (incl. E4a policy ablation)",
+		Claim:   `"data may be replicated in different storage systems on different hosts ... to provide load balancing" (§3.2)`,
+		Columns: []string{"replicas", "policy", "reads_per_s", "speedup_vs_1"},
+		Notes:   "8 concurrent readers; each storage server serialises opens at 300 µs",
+	}
+	nReads := 100 * scale
+	readers := 8
+	gen := workload.NewGen(13)
+	payload := gen.Bytes(4 << 10)
+
+	var base float64
+	for _, k := range []int{1, 2, 4} {
+		for _, policy := range []struct {
+			name string
+			p    int
+		}{{"first-alive", 0}, {"round-robin", 1}} {
+			cat := mcat.New("admin", "sdsc")
+			b := core.New(cat, "srb1")
+			for i := 0; i < k; i++ {
+				d := &busyDriver{Driver: memfs.New(), service: 300 * time.Microsecond}
+				if err := b.AddPhysicalResource("admin", fmt.Sprintf("r%d", i), types.ClassFileSystem, "memfs", d); err != nil {
+					panic(err)
+				}
+			}
+			cat.MkColl("/d", "admin")
+			if _, err := b.Ingest("admin", core.IngestOpts{Path: "/d/f", Data: payload, Resource: "r0"}); err != nil {
+				panic(err)
+			}
+			for i := 1; i < k; i++ {
+				if _, err := b.Replicate("admin", "/d/f", fmt.Sprintf("r%d", i)); err != nil {
+					panic(err)
+				}
+			}
+			if policy.p == 1 {
+				b.Replicas().SetPolicy(replica.RoundRobin)
+			}
+
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < readers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < nReads; i++ {
+						if _, err := b.Get("admin", "/d/f"); err != nil {
+							panic(err)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			rate := float64(readers*nReads) / elapsed.Seconds()
+			if k == 1 && policy.p == 0 {
+				base = rate
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", k), policy.name,
+				fmt.Sprintf("%.0f", rate),
+				fmt.Sprintf("%.1fx", rate/base),
+			})
+		}
+	}
+	return t
+}
+
+// fedRig is a two-server federation over one catalog with a payload on
+// the second server's resource.
+type fedRig struct {
+	cat          *mcat.Catalog
+	s1, s2       *server.Server
+	addr1, addr2 string
+}
+
+func newFedRig(mode server.FederationMode, payload []byte) *fedRig {
+	cat := mcat.New("admin", "sdsc")
+	b1 := core.New(cat, "srb1")
+	b2 := core.New(cat, "srb2")
+	if err := b1.AddPhysicalResource("admin", "disk1", types.ClassFileSystem, "memfs", memfs.New()); err != nil {
+		panic(err)
+	}
+	if err := b2.AddPhysicalResource("admin", "disk2", types.ClassFileSystem, "memfs", memfs.New()); err != nil {
+		panic(err)
+	}
+	cat.MkColl("/d", "admin")
+	if _, err := b2.Ingest("admin", core.IngestOpts{Path: "/d/f", Data: payload, Resource: "disk2"}); err != nil {
+		panic(err)
+	}
+	authn := auth.New()
+	authn.Register("admin", "pw")
+	s1 := server.New(b1, authn, mode)
+	s2 := server.New(b2, authn, mode)
+	addr1, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	s1.AddPeer("srb2", addr2, "zs")
+	s2.AddPeer("srb1", addr1, "zs")
+	return &fedRig{cat: cat, s1: s1, s2: s2, addr1: addr1, addr2: addr2}
+}
+
+func (r *fedRig) close() { r.s1.Close(); r.s2.Close() }
+
+// E5Federation measures location transparency: accessing data held by
+// another server directly, via server proxying, and via client
+// redirect (the E5a mode ablation).
+func E5Federation(scale int) Table {
+	t := Table{
+		ID:      "E5",
+		Title:   "federated access: direct vs proxy vs redirect (E5a)",
+		Claim:   `"Users can connect to any SRB server to access data from any other SRB server" (§3.1)`,
+		Columns: []string{"mode", "mean_get_us", "overhead_vs_direct"},
+		Notes:   "64 KiB object held by srb2; loopback TCP",
+	}
+	nGets := 50 * scale
+	payload := workload.NewGen(17).Bytes(64 << 10)
+
+	measure := func(mode server.FederationMode, addr func(*fedRig) string) time.Duration {
+		rig := newFedRig(mode, payload)
+		defer rig.close()
+		cl, err := client.Dial(addr(rig), "admin", "pw")
+		if err != nil {
+			panic(err)
+		}
+		defer cl.Close()
+		// Warm one request (redirect mode reconnects here).
+		if _, err := cl.Get("/d/f"); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := 0; i < nGets; i++ {
+			if _, err := cl.Get("/d/f"); err != nil {
+				panic(err)
+			}
+		}
+		return time.Since(start) / time.Duration(nGets)
+	}
+
+	direct := measure(server.Proxy, func(r *fedRig) string { return r.addr2 })
+	proxy := measure(server.Proxy, func(r *fedRig) string { return r.addr1 })
+	redirect := measure(server.Redirect, func(r *fedRig) string { return r.addr1 })
+
+	t.Rows = append(t.Rows, []string{"direct to owner (srb2)", us(direct), "1.0x"})
+	t.Rows = append(t.Rows, []string{"proxy via srb1", us(proxy), ratio(proxy, direct)})
+	t.Rows = append(t.Rows, []string{"redirect via srb1 (steady state)", us(redirect), ratio(redirect, direct)})
+	return t
+}
+
+// pacedDialer shapes each connection's reads to a per-stream bandwidth,
+// so parallel streams aggregate — the regime SRB's parallel transfers
+// target.
+func pacedDialer(bw int64) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return &pacedReadConn{Conn: nc, bw: bw}, nil
+	}
+}
+
+type pacedReadConn struct {
+	net.Conn
+	bw int64
+}
+
+func (c *pacedReadConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.bw > 0 {
+		time.Sleep(time.Duration(int64(n) * int64(time.Second) / c.bw))
+	}
+	return n, err
+}
+
+// E6ParallelTransfer measures multi-stream bulk transfer over
+// bandwidth-limited connections.
+func E6ParallelTransfer(scale int) Table {
+	t := Table{
+		ID:      "E6",
+		Title:   "parallel-stream bulk transfer",
+		Claim:   "integrated bulk data access across the grid (§3.5); SRB moves large files over parallel streams",
+		Columns: []string{"streams", "elapsed_ms", "MB_per_s", "speedup"},
+	}
+	size := 4 << 20 * scale
+	perStreamBW := int64(64 << 20) // 64 MB/s per connection
+	t.Notes = fmt.Sprintf("%d MiB object; %d MB/s per stream", size>>20, perStreamBW>>20)
+
+	payload := workload.NewGen(19).Bytes(size)
+	rig := newFedRig(server.Proxy, payload)
+	defer rig.close()
+
+	var base time.Duration
+	for _, streams := range []int{1, 2, 4, 8} {
+		cl, err := client.DialWith(rig.addr2, "admin", "pw", pacedDialer(perStreamBW))
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		data, err := cl.ParallelGet("/d/f", streams)
+		if err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		cl.Close()
+		if len(data) != size {
+			panic("short transfer")
+		}
+		if streams == 1 {
+			base = elapsed
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", streams),
+			ms(elapsed),
+			fmt.Sprintf("%.1f", float64(size)/elapsed.Seconds()/(1<<20)),
+			ratio(base, elapsed),
+		})
+	}
+	return t
+}

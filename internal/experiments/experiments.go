@@ -1,0 +1,138 @@
+// Package experiments implements the reproduction suite E1–E10 defined
+// in DESIGN.md. The paper publishes no measurement tables (its two
+// figures are screenshots), so each experiment regenerates one of the
+// paper's measurable *claims* — container latency, catalog scaling,
+// failover, load balancing, federation transparency, parallel
+// transfer, synchronous replication, query operators, T-language
+// processing and archive staging — as a table of synthetic-workload
+// measurements. cmd/srbbench prints the tables; bench_test.go exposes
+// each as a Go benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper text being exercised
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// ms formats a duration in milliseconds with sane precision.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// us formats a duration in microseconds.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1000)
+}
+
+// ratio formats a speedup factor.
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+// All runs every experiment at the given scale (1 = test-friendly; the
+// srbbench CLI uses larger scales for paper-shaped sweeps).
+func All(scale int) []Table {
+	return []Table{
+		E1ContainerWAN(scale),
+		E1aContainerMemberSize(scale),
+		E2CatalogScaling(scale),
+		E3Failover(scale),
+		E4LoadBalance(scale),
+		E5Federation(scale),
+		E6ParallelTransfer(scale),
+		E7SyncIngest(scale),
+		E8MetadataQuery(scale),
+		E9TLang(scale),
+		E10ArchiveCache(scale),
+	}
+}
+
+// ByID runs one experiment by its lower-case id ("e1", "e4a", ...).
+func ByID(id string, scale int) (Table, bool) {
+	switch strings.ToLower(id) {
+	case "e1":
+		return E1ContainerWAN(scale), true
+	case "e1a":
+		return E1aContainerMemberSize(scale), true
+	case "e2":
+		return E2CatalogScaling(scale), true
+	case "e3":
+		return E3Failover(scale), true
+	case "e4", "e4a":
+		return E4LoadBalance(scale), true
+	case "e5", "e5a":
+		return E5Federation(scale), true
+	case "e6":
+		return E6ParallelTransfer(scale), true
+	case "e7":
+		return E7SyncIngest(scale), true
+	case "e8":
+		return E8MetadataQuery(scale), true
+	case "e9":
+		return E9TLang(scale), true
+	case "e10":
+		return E10ArchiveCache(scale), true
+	default:
+		return Table{}, false
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled relaxes timing thresholds when the race detector's
+// instrumentation slows everything by an order of magnitude.
+const raceEnabled = true

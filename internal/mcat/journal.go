@@ -1,0 +1,287 @@
+package mcat
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"gosrb/internal/acl"
+	"gosrb/internal/types"
+)
+
+// The journal is the catalog's append log: every mutation is recorded
+// as one JSON line, so a catalog can be rebuilt as snapshot + replayed
+// tail. srbd keeps a journal beside its periodic snapshots; a crash
+// loses at most the mutations after the last fsync of the journal
+// writer rather than everything since the last snapshot.
+
+// journalEntry is one logged mutation. Exactly one payload field is set
+// per Op.
+type journalEntry struct {
+	Op string
+
+	User     *types.User           `json:",omitempty"`
+	Group    string                `json:",omitempty"`
+	Member   string                `json:",omitempty"`
+	Resource *types.Resource       `json:",omitempty"`
+	Coll     *types.Collection     `json:",omitempty"`
+	Object   *types.DataObject     `json:",omitempty"`
+	Path     string                `json:",omitempty"`
+	Path2    string                `json:",omitempty"`
+	Name     string                `json:",omitempty"`
+	Grantee  string                `json:",omitempty"`
+	Level    int                   `json:",omitempty"`
+	Class    int                   `json:",omitempty"`
+	AVU      *types.AVU            `json:",omitempty"`
+	NewAVU   *types.AVU            `json:",omitempty"`
+	Attr     *types.StructuralAttr `json:",omitempty"`
+	Ann      *types.Annotation     `json:",omitempty"`
+	Online   bool                  `json:",omitempty"`
+	Value    string                `json:",omitempty"`
+}
+
+// Journal receives catalog mutations. Safe for concurrent use.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	f   *os.File // when file-backed, for Sync
+}
+
+// NewJournal wraps a writer as an append log.
+func NewJournal(w io.Writer) *Journal {
+	j := &Journal{w: w, enc: json.NewEncoder(w)}
+	if f, ok := w.(*os.File); ok {
+		j.f = f
+	}
+	return j
+}
+
+// OpenJournalFile opens (creating or appending) a file-backed journal.
+func OpenJournalFile(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, types.E("journal", path, err)
+	}
+	return NewJournal(f), nil
+}
+
+// Close syncs and closes a file-backed journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		return j.f.Close()
+	}
+	return nil
+}
+
+func (j *Journal) append(e *journalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(e)
+}
+
+// Sync flushes a file-backed journal to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// SetJournal attaches (or with nil detaches) the catalog's append log.
+// Mutations made while attached are recorded; reads never are.
+func (c *Catalog) SetJournal(j *Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+}
+
+// log records a mutation if a journal is attached. Callers hold the
+// write lock, which also serialises entries in mutation order.
+func (c *Catalog) log(e journalEntry) {
+	if c.journal != nil {
+		// Journal I/O errors must not corrupt catalog state; they are
+		// surfaced through Sync at checkpoint time.
+		_ = c.journal.append(&e)
+	}
+}
+
+// Replay applies a journal stream to the catalog. It is used after
+// loading the most recent snapshot; entries that conflict with existing
+// state (e.g. replays of mutations already captured by the snapshot)
+// are skipped rather than fatal.
+func (c *Catalog) Replay(r io.Reader) (applied int, err error) {
+	// Detach the journal while replaying: replayed mutations must not be
+	// re-logged.
+	c.mu.Lock()
+	saved := c.journal
+	c.journal = nil
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.journal = saved
+		c.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return applied, types.E("replay", "", err)
+		}
+		if c.apply(&e) {
+			applied++
+		}
+	}
+	return applied, sc.Err()
+}
+
+// ReplayFile replays a journal file; a missing file applies nothing.
+func (c *Catalog) ReplayFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, types.E("replay", path, err)
+	}
+	defer f.Close()
+	return c.Replay(f)
+}
+
+// apply executes one journal entry, reporting whether it took effect.
+func (c *Catalog) apply(e *journalEntry) bool {
+	switch e.Op {
+	case "adduser":
+		return e.User != nil && c.AddUser(*e.User) == nil
+	case "deluser":
+		return c.DeleteUser(e.Name) == nil
+	case "addgroup":
+		return c.AddGroup(e.Group) == nil
+	case "addtogroup":
+		return c.AddToGroup(e.Group, e.Member) == nil
+	case "rmfromgroup":
+		return c.RemoveFromGroup(e.Group, e.Member) == nil
+	case "addresource":
+		return e.Resource != nil && c.AddResource(*e.Resource) == nil
+	case "delresource":
+		return c.DeleteResource(e.Name) == nil
+	case "setonline":
+		return c.SetResourceOnline(e.Name, e.Online) == nil
+	case "mkcoll":
+		return e.Coll != nil && c.restoreColl(e.Coll)
+	case "rmcoll":
+		return c.DeleteColl(e.Path) == nil
+	case "movecoll":
+		return c.MoveColl(e.Path, e.Path2) == nil
+	case "register":
+		return e.Object != nil && c.restoreObject(e.Object)
+	case "update":
+		return e.Object != nil && c.replaceObject(e.Object)
+	case "delete":
+		return c.DeleteObject(e.Path) == nil
+	case "move":
+		return c.MoveObject(e.Path, e.Path2, e.Name) == nil
+	case "setacl":
+		lvl := acl.Level(e.Level)
+		return c.SetACL(e.Path, e.Grantee, lvl) == nil
+	case "setresourceacl":
+		return c.SetResourceACL(e.Name, e.Grantee, acl.Level(e.Level)) == nil
+	case "addmeta":
+		return e.AVU != nil && c.AddMeta(e.Path, types.MetaClass(e.Class), *e.AVU) == nil
+	case "updmeta":
+		if e.AVU == nil || e.NewAVU == nil {
+			return false
+		}
+		n, err := c.UpdateMeta(e.Path, types.MetaClass(e.Class), e.AVU.Name, e.AVU.Value, *e.NewAVU)
+		return err == nil && n > 0
+	case "delmeta":
+		if e.AVU == nil {
+			return false
+		}
+		n, err := c.DeleteMeta(e.Path, types.MetaClass(e.Class), e.AVU.Name, e.AVU.Value)
+		return err == nil && n > 0
+	case "copymeta":
+		return c.CopyMeta(e.Path, e.Path2) == nil
+	case "filemeta":
+		return c.AttachFileMeta(e.Path, e.Path2) == nil
+	case "structural":
+		return e.Attr != nil && c.SetStructural(e.Path, *e.Attr) == nil
+	case "delstructural":
+		return c.DeleteStructural(e.Path, e.Name) == nil
+	case "annotate":
+		return e.Ann != nil && c.AddAnnotation(e.Path, *e.Ann) == nil
+	case "delannotations":
+		n, err := c.DeleteAnnotations(e.Path, e.Name)
+		return err == nil && n > 0
+	case "linkcoll":
+		// Logged as the full linked collection (LinkTarget included);
+		// restored structurally so a dangling target is preserved too.
+		return e.Coll != nil && c.restoreColl(e.Coll)
+	default:
+		return false
+	}
+}
+
+// restoreColl re-creates a collection exactly (journal replay path).
+func (c *Catalog) restoreColl(col *types.Collection) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.colls[col.Path]; ok {
+		return false
+	}
+	if _, ok := c.colls[types.Parent(col.Path)]; !ok {
+		return false
+	}
+	cp := *col
+	c.colls[col.Path] = &cp
+	c.addChildColl(types.Parent(col.Path), col.Path)
+	return true
+}
+
+// restoreObject re-registers an object with its original identity.
+func (c *Catalog) restoreObject(o *types.DataObject) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path := o.Path()
+	if _, ok := c.objects[path]; ok {
+		return false
+	}
+	if _, ok := c.colls[o.Collection]; !ok {
+		return false
+	}
+	cp := cloneObject(o)
+	c.objects[path] = cp
+	c.byID[cp.ID] = path
+	c.addChildObj(o.Collection, path)
+	if cp.ID >= c.nextID {
+		c.nextID = cp.ID + 1
+	}
+	return true
+}
+
+// replaceObject overwrites an object's mutable state (replay of
+// UpdateObject results, which are journaled as whole objects).
+func (c *Catalog) replaceObject(o *types.DataObject) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path := o.Path()
+	cur, ok := c.objects[path]
+	if !ok {
+		return false
+	}
+	cp := cloneObject(o)
+	cp.ID = cur.ID
+	c.objects[path] = cp
+	return true
+}

@@ -1,0 +1,107 @@
+package mcat
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gosrb/internal/acl"
+	"gosrb/internal/types"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := newCat(t)
+	c.AddUser(types.User{Name: "alice", Domain: "sdsc"})
+	c.AddGroup("curators")
+	c.AddToGroup("curators", "alice")
+	c.AddResource(types.Resource{Name: "d1", Kind: types.ResourcePhysical, Driver: "memfs"})
+	c.AddResource(types.Resource{Name: "d2", Kind: types.ResourcePhysical, Driver: "memfs"})
+	c.AddResource(types.Resource{Name: "lr", Kind: types.ResourceLogical, Members: []string{"d1", "d2"}})
+	mustMkColl(t, c, "/proj", "alice")
+	mustRegister(t, c, "/proj", "f", "alice")
+	c.AddMeta("/proj/f", types.MetaUser, types.AVU{Name: "color", Value: "red"})
+	c.SetACL("/proj", "alice", acl.Own)
+	c.SetStructural("/proj", types.StructuralAttr{Name: "need", Mandatory: true})
+	c.AddAnnotation("/proj/f", types.Annotation{Author: "alice", Text: "note"})
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New("admin", "sdsc")
+	if err := c2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Namespace restored.
+	o, err := c2.GetObject("/proj/f")
+	if err != nil || o.Owner != "alice" {
+		t.Fatalf("object after load: %+v, %v", o, err)
+	}
+	// Secondary indexes rebuilt: listing, query, byID.
+	stats, err := c2.ListColl("/proj")
+	if err != nil || len(stats) != 1 {
+		t.Errorf("list after load = %+v, %v", stats, err)
+	}
+	hits, _ := c2.RunQuery(Query{Scope: "/", Conds: []Condition{{Attr: "color", Op: "=", Value: "red"}}})
+	if len(hits) != 1 {
+		t.Errorf("query after load = %+v", hits)
+	}
+	if _, err := c2.GetObjectByID(o.ID); err != nil {
+		t.Errorf("byID after load: %v", err)
+	}
+	// Users, groups, resources, ACLs, structural, annotations survive.
+	if _, err := c2.GetUser("alice"); err != nil {
+		t.Error("user lost")
+	}
+	if !c2.GroupsOf("alice")["curators"] {
+		t.Error("group lost")
+	}
+	if _, err := c2.GetResource("lr"); err != nil {
+		t.Error("resource lost")
+	}
+	if got := c2.EffectiveLevel("/proj/f", "alice"); got < acl.Own {
+		t.Errorf("ACL lost: %v", got)
+	}
+	if len(c2.Structural("/proj")) != 1 {
+		t.Error("structural lost")
+	}
+	if anns, _ := c2.Annotations("/proj/f"); len(anns) != 1 {
+		t.Error("annotations lost")
+	}
+	// New registrations continue from a fresh ID.
+	id2 := mustRegister(t, c2, "/proj", "g", "alice")
+	if id2 <= o.ID {
+		t.Errorf("nextID not restored: %d <= %d", id2, o.ID)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c := newCat(t)
+	mustMkColl(t, c, "/x", "admin")
+	p := filepath.Join(t.TempDir(), "mcat.json")
+	if err := c.SaveFile(p); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New("admin", "sdsc")
+	if err := c2.LoadFile(p); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.CollExists("/x") {
+		t.Error("collection lost in file round trip")
+	}
+	if err := c2.LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading missing file should fail")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	c := newCat(t)
+	if err := c.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if err := c.Load(strings.NewReader(`{"Version": 99}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+}

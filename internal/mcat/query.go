@@ -1,0 +1,307 @@
+package mcat
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"gosrb/internal/types"
+)
+
+// Condition is one conjunct of a metadata query: attribute name,
+// comparison operator and comparison value. The operator set matches
+// the MySRB query interface: "=,>,<,<=,>=,<>,like, not like" (paper §6).
+type Condition struct {
+	Attr  string
+	Op    string
+	Value string
+}
+
+// Query describes a conjunctive metadata query. Scope restricts hits to
+// one collection subtree ("one can query across collections by being
+// above the collections"). Select names attributes whose values are
+// returned with each hit, mirroring the interface's fourth column
+// check-box. Attributes prefixed "sys:" address system metadata;
+// the attribute "annotation" searches commentary text.
+type Query struct {
+	Scope  string
+	Conds  []Condition
+	Select []string
+	Limit  int // 0 = unlimited
+}
+
+// Hit is one query result: the object's path plus requested values.
+type Hit struct {
+	Path   string
+	Values map[string][]string
+}
+
+// validOps is the operator set of the MySRB query builder.
+var validOps = map[string]bool{
+	"=": true, "<>": true, ">": true, ">=": true, "<": true, "<=": true,
+	"like": true, "not like": true,
+}
+
+// SysAttrs lists the queryable system-metadata pseudo-attributes.
+func SysAttrs() []string {
+	return []string{
+		"sys:name", "sys:collection", "sys:owner", "sys:size",
+		"sys:datatype", "sys:kind", "sys:container", "sys:replicas",
+	}
+}
+
+// sysValues returns the values of a system attribute for an object.
+func sysValues(o *types.DataObject, attr string) []string {
+	switch attr {
+	case "sys:name":
+		return []string{o.Name}
+	case "sys:collection":
+		return []string{o.Collection}
+	case "sys:owner":
+		return []string{o.Owner}
+	case "sys:size":
+		return []string{strconv.FormatInt(o.Size, 10)}
+	case "sys:datatype":
+		return []string{o.DataType}
+	case "sys:kind":
+		return []string{o.Kind.String()}
+	case "sys:container":
+		if o.Container == "" {
+			return nil
+		}
+		return []string{o.Container}
+	case "sys:replicas":
+		return []string{strconv.Itoa(len(o.Replicas))}
+	default:
+		return nil
+	}
+}
+
+// compareVals orders two attribute values: numerically when both parse
+// as numbers, lexicographically otherwise.
+func compareVals(a, b string) int {
+	af, aerr := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	bf, berr := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if aerr == nil && berr == nil {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// likeMatch is the catalog's LIKE: % any run, _ one char, case-folded.
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			p = strings.TrimLeft(p, "%")
+			if p == "" {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if s == "" {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if s == "" || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return s == ""
+}
+
+// condSatisfied reports whether any of the values satisfies the
+// condition (attributes are multi-valued).
+func condSatisfied(values []string, op, want string) bool {
+	for _, v := range values {
+		switch op {
+		case "=":
+			if v == want {
+				return true
+			}
+		case "<>":
+			if v != want {
+				return true
+			}
+		case ">":
+			if compareVals(v, want) > 0 {
+				return true
+			}
+		case ">=":
+			if compareVals(v, want) >= 0 {
+				return true
+			}
+		case "<":
+			if compareVals(v, want) < 0 {
+				return true
+			}
+		case "<=":
+			if compareVals(v, want) <= 0 {
+				return true
+			}
+		case "like":
+			if likeMatch(v, want) {
+				return true
+			}
+		case "not like":
+			if !likeMatch(v, want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// attrValues gathers an object's values for an attribute: system
+// pseudo-attributes, annotation text, or user/type metadata.
+// Callers hold at least the read lock.
+func (c *Catalog) attrValuesLocked(path string, o *types.DataObject, attr string) []string {
+	if strings.HasPrefix(attr, "sys:") {
+		return sysValues(o, attr)
+	}
+	if lowerEq(attr, "annotation") {
+		var out []string
+		for _, a := range c.annots[path] {
+			out = append(out, a.Text)
+		}
+		return out
+	}
+	var out []string
+	for _, e := range c.meta[path] {
+		if queryableClass(e.Class) && lowerEq(e.AVU.Name, attr) {
+			out = append(out, e.AVU.Value)
+		}
+	}
+	return out
+}
+
+// RunQuery executes a conjunctive query and returns hits sorted by
+// path. Equality conditions on user/type attributes narrow through the
+// inverted index, keeping latency flat as the catalog grows (E2).
+func (c *Catalog) RunQuery(q Query) ([]Hit, error) {
+	scope := types.CleanPath(q.Scope)
+	for _, cond := range q.Conds {
+		if !validOps[strings.ToLower(cond.Op)] {
+			return nil, types.E("query", cond.Op, types.ErrInvalid)
+		}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	// Choose the smallest equality-index candidate set, if any.
+	var candidates map[string]bool
+	for _, cond := range q.Conds {
+		if cond.Op != "=" || strings.HasPrefix(cond.Attr, "sys:") || lowerEq(cond.Attr, "annotation") {
+			continue
+		}
+		vals := c.attrIndex[strings.ToLower(cond.Attr)]
+		if vals == nil {
+			return nil, nil // indexed attr absent entirely: no hits
+		}
+		set := vals[cond.Value]
+		if candidates == nil || len(set) < len(candidates) {
+			candidates = set
+		}
+	}
+
+	var paths []string
+	if candidates != nil {
+		for p := range candidates {
+			paths = append(paths, p)
+		}
+	} else {
+		for p := range c.objects {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	var hits []Hit
+	for _, p := range paths {
+		if scope != "/" && !types.Within(scope, p) {
+			continue
+		}
+		o, ok := c.objects[p]
+		if !ok {
+			continue // candidate may be a collection path
+		}
+		match := true
+		for _, cond := range q.Conds {
+			vals := c.attrValuesLocked(p, o, cond.Attr)
+			if !condSatisfied(vals, strings.ToLower(cond.Op), cond.Value) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		h := Hit{Path: p}
+		if len(q.Select) > 0 {
+			h.Values = make(map[string][]string, len(q.Select))
+			for _, a := range q.Select {
+				h.Values[a] = c.attrValuesLocked(p, o, a)
+			}
+		}
+		hits = append(hits, h)
+		if q.Limit > 0 && len(hits) >= q.Limit {
+			break
+		}
+	}
+	return hits, nil
+}
+
+// QueryAttrNames returns the attribute names queryable within scope:
+// every user/type attribute on objects in the subtree plus the
+// structural attributes of its collections, for the MySRB drop-down
+// menu ("all the metadata names that are queryable in that collection
+// and every collection in the hierarchy under the collection").
+func (c *Catalog) QueryAttrNames(scope string) []string {
+	scope = types.CleanPath(scope)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := make(map[string]bool)
+	for p, entries := range c.meta {
+		if scope != "/" && !types.WithinOrEqual(scope, p) {
+			continue
+		}
+		for _, e := range entries {
+			if queryableClass(e.Class) {
+				seen[strings.ToLower(e.AVU.Name)] = true
+			}
+		}
+	}
+	for p, attrs := range c.structural {
+		if scope != "/" && !types.WithinOrEqual(scope, p) {
+			continue
+		}
+		for _, a := range attrs {
+			seen[strings.ToLower(a.Name)] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,233 @@
+// Package metadata provides the type-oriented metadata machinery of
+// MySRB: the Dublin Core element set ("Standardized metadata might be
+// based on lists of elements such as the Dublin Core"), and the
+// registry of T-language extraction methods associated with data types
+// ("One can associate more than one metadata extraction method for a
+// data-type and the user is allowed to choose one at the time of
+// metadata creation").
+package metadata
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"sync"
+
+	"gosrb/internal/tlang"
+	"gosrb/internal/types"
+)
+
+// DublinCoreElements is the classic 15-element set, offered as the
+// standardised entry form for any SRB object.
+var DublinCoreElements = []string{
+	"dc:title", "dc:creator", "dc:subject", "dc:description",
+	"dc:publisher", "dc:contributor", "dc:date", "dc:type",
+	"dc:format", "dc:identifier", "dc:source", "dc:language",
+	"dc:relation", "dc:coverage", "dc:rights",
+}
+
+// IsDublinCore reports whether name is a Dublin Core element.
+func IsDublinCore(name string) bool {
+	for _, e := range DublinCoreElements {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyType registers an extraction method for every data type.
+const AnyType = "*"
+
+// Method is one named extraction method bound to a data type.
+type Method struct {
+	DataType string
+	Name     string
+	// SecondObject is true when the method extracts from a companion
+	// object (e.g. DICOM header files) rather than the object itself.
+	SecondObject bool
+	extractor    *tlang.Extractor
+}
+
+// Registry maps data types to their extraction methods. Safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	methods map[string]map[string]*Method // dataType -> name -> method
+}
+
+// NewRegistry returns a registry preloaded with the built-in methods:
+// a FITS-card extractor for "fits image", an HTML meta-tag extractor
+// for "html", and an RFC-822-style header extractor for "email".
+func NewRegistry() *Registry {
+	r := &Registry{methods: make(map[string]map[string]*Method)}
+	mustRegister := func(dt, name, script string, second bool) {
+		if err := r.Register(dt, name, script, second); err != nil {
+			panic("metadata: built-in method: " + err.Error())
+		}
+	}
+	mustRegister("fits image", "fits-cards", fitsScript, false)
+	mustRegister("html", "html-meta", htmlScript, false)
+	mustRegister("email", "rfc822-headers", emailScript, false)
+	mustRegister("dicom image", "dicom-companion", dicomScript, true)
+	return r
+}
+
+const fitsScript = `
+# FITS header cards: KEY = value, quoted or bare, until END.
+stop /^END\s*$/
+match /^([A-Z][A-Z0-9_-]{0,7})\s*=\s*'([^']*)'/ -> $1 = $2
+match /^([A-Z][A-Z0-9_-]{0,7})\s*=\s*([^'\s\/]+)/ -> $1 = $2
+`
+
+const htmlScript = `
+# HTML <meta name=... content=...> and <title> tags.
+match /<meta\s+name="([^"]+)"\s+content="([^"]*)"/ -> $1 = $2
+first /<title>([^<]*)<\/title>/ -> title = $1
+`
+
+const emailScript = `
+# Message headers up to the first blank line.
+stop /^$/
+first /^From:\s*(.+)/ -> from = $1
+first /^To:\s*(.+)/ -> to = $1
+first /^Subject:\s*(.+)/ -> subject = $1
+first /^Date:\s*(.+)/ -> date = $1
+`
+
+const dicomScript = `
+# Companion header files: "tag value" lines.
+match /^\(([0-9a-fA-F]{4},[0-9a-fA-F]{4})\)\s+(.+)/ -> $1 = $2
+`
+
+// Register compiles and stores an extraction method.
+func (r *Registry) Register(dataType, name, script string, secondObject bool) error {
+	ex, err := tlang.ParseExtractor(script)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byName := r.methods[dataType]
+	if byName == nil {
+		byName = make(map[string]*Method)
+		r.methods[dataType] = byName
+	}
+	byName[name] = &Method{DataType: dataType, Name: name, SecondObject: secondObject, extractor: ex}
+	return nil
+}
+
+// MethodsFor lists the methods applicable to a data type (its own plus
+// AnyType), sorted by name.
+func (r *Registry) MethodsFor(dataType string) []Method {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Method
+	for _, m := range r.methods[dataType] {
+		out = append(out, *m)
+	}
+	if dataType != AnyType {
+		for _, m := range r.methods[AnyType] {
+			out = append(out, *m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Extract runs the named method for dataType over content.
+func (r *Registry) Extract(dataType, name string, content io.Reader) ([]types.AVU, error) {
+	r.mu.RLock()
+	var m *Method
+	if byName := r.methods[dataType]; byName != nil {
+		m = byName[name]
+	}
+	if m == nil {
+		if byName := r.methods[AnyType]; byName != nil {
+			m = byName[name]
+		}
+	}
+	r.mu.RUnlock()
+	if m == nil {
+		return nil, types.E("extract", dataType+"/"+name, types.ErrNotFound)
+	}
+	return m.extractor.Extract(content)
+}
+
+// Lookup returns the method record without running it.
+func (r *Registry) Lookup(dataType, name string) (Method, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if byName := r.methods[dataType]; byName != nil {
+		if m := byName[name]; m != nil {
+			return *m, true
+		}
+	}
+	if byName := r.methods[AnyType]; byName != nil {
+		if m := byName[name]; m != nil {
+			return *m, true
+		}
+	}
+	return Method{}, false
+}
+
+// ParseTriplets reads file-based metadata: one "name = value [units]"
+// triplet per line ("Currently triplets are the only form of metadata
+// supported in this manner"). '#' comments and blank lines are skipped.
+func ParseTriplets(content []byte) []types.AVU {
+	var out []types.AVU
+	for _, line := range bytes.Split(content, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		eq := bytes.IndexByte(line, '=')
+		if eq <= 0 {
+			continue
+		}
+		name := string(bytes.TrimSpace(line[:eq]))
+		rest := string(bytes.TrimSpace(line[eq+1:]))
+		units := ""
+		if bar := lastIndexUnits(rest); bar >= 0 {
+			units = rest[bar+2:]
+			rest = trimRight(rest[:bar])
+		}
+		if name != "" {
+			out = append(out, types.AVU{Name: name, Value: rest, Units: units})
+		}
+	}
+	return out
+}
+
+// lastIndexUnits finds the " |" separator before a units suffix.
+func lastIndexUnits(s string) int {
+	for i := len(s) - 2; i >= 0; i-- {
+		if s[i] == ' ' && s[i+1] == '|' {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimRight(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// FormatTriplets renders AVUs in the file-based metadata format.
+func FormatTriplets(avus []types.AVU) []byte {
+	var b bytes.Buffer
+	for _, a := range avus {
+		b.WriteString(a.Name)
+		b.WriteString(" = ")
+		b.WriteString(a.Value)
+		if a.Units != "" {
+			b.WriteString(" |")
+			b.WriteString(a.Units)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}

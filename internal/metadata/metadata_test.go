@@ -1,0 +1,160 @@
+package metadata
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gosrb/internal/types"
+)
+
+func avuMap(avus []types.AVU) map[string]string {
+	m := make(map[string]string)
+	for _, a := range avus {
+		m[a.Name] = a.Value
+	}
+	return m
+}
+
+func TestBuiltinFITS(t *testing.T) {
+	r := NewRegistry()
+	header := "SIMPLE  =                    T\nOBJECT  = 'M31'\nEXPTIME = 7.8 / seconds\nEND\nJUNK = 1\n"
+	avus, err := r.Extract("fits image", "fits-cards", strings.NewReader(header))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := avuMap(avus)
+	if m["OBJECT"] != "M31" || m["EXPTIME"] != "7.8" || m["SIMPLE"] != "T" {
+		t.Errorf("fits avus = %v", m)
+	}
+	if _, ok := m["JUNK"]; ok {
+		t.Error("extraction should stop at END")
+	}
+}
+
+func TestBuiltinHTML(t *testing.T) {
+	r := NewRegistry()
+	page := `<html><head><title>My Page</title>
+<meta name="author" content="Rajasekar">
+<meta name="keywords" content="data grid, srb">
+</head></html>`
+	avus, err := r.Extract("html", "html-meta", strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := avuMap(avus)
+	if m["title"] != "My Page" || m["author"] != "Rajasekar" || m["keywords"] != "data grid, srb" {
+		t.Errorf("html avus = %v", m)
+	}
+}
+
+func TestBuiltinEmail(t *testing.T) {
+	r := NewRegistry()
+	msg := "From: sekar@sdsc.edu\nTo: moore@sdsc.edu\nSubject: SRB release\nDate: 2002-07-01\n\nFrom: not a header\n"
+	avus, err := r.Extract("email", "rfc822-headers", strings.NewReader(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := avuMap(avus)
+	if m["from"] != "sekar@sdsc.edu" || m["subject"] != "SRB release" {
+		t.Errorf("email avus = %v", m)
+	}
+	if len(avus) != 4 {
+		t.Errorf("headers after blank line must not extract: %v", avus)
+	}
+}
+
+func TestRegisterCustomAndAnyType(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(AnyType, "first-line", `first /^(.+)$/ -> firstline = $1`, false); err != nil {
+		t.Fatal(err)
+	}
+	avus, err := r.Extract("whatever type", "first-line", strings.NewReader("hello\nworld\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avus) != 1 || avus[0].Value != "hello" {
+		t.Errorf("any-type extract = %v", avus)
+	}
+	// MethodsFor merges own + AnyType.
+	names := []string{}
+	for _, m := range r.MethodsFor("fits image") {
+		names = append(names, m.Name)
+	}
+	if len(names) != 2 || names[0] != "first-line" || names[1] != "fits-cards" {
+		t.Errorf("MethodsFor = %v", names)
+	}
+	if err := r.Register("x", "bad", "not a script", false); err == nil {
+		t.Error("bad script should fail to register")
+	}
+}
+
+func TestExtractUnknownMethod(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Extract("fits image", "nope", strings.NewReader("")); !errors.Is(err, types.ErrNotFound) {
+		t.Errorf("unknown method: %v", err)
+	}
+}
+
+func TestLookupSecondObject(t *testing.T) {
+	r := NewRegistry()
+	m, ok := r.Lookup("dicom image", "dicom-companion")
+	if !ok || !m.SecondObject {
+		t.Errorf("Lookup = %+v, %v", m, ok)
+	}
+	if _, ok := r.Lookup("dicom image", "ghost"); ok {
+		t.Error("missing lookup should be false")
+	}
+	avus, err := r.Extract("dicom image", "dicom-companion",
+		strings.NewReader("(0010,0010) DOE^JOHN\n(0008,0060) MR\n"))
+	if err != nil || len(avus) != 2 {
+		t.Fatalf("dicom extract = %v, %v", avus, err)
+	}
+	if avus[0].Name != "0010,0010" || avus[0].Value != "DOE^JOHN" {
+		t.Errorf("dicom avu = %+v", avus[0])
+	}
+}
+
+func TestTripletsRoundTrip(t *testing.T) {
+	in := []types.AVU{
+		{Name: "survey", Value: "2mass"},
+		{Name: "exposure", Value: "7.8", Units: "seconds"},
+		{Name: "note", Value: "has = sign", Units: ""},
+	}
+	out := ParseTriplets(FormatTriplets(in))
+	if len(out) != 3 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("triplet %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestParseTripletsTolerant(t *testing.T) {
+	content := []byte("# comment\n\nname = value\nbroken line\n= empty name\nlast=x\n")
+	avus := ParseTriplets(content)
+	if len(avus) != 2 || avus[0].Name != "name" || avus[1].Name != "last" {
+		t.Errorf("tolerant parse = %+v", avus)
+	}
+}
+
+func TestDublinCore(t *testing.T) {
+	if len(DublinCoreElements) != 15 {
+		t.Errorf("Dublin Core has %d elements", len(DublinCoreElements))
+	}
+	if !IsDublinCore("dc:title") || IsDublinCore("title") {
+		t.Error("IsDublinCore wrong")
+	}
+}
+
+func TestFormatTripletsEmpty(t *testing.T) {
+	if len(FormatTriplets(nil)) != 0 {
+		t.Error("empty format should be empty")
+	}
+	if got := ParseTriplets(bytes.TrimSpace(nil)); got != nil {
+		t.Error("empty parse should be nil")
+	}
+}

@@ -1,0 +1,381 @@
+package mysrb
+
+import (
+	"html/template"
+	"net/http"
+	"strings"
+)
+
+// The MySRB pages. Layout follows the paper's Figure 1: "the small
+// top-window is used to display metadata about data objects and
+// collections, and the larger bottom-window is used for displaying
+// elements in a collection or for displaying data objects".
+
+const tplBase = `
+{{define "head"}}<!DOCTYPE html>
+<html><head><title>MySRB</title><style>
+body { font-family: sans-serif; margin: 0; }
+.topwin { background: #e8eef8; border-bottom: 2px solid #446; padding: 8px; min-height: 90px; font-size: 90%; }
+.botwin { padding: 10px; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #99a; padding: 2px 8px; }
+.bar { background: #446; color: white; padding: 4px 8px; }
+.bar a { color: #cde; margin-right: 10px; }
+.err { color: #a00; } .ok { color: #070; }
+form.inline { display: inline; }
+</style></head><body>
+<div class="bar">
+  <b>MySRB</b> &nbsp; user: {{.User}} &nbsp;
+  <a href="/browse?path=/">home</a>
+  <a href="/browse?path={{.Parent}}">up</a>
+  <a href="/query?path={{.Path}}">mySRB query</a>
+  <a href="/help">help</a>
+  <a href="/logout">logout</a>
+</div>{{end}}
+
+{{define "topwin"}}<div class="topwin">
+<b>{{.Path}}</b>
+{{if .Error}}<div class="err">{{.Error}}</div>{{end}}
+{{if .Notice}}<div class="ok">{{.Notice}}</div>{{end}}
+{{if .TopMeta}}<table>
+{{range .TopMeta}}<tr><td>{{.Name}}</td><td>{{if srbpath .Value}}<a href="/open?path={{.Value}}">{{.Value}}</a>{{else}}{{.Value}}{{end}}</td><td>{{.Units}}</td></tr>{{end}}
+</table>{{end}}
+{{if .Structs}}<p>structural metadata:
+{{range .Structs}} <i>{{.Name}}</i>{{if .Mandatory}}(required){{end}}{{end}}</p>{{end}}
+{{if .Annots}}<p>annotations:</p><ul>
+{{range .Annots}}<li>[{{.Kind}}] {{.Author}}: {{.Text}}</li>{{end}}
+</ul>{{end}}
+</div>{{end}}
+`
+
+const tplLogin = tplBase + `
+<!DOCTYPE html><html><head><title>MySRB Login</title></head><body>
+<h2>MySRB &mdash; web interface to the Storage Resource Broker</h2>
+{{if .Error}}<p style="color:#a00">{{.Error}}</p>{{end}}
+<form method="POST" action="/login">
+  <label>user name <input name="user"></label><br>
+  <label>password <input type="password" name="password"></label><br>
+  <input type="submit" value="Connect">
+</form>
+</body></html>`
+
+const tplBrowse = tplBase + `
+{{template "head" .}}
+{{template "topwin" .}}
+<div class="botwin">
+<table>
+<tr><th>name</th><th>kind</th><th>size</th><th>owner</th><th>replicas</th><th>operations</th></tr>
+{{range .Entries}}
+<tr>
+  <td>{{if .IsCollect}}<a href="/browse?path={{.Path}}">{{.Path}}/</a>{{else}}<a href="/open?path={{.Path}}">{{.Path}}</a>{{end}}</td>
+  <td>{{if .IsCollect}}collection{{else}}{{.Kind}}{{end}}</td>
+  <td>{{.Size}}</td><td>{{.Owner}}</td><td>{{.Replicas}}</td>
+  <td>
+   {{if not .IsCollect}}
+   <form class="inline" method="POST" action="/op"><input type="hidden" name="path" value="{{.Path}}"><input type="hidden" name="op" value="delete"><input type="submit" value="delete"></form>
+   {{end}}
+   <a href="/acl?path={{.Path}}">access</a>
+   <a href="/meta?path={{.Path}}">metadata</a>
+  </td>
+</tr>
+{{end}}
+</table>
+<hr>
+<form method="POST" action="/mkcoll">
+  <input type="hidden" name="parent" value="{{.Path}}">
+  new sub-collection: <input name="name"> <input type="submit" value="create">
+</form>
+<p><a href="/ingest?path={{.Path}}">ingest a file into {{.Path}}</a> &middot;
+<a href="/registerobj?path={{.Path}}">register an object (file / directory / SQL / URL / method)</a></p>
+</div></body></html>`
+
+const tplOpen = tplBase + `
+{{template "head" .}}
+{{template "topwin" .}}
+<div class="botwin">
+{{if .IsHTML}}{{.ContentHTML}}{{else}}<pre>{{.Content}}</pre>{{end}}
+{{if .Versions}}<p>versions:</p><ul>
+{{range .Versions}}<li>v{{.Number}} ({{.Size}} bytes) {{.Comment}}</li>{{end}}
+</ul>{{end}}
+<hr>
+<form method="POST" action="/annotate">
+  <input type="hidden" name="path" value="{{.Path}}">
+  annotation: <input name="text" size="40">
+  kind: <select name="kind"><option>comment</option><option>rating</option><option>errata</option><option>question</option></select>
+  <input type="submit" value="add">
+</form>
+<form class="inline" method="POST" action="/op"><input type="hidden" name="path" value="{{.Path}}"><input type="hidden" name="op" value="lock"><input type="hidden" name="kind" value="shared"><input type="submit" value="lock"></form>
+<form class="inline" method="POST" action="/op"><input type="hidden" name="path" value="{{.Path}}"><input type="hidden" name="op" value="unlock"><input type="submit" value="unlock"></form>
+<form class="inline" method="POST" action="/op"><input type="hidden" name="path" value="{{.Path}}"><input type="hidden" name="op" value="checkout"><input type="submit" value="checkout"></form>
+<form class="inline" method="POST" action="/op"><input type="hidden" name="path" value="{{.Path}}"><input type="hidden" name="op" value="replicate">replicate to <input name="resource" size="10"><input type="submit" value="replicate"></form>
+<form class="inline" method="POST" action="/op"><input type="hidden" name="path" value="{{.Path}}"><input type="hidden" name="op" value="move">move to <input name="to" size="16"><input type="submit" value="move"></form>
+<form class="inline" method="POST" action="/op"><input type="hidden" name="path" value="{{.Path}}"><input type="hidden" name="op" value="link">link at <input name="to" size="16"><input type="submit" value="link"></form>
+<p><a href="/raw?path={{.Path}}">download raw</a> &middot; <a href="/meta?path={{.Path}}">edit metadata</a> &middot; <a href="/edit?path={{.Path}}">edit contents</a></p>
+</div></body></html>`
+
+const tplIngest = tplBase + `
+{{template "head" .}}
+{{template "topwin" .}}
+<div class="botwin">
+<h3>File ingestion into {{.Path}}</h3>
+<form method="POST" action="/ingest?path={{.Path}}" enctype="multipart/form-data">
+  file: <input type="file" name="file"><br>
+  name (optional): <input name="name"><br>
+  logical resource: <select name="resource">
+    {{range .Resources}}<option>{{.Name}}</option>{{end}}
+  </select>
+  or container: <input name="container"><br>
+  data type: <input name="datatype" value="generic"><br>
+  <h4>collection metadata</h4>
+  {{range $i, $a := .Structs}}
+    {{$a.Name}}{{if $a.Mandatory}} (required){{end}}:
+    {{if gt (len $a.Defaults) 1}}
+      <select name="attr:{{$a.Name}}">{{range $a.Defaults}}<option>{{.}}</option>{{end}}</select>
+    {{else}}
+      <input name="attr:{{$a.Name}}" value="{{index00 $a.Defaults}}">
+    {{end}}
+    <i>{{$a.Comment}}</i><br>
+  {{end}}
+  <h4>Dublin Core</h4>
+  {{range .DCNames}}{{.}}: <input name="{{.}}"><br>{{end}}
+  <h4>user-defined metadata</h4>
+  {{range $i := iter 4}}
+    name <input name="meta-name-{{$i}}" size="12"> value <input name="meta-value-{{$i}}" size="16"> units <input name="meta-units-{{$i}}" size="8"><br>
+  {{end}}
+  <input type="submit" value="Ingest">
+</form>
+</div></body></html>`
+
+const tplMeta = tplBase + `
+{{template "head" .}}
+{{template "topwin" .}}
+<div class="botwin">
+<h3>Insert metadata for {{.Path}}</h3>
+<form method="POST" action="/meta?path={{.Path}}">
+  name <input name="name"> value <input name="value"> units <input name="units">
+  <input type="submit" value="insert">
+</form>
+<form method="POST" action="/meta?path={{.Path}}">
+  <input type="hidden" name="action" value="delete">
+  delete attribute <input name="name"> value (optional) <input name="value">
+  <input type="submit" value="delete">
+</form>
+<form method="POST" action="/meta?path={{.Path}}">
+  <input type="hidden" name="action" value="copy">
+  copy metadata from <input name="from">
+  <input type="submit" value="copy">
+</form>
+<form method="POST" action="/meta?path={{.Path}}">
+  <input type="hidden" name="action" value="extract">
+  extract with method <input name="method"> from (optional second object) <input name="from">
+  <input type="submit" value="extract">
+</form>
+</div></body></html>`
+
+const tplQuery = tplBase + `
+{{template "head" .}}
+{{template "topwin" .}}
+<div class="botwin">
+<h3>Query in {{.Path}} and below</h3>
+<form method="POST" action="/query?path={{.Path}}">
+<table>
+<tr><th>metadata name</th><th>operator</th><th>value</th><th>show</th></tr>
+{{$attrs := .AttrNames}}
+{{range $i := iter 4}}
+<tr>
+ <td><select name="attr-{{$i}}"><option value=""></option>{{range $attrs}}<option>{{.}}</option>{{end}}</select></td>
+ <td><select name="op-{{$i}}">
+   <option>=</option><option>&gt;</option><option>&lt;</option>
+   <option>&gt;=</option><option>&lt;=</option><option>&lt;&gt;</option>
+   <option>like</option><option>not like</option>
+ </select></td>
+ <td><input name="val-{{$i}}"></td>
+ <td><input type="checkbox" name="show-{{$i}}" value="1"></td>
+</tr>
+{{end}}
+</table>
+<input type="submit" value="Query (AND of all conditions)">
+</form>
+{{if .Hits}}
+<h3>{{len .Hits}} matching objects</h3>
+<table>
+<tr><th>object</th>{{range .Selected}}<th>{{.}}</th>{{end}}</tr>
+{{range .Hits}}
+<tr><td><a href="/open?path={{.Path}}">{{.Path}}</a></td>{{range .Values}}<td>{{.}}</td>{{end}}</tr>
+{{end}}
+</table>
+{{end}}
+</div></body></html>`
+
+const tplACL = tplBase + `
+{{template "head" .}}
+{{template "topwin" .}}
+<div class="botwin">
+<h3>Access control for {{.Path}}</h3>
+<table>
+<tr><th>grantee</th><th>level</th></tr>
+{{range .ACL}}<tr><td>{{.Grantee}}</td><td>{{.Level}}</td></tr>{{end}}
+</table>
+<form method="POST" action="/acl?path={{.Path}}">
+ grantee (user, g:group, or public): <input name="grantee">
+ level: <select name="level">
+   <option>none</option><option>read</option><option>annotate</option>
+   <option>write</option><option>own</option><option>curate</option>
+ </select>
+ <input type="submit" value="grant">
+</form>
+</div></body></html>`
+
+const tplRegisterObj = tplBase + `
+{{template "head" .}}
+{{template "topwin" .}}
+<div class="botwin">
+<h3>Register an object into {{.Path}}</h3>
+<p>Registered objects are pointers: SRB keeps no copy of the data.</p>
+
+<h4>1. A file in a file system, archive or database</h4>
+<form method="POST" action="/registerobj?path={{.Path}}">
+ <input type="hidden" name="kind" value="file">
+ name <input name="name"> resource <select name="resource">{{range .Resources}}<option>{{.Name}}</option>{{end}}</select>
+ physical path <input name="physpath"> <input type="submit" value="register file">
+</form>
+
+<h4>2. A directory (shadow object)</h4>
+<form method="POST" action="/registerobj?path={{.Path}}">
+ <input type="hidden" name="kind" value="directory">
+ name <input name="name"> resource <select name="resource">{{range .Resources}}<option>{{.Name}}</option>{{end}}</select>
+ directory path <input name="physpath"> <input type="submit" value="register directory">
+</form>
+
+<h4>3. A SQL query for a database resource</h4>
+<form method="POST" action="/registerobj?path={{.Path}}">
+ <input type="hidden" name="kind" value="sql">
+ name <input name="name"> resource <select name="resource">{{range .Resources}}<option>{{.Name}}</option>{{end}}</select><br>
+ select statement <input name="query" size="60"><br>
+ partial (completed at retrieval) <input type="checkbox" name="partial" value="1">
+ template <select name="template"><option>HTMLREL</option><option>HTMLNEST</option><option>XMLREL</option></select>
+ or style sheet path <input name="stylesheet" size="20">
+ <input type="submit" value="register query">
+</form>
+
+<h4>4. A URL</h4>
+<form method="POST" action="/registerobj?path={{.Path}}">
+ <input type="hidden" name="kind" value="url">
+ name <input name="name"> URL <input name="url" size="50">
+ <input type="submit" value="register URL">
+</form>
+
+<h4>5. A method object (proxy command)</h4>
+<form method="POST" action="/registerobj?path={{.Path}}">
+ <input type="hidden" name="kind" value="method">
+ name <input name="name"> command <input name="command"> arguments <input name="args">
+ <input type="submit" value="register method">
+</form>
+</div></body></html>`
+
+const tplEdit = tplBase + `
+{{template "head" .}}
+<div class="botwin">
+<h3>Edit {{.Path}}</h3>
+{{if .Error}}<div class="err">{{.Error}}</div>{{end}}
+<form method="POST" action="/edit?path={{.Path}}">
+<textarea name="contents" rows="24" cols="100">{{.Content}}</textarea><br>
+<input type="submit" value="Save (reingest)">
+</form>
+</div></body></html>`
+
+const tplRegister = tplBase + `
+{{template "head" .}}
+<div class="botwin">
+<h3>User registration</h3>
+{{if .Error}}<div class="err">{{.Error}}</div>{{end}}
+{{if .Notice}}<div class="ok">{{.Notice}}</div>{{end}}
+<form method="POST" action="/register">
+  user name <input name="name"><br>
+  domain <input name="domain" value="local"><br>
+  password <input type="password" name="password"><br>
+  <input type="submit" value="Register">
+</form>
+</div></body></html>`
+
+const tplHelp = tplBase + `
+{{template "head" .}}
+<div class="botwin">
+<h3>MySRB on-line help</h3>
+<p>MySRB provides three primary functionalities:</p>
+<ul>
+<li><b>collection and file management</b>: creation, maintenance and
+deletion of collections; data ingestion, reload and registration; data
+replication and movement; access control; deletion.</li>
+<li><b>metadata handling</b>: ingestion, extraction, copy, maintenance,
+update and deletion of user-defined and standardized metadata (Dublin
+Core).</li>
+<li><b>access and display</b>: browsing the collection hierarchy and
+searching with system-level, user-defined and standard metadata.</li>
+</ul>
+<p>The split window shows metadata in the top pane and collection
+contents or file data in the bottom pane. Session keys expire after 60
+minutes.</p>
+</div></body></html>`
+
+// funcs used by the templates.
+var tplFuncs = template.FuncMap{
+	// srbpath reports whether a metadata value names an SRB object, so
+	// related objects render as clickable hot-links (paper §5: "a
+	// reference is provided as a clickable hot-link in mySRB").
+	"srbpath": func(v string) bool {
+		return len(v) > 1 && v[0] == '/' && !strings.ContainsAny(v, " \t\n")
+	},
+	// iter yields 0..n-1 for range loops.
+	"iter": func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	},
+	// index00 safely takes the first element of a possibly-empty slice.
+	"index00": func(s []string) string {
+		if len(s) == 0 {
+			return ""
+		}
+		return s[0]
+	},
+}
+
+var templates = map[string]*template.Template{}
+
+func compile(name, text string) *template.Template {
+	return template.Must(template.New(name).Funcs(tplFuncs).Parse(text))
+}
+
+func init() {
+	templates["login"] = compile("login", tplLogin)
+	templates["browse"] = compile("browse", tplBrowse)
+	templates["open"] = compile("open", tplOpen)
+	templates["ingest"] = compile("ingest", tplIngest)
+	templates["meta"] = compile("meta", tplMeta)
+	templates["query"] = compile("query", tplQuery)
+	templates["acl"] = compile("acl", tplACL)
+	templates["registerobj"] = compile("registerobj", tplRegisterObj)
+	templates["edit"] = compile("edit", tplEdit)
+	templates["register"] = compile("register", tplRegister)
+	templates["help"] = compile("help", tplHelp)
+}
+
+// render executes a page template.
+func render(w http.ResponseWriter, tplName string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if pd, ok := data.(pageData); ok && pd.IsHTML {
+		// Pre-rendered HTML (built-in SQL templates) is trusted server
+		// output, surfaced through a typed field.
+		type htmlPage struct {
+			pageData
+			ContentHTML template.HTML
+		}
+		data = htmlPage{pageData: pd, ContentHTML: template.HTML(pd.Content)}
+	}
+	if err := templates[tplName].Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,409 @@
+// Package replica implements SRB replication management: synchronous
+// replication into logical resources, replica selection with automatic
+// failover ("the system automatically redirecting access to a replica
+// on a separate storage system when the first storage system is
+// unavailable", paper §3.4), dirty-replica synchronisation, and the
+// physical move of a replica between resources.
+package replica
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"gosrb/internal/mcat"
+	"gosrb/internal/storage"
+	"gosrb/internal/types"
+)
+
+// DriverMap resolves a resource name to its storage driver. The broker
+// provides it; tests provide fakes.
+type DriverMap interface {
+	Driver(resource string) (storage.Driver, error)
+}
+
+// Policy selects among equivalent clean replicas on read.
+type Policy int
+
+const (
+	// FirstAlive always reads the lowest-numbered clean replica whose
+	// resource is online — SRB 1.1.8's behaviour.
+	FirstAlive Policy = iota
+	// RoundRobin rotates across clean online replicas, spreading load
+	// (the paper's load-balancing rationale for replication, §3.2).
+	RoundRobin
+)
+
+// Manager performs replica operations against one catalog.
+type Manager struct {
+	cat     *mcat.Catalog
+	drivers DriverMap
+	policy  Policy
+	rr      atomic.Uint64
+}
+
+// NewManager returns a Manager with the FirstAlive policy.
+func NewManager(cat *mcat.Catalog, drivers DriverMap) *Manager {
+	return &Manager{cat: cat, drivers: drivers}
+}
+
+// SetPolicy changes the read-selection policy.
+func (m *Manager) SetPolicy(p Policy) { m.policy = p }
+
+// PhysPathFor allocates the canonical physical path for replica n of an
+// object: a vault layout keyed by object ID so renames in the logical
+// name space never require physical moves.
+func PhysPathFor(o *types.DataObject, n types.ReplicaNumber) string {
+	return fmt.Sprintf("/vault/%03d/oid%d.r%d", o.ID%512, o.ID, n)
+}
+
+// Checksum computes the hex SHA-256 the catalog stores for replicas.
+func Checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// candidates returns the clean replicas on online resources in replica
+// order, rotated when the policy is RoundRobin.
+func (m *Manager) candidates(o *types.DataObject, prefer string) []types.Replica {
+	var clean []types.Replica
+	for _, r := range o.Replicas {
+		if r.Status != types.ReplicaClean {
+			continue
+		}
+		res, err := m.cat.GetResource(r.Resource)
+		if err != nil || !res.Online {
+			continue
+		}
+		clean = append(clean, r)
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	if prefer != "" {
+		for i, r := range clean {
+			if r.Resource == prefer {
+				clean[0], clean[i] = clean[i], clean[0]
+				break
+			}
+		}
+		return clean
+	}
+	if m.policy == RoundRobin && len(clean) > 1 {
+		k := int(m.rr.Add(1)) % len(clean)
+		rotated := make([]types.Replica, 0, len(clean))
+		rotated = append(rotated, clean[k:]...)
+		rotated = append(rotated, clean[:k]...)
+		return rotated
+	}
+	return clean
+}
+
+// OpenRead opens the object's bytes for reading, trying clean replicas
+// per the policy and failing over past unavailable resources. It
+// returns the replica served.
+func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types.Replica, error) {
+	o, err := m.cat.GetObject(path)
+	if err != nil {
+		return nil, types.Replica{}, err
+	}
+	cands := m.candidates(&o, preferResource)
+	if len(cands) == 0 {
+		return nil, types.Replica{}, types.E("open", path, types.ErrOffline)
+	}
+	var lastErr error
+	for _, r := range cands {
+		d, err := m.drivers.Driver(r.Resource)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f, err := d.Open(r.PhysicalPath)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return f, r, nil
+	}
+	if lastErr == nil {
+		lastErr = types.ErrOffline
+	}
+	return nil, types.Replica{}, types.E("open", path, lastErr)
+}
+
+// ReadAll retrieves the full contents via OpenRead.
+func (m *Manager) ReadAll(path, preferResource string) ([]byte, types.Replica, error) {
+	f, r, err := m.OpenRead(path, preferResource)
+	if err != nil {
+		return nil, r, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, r, types.E("read", path, err)
+	}
+	return data, r, nil
+}
+
+// WriteAll overwrites the object's contents: the bytes land on every
+// clean online replica; replicas whose resource is unreachable are
+// marked dirty for later synchronisation.
+func (m *Manager) WriteAll(path string, data []byte) error {
+	o, err := m.cat.GetObject(path)
+	if err != nil {
+		return err
+	}
+	if o.Kind != types.KindFile {
+		return types.E("write", path, types.ErrUnsupported)
+	}
+	sum := Checksum(data)
+	written := make(map[types.ReplicaNumber]bool)
+	for _, r := range o.Replicas {
+		res, err := m.cat.GetResource(r.Resource)
+		if err != nil || !res.Online {
+			continue
+		}
+		d, err := m.drivers.Driver(r.Resource)
+		if err != nil {
+			continue
+		}
+		if err := storage.WriteAll(d, r.PhysicalPath, data); err != nil {
+			continue
+		}
+		written[r.Number] = true
+	}
+	if len(written) == 0 {
+		return types.E("write", path, types.ErrOffline)
+	}
+	return m.cat.UpdateObject(path, func(o *types.DataObject) error {
+		o.Size = int64(len(data))
+		o.Checksum = sum
+		for i := range o.Replicas {
+			r := &o.Replicas[i]
+			if written[r.Number] {
+				r.Status = types.ReplicaClean
+				r.Size = int64(len(data))
+				r.Checksum = sum
+			} else {
+				r.Status = types.ReplicaDirty
+			}
+		}
+		return nil
+	})
+}
+
+// Replicate creates a new replica of the object on resource. The new
+// replica inherits the object's metadata implicitly (metadata is keyed
+// by the logical path) and receives the next replica number.
+func (m *Manager) Replicate(path, resource string) (types.Replica, error) {
+	o, err := m.cat.GetObject(path)
+	if err != nil {
+		return types.Replica{}, err
+	}
+	if o.Kind != types.KindFile {
+		return types.Replica{}, types.E("replicate", path, types.ErrUnsupported)
+	}
+	if o.Container != "" {
+		// Files inside containers replicate with their container.
+		return types.Replica{}, types.E("replicate", path, types.ErrUnsupported)
+	}
+	res, err := m.cat.GetResource(resource)
+	if err != nil {
+		return types.Replica{}, err
+	}
+	if res.Kind != types.ResourcePhysical {
+		return types.Replica{}, types.E("replicate", resource, types.ErrInvalid)
+	}
+	if !res.Online {
+		return types.Replica{}, types.E("replicate", resource, types.ErrOffline)
+	}
+	src, _, err := m.OpenRead(path, "")
+	if err != nil {
+		return types.Replica{}, err
+	}
+	defer src.Close()
+	next := nextNumber(&o)
+	physPath := PhysPathFor(&o, next)
+	dst, err := m.drivers.Driver(resource)
+	if err != nil {
+		return types.Replica{}, err
+	}
+	w, err := dst.Create(physPath)
+	if err != nil {
+		return types.Replica{}, err
+	}
+	h := sha256.New()
+	size, err := io.Copy(w, io.TeeReader(src, h))
+	if err != nil {
+		w.Close()
+		return types.Replica{}, types.E("replicate", path, err)
+	}
+	if err := w.Close(); err != nil {
+		return types.Replica{}, types.E("replicate", path, err)
+	}
+	newRep := types.Replica{
+		Number:       next,
+		Resource:     resource,
+		PhysicalPath: physPath,
+		Status:       types.ReplicaClean,
+		Size:         size,
+		Checksum:     hex.EncodeToString(h.Sum(nil)),
+	}
+	err = m.cat.UpdateObject(path, func(o *types.DataObject) error {
+		newRep.CreatedAt = o.ModifiedAt
+		o.Replicas = append(o.Replicas, newRep)
+		return nil
+	})
+	if err != nil {
+		return types.Replica{}, err
+	}
+	return newRep, nil
+}
+
+func nextNumber(o *types.DataObject) types.ReplicaNumber {
+	next := types.ReplicaNumber(0)
+	for _, r := range o.Replicas {
+		if r.Number >= next {
+			next = r.Number + 1
+		}
+	}
+	return next
+}
+
+// SyncDirty brings every dirty replica of the object up to date from a
+// clean one and returns how many replicas were refreshed.
+func (m *Manager) SyncDirty(path string) (int, error) {
+	o, err := m.cat.GetObject(path)
+	if err != nil {
+		return 0, err
+	}
+	var dirty []types.Replica
+	for _, r := range o.Replicas {
+		if r.Status == types.ReplicaDirty {
+			dirty = append(dirty, r)
+		}
+	}
+	if len(dirty) == 0 {
+		return 0, nil
+	}
+	data, _, err := m.ReadAll(path, "")
+	if err != nil {
+		return 0, err
+	}
+	sum := Checksum(data)
+	fixed := make(map[types.ReplicaNumber]bool)
+	for _, r := range dirty {
+		res, err := m.cat.GetResource(r.Resource)
+		if err != nil || !res.Online {
+			continue
+		}
+		d, err := m.drivers.Driver(r.Resource)
+		if err != nil {
+			continue
+		}
+		if err := storage.WriteAll(d, r.PhysicalPath, data); err != nil {
+			continue
+		}
+		fixed[r.Number] = true
+	}
+	if len(fixed) == 0 {
+		return 0, nil
+	}
+	err = m.cat.UpdateObject(path, func(o *types.DataObject) error {
+		for i := range o.Replicas {
+			r := &o.Replicas[i]
+			if fixed[r.Number] {
+				r.Status = types.ReplicaClean
+				r.Size = int64(len(data))
+				r.Checksum = sum
+			}
+		}
+		return nil
+	})
+	return len(fixed), err
+}
+
+// PhysicalMove relocates one replica to a new resource, preserving its
+// replica number — the paper's "physical move of the object".
+func (m *Manager) PhysicalMove(path string, number types.ReplicaNumber, toResource string) error {
+	o, err := m.cat.GetObject(path)
+	if err != nil {
+		return err
+	}
+	if o.Container != "" {
+		return types.E("physmove", path, types.ErrUnsupported)
+	}
+	rep, ok := o.ReplicaByNumber(number)
+	if !ok {
+		return types.E("physmove", path, types.ErrNotFound)
+	}
+	res, err := m.cat.GetResource(toResource)
+	if err != nil {
+		return err
+	}
+	if res.Kind != types.ResourcePhysical || !res.Online {
+		return types.E("physmove", toResource, types.ErrInvalid)
+	}
+	srcD, err := m.drivers.Driver(rep.Resource)
+	if err != nil {
+		return err
+	}
+	dstD, err := m.drivers.Driver(toResource)
+	if err != nil {
+		return err
+	}
+	newPath := PhysPathFor(&o, number)
+	if _, err := storage.Copy(dstD, newPath, srcD, rep.PhysicalPath); err != nil {
+		return types.E("physmove", path, err)
+	}
+	if err := m.cat.UpdateObject(path, func(o *types.DataObject) error {
+		for i := range o.Replicas {
+			if o.Replicas[i].Number == number {
+				o.Replicas[i].Resource = toResource
+				o.Replicas[i].PhysicalPath = newPath
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Old bytes are removed best-effort; the new replica is authoritative.
+	srcD.Remove(rep.PhysicalPath)
+	return nil
+}
+
+// DeleteReplica removes one replica's bytes and catalog record. The
+// last replica of an object cannot be removed this way — deleting the
+// object handles that ("when the last replica is deleted all the
+// metadata and annotations are also deleted", which is the broker's
+// job).
+func (m *Manager) DeleteReplica(path string, number types.ReplicaNumber) error {
+	o, err := m.cat.GetObject(path)
+	if err != nil {
+		return err
+	}
+	rep, ok := o.ReplicaByNumber(number)
+	if !ok {
+		return types.E("rmreplica", path, types.ErrNotFound)
+	}
+	if len(o.Replicas) <= 1 {
+		return types.E("rmreplica", path, types.ErrInvalid)
+	}
+	if !rep.Registered {
+		if d, err := m.drivers.Driver(rep.Resource); err == nil {
+			d.Remove(rep.PhysicalPath)
+		}
+	}
+	return m.cat.UpdateObject(path, func(o *types.DataObject) error {
+		kept := o.Replicas[:0:0]
+		for _, r := range o.Replicas {
+			if r.Number != number {
+				kept = append(kept, r)
+			}
+		}
+		o.Replicas = kept
+		return nil
+	})
+}

@@ -1,0 +1,460 @@
+// Package server implements srbd, the federated SRB server: it exposes
+// the broker over the wire protocol, authenticates users and zone peers
+// with challenge–response, and federates access to data held by other
+// servers — by proxying bytes or by redirecting the client, the paper's
+// "users can connect to any SRB server to access data from any other
+// SRB server" (§3.1).
+//
+// As in SRB 1.x, a federation shares one MCAT: every server is built
+// over the same catalog, while each server mounts drivers only for the
+// resources it owns (types.Resource.Server names the owner).
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"gosrb/internal/auth"
+	"gosrb/internal/core"
+	"gosrb/internal/types"
+	"gosrb/internal/wire"
+)
+
+// FederationMode selects how non-local data is served.
+type FederationMode int
+
+const (
+	// Proxy relays the bytes through this server.
+	Proxy FederationMode = iota
+	// Redirect tells the client to reconnect to the owning server.
+	Redirect
+)
+
+// Server is one srbd instance.
+type Server struct {
+	broker *core.Broker
+	authn  *auth.Authenticator
+	name   string
+	mode   FederationMode
+
+	mu    sync.RWMutex
+	peers map[string]peer // server name -> address + secret
+
+	tickets *auth.TicketStore
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	// Logger receives connection errors; defaults to a silent logger.
+	Logger *log.Logger
+}
+
+type peer struct {
+	addr   string
+	secret string
+}
+
+// New returns a server over the broker. name must match the broker's
+// server name so resource ownership resolves consistently.
+func New(b *core.Broker, a *auth.Authenticator, mode FederationMode) *Server {
+	return &Server{
+		broker:  b,
+		authn:   a,
+		name:    b.ServerName(),
+		mode:    mode,
+		peers:   make(map[string]peer),
+		tickets: auth.NewTicketStore(),
+		closed:  make(chan struct{}),
+		Logger:  log.New(io.Discard, "", 0),
+	}
+}
+
+// Name returns the server's federation name.
+func (s *Server) Name() string { return s.name }
+
+// Tickets exposes the server's delegated-access ticket store.
+func (s *Server) Tickets() *auth.TicketStore { return s.tickets }
+
+// AddPeer registers a federated peer and the shared zone secret used
+// for server-to-server authentication.
+func (s *Server) AddPeer(name, addr, secret string) {
+	s.mu.Lock()
+	s.peers[name] = peer{addr: addr, secret: secret}
+	s.mu.Unlock()
+	s.authn.RegisterPeer(name, secret)
+}
+
+// PeerAddr resolves a peer's address.
+func (s *Server) PeerAddr(name string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.peers[name]
+	return p.addr, ok
+}
+
+// Listen starts accepting connections on addr ("host:0" picks a port)
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for active connections to finish.
+// It is safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.Logger.Printf("accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.Logger.Printf("conn: %v", err)
+			}
+		}()
+	}
+}
+
+// session is the authenticated state of one connection.
+type session struct {
+	user   string // authenticated end user, or "" on peer connections
+	peer   string // authenticated peer server, or ""
+	isPeer bool
+}
+
+// effectiveUser resolves the user an operation runs as.
+func (ss *session) effectiveUser(req *wire.Request) (string, error) {
+	if ss.isPeer {
+		if req.OnBehalf == "" {
+			return "", types.E(req.Op, "", types.ErrAuth)
+		}
+		return req.OnBehalf, nil
+	}
+	return ss.user, nil
+}
+
+func (s *Server) handleConn(nc net.Conn) error {
+	c := wire.NewConn(nc)
+	ss, err := s.handshake(c)
+	if err != nil {
+		return err
+	}
+	for {
+		var req wire.Request
+		if err := c.ReadJSON(wire.MsgRequest, &req); err != nil {
+			return err
+		}
+		if err := s.dispatch(c, ss, &req); err != nil {
+			return err
+		}
+	}
+}
+
+// handshake runs challenge–response authentication.
+func (s *Server) handshake(c *wire.Conn) (*session, error) {
+	nonce, err := auth.NewChallenge()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.WriteJSON(wire.MsgChallenge, wire.Challenge{Server: s.name, Nonce: nonce}); err != nil {
+		return nil, err
+	}
+	var a wire.Auth
+	if err := c.ReadJSON(wire.MsgAuth, &a); err != nil {
+		return nil, err
+	}
+	ss := &session{}
+	switch {
+	case a.Peer != "":
+		if !s.authn.VerifyPeer(a.Peer, nonce, a.Response) {
+			c.WriteJSON(wire.MsgResponse, wire.ErrResponse(types.E("auth", a.Peer, types.ErrAuth)))
+			return nil, types.E("auth", a.Peer, types.ErrAuth)
+		}
+		ss.peer, ss.isPeer = a.Peer, true
+	default:
+		if !s.authn.VerifyUser(a.User, nonce, a.Response) {
+			c.WriteJSON(wire.MsgResponse, wire.ErrResponse(types.E("auth", a.User, types.ErrAuth)))
+			return nil, types.E("auth", a.User, types.ErrAuth)
+		}
+		ss.user = a.User
+	}
+	return ss, c.WriteJSON(wire.MsgAuthOK, struct{ Server string }{s.name})
+}
+
+// reply sends a success response with body.
+func reply(c *wire.Conn, body any) error {
+	resp, err := wire.OkResponse(body, false)
+	if err != nil {
+		return err
+	}
+	return c.WriteJSON(wire.MsgResponse, resp)
+}
+
+// replyErr sends a failure response (protocol stays healthy).
+func replyErr(c *wire.Conn, err error) error {
+	return c.WriteJSON(wire.MsgResponse, wire.ErrResponse(err))
+}
+
+// replyData sends a success response announcing size, then the data.
+func replyData(c *wire.Conn, data []byte) error {
+	resp, err := wire.OkResponse(wire.SizeReply{Size: int64(len(data))}, true)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(wire.MsgResponse, resp); err != nil {
+		return err
+	}
+	return c.SendData(bytes.NewReader(data))
+}
+
+// decode unmarshals request args.
+func decode[T any](req *wire.Request) (T, error) {
+	var v T
+	if len(req.Args) == 0 {
+		return v, nil
+	}
+	err := json.Unmarshal(req.Args, &v)
+	return v, err
+}
+
+// localityOf classifies where a file object's clean replicas live:
+// "" means local (or not a plain file), otherwise the owning peer name.
+func (s *Server) localityOf(path string) string {
+	o, err := s.broker.Cat.GetObject(path)
+	if err != nil || o.Kind != types.KindFile {
+		return ""
+	}
+	check := o
+	if o.Container != "" {
+		cont, err := s.broker.Cat.GetObject(o.Container)
+		if err != nil {
+			return ""
+		}
+		check = cont
+	}
+	remote := ""
+	for _, r := range check.Replicas {
+		if r.Status != types.ReplicaClean {
+			continue
+		}
+		res, err := s.broker.Cat.GetResource(r.Resource)
+		if err != nil || !res.Online {
+			continue
+		}
+		if res.Server == s.name || res.Server == "" {
+			return "" // a local clean replica exists
+		}
+		remote = res.Server
+	}
+	return remote
+}
+
+// resourceOwner names the peer owning resource, or "" when local.
+func (s *Server) resourceOwner(resource string) string {
+	res, err := s.broker.Cat.GetResource(resource)
+	if err != nil || res.Server == "" || res.Server == s.name {
+		return ""
+	}
+	if res.Kind == types.ResourceLogical && len(res.Members) > 0 {
+		m, err := s.broker.Cat.GetResource(res.Members[0])
+		if err == nil && (m.Server == "" || m.Server == s.name) {
+			return ""
+		}
+	}
+	return res.Server
+}
+
+// federate serves a get-style request for data owned by peerName:
+// proxy mode relays the bytes, redirect mode hands the client the
+// owning server's address.
+func (s *Server) federate(c *wire.Conn, peerName, user string, req *wire.Request) error {
+	addr, ok := s.PeerAddr(peerName)
+	if !ok {
+		return replyErr(c, types.E(req.Op, peerName, types.ErrOffline))
+	}
+	if s.mode == Redirect {
+		return c.WriteJSON(wire.MsgRedirect, wire.Redirect{Server: peerName, Addr: addr})
+	}
+	data, err := s.proxyGet(peerName, addr, user, req)
+	if err != nil {
+		return replyErr(c, err)
+	}
+	return replyData(c, data)
+}
+
+// proxyGet relays a data-returning request to a peer over a
+// peer-authenticated connection.
+func (s *Server) proxyGet(peerName, addr, user string, req *wire.Request) ([]byte, error) {
+	s.mu.RLock()
+	secret := s.peers[peerName].secret
+	s.mu.RUnlock()
+	pc, err := dialPeer(addr, s.name, secret)
+	if err != nil {
+		return nil, types.E(req.Op, peerName, err)
+	}
+	defer pc.close()
+	fwd := *req
+	fwd.OnBehalf = user
+	return pc.roundTripData(&fwd)
+}
+
+// proxyCall relays a non-data request to a peer.
+func (s *Server) proxyCall(peerName, user string, req *wire.Request) (json.RawMessage, error) {
+	addr, ok := s.PeerAddr(peerName)
+	if !ok {
+		return nil, types.E(req.Op, peerName, types.ErrOffline)
+	}
+	s.mu.RLock()
+	secret := s.peers[peerName].secret
+	s.mu.RUnlock()
+	pc, err := dialPeer(addr, s.name, secret)
+	if err != nil {
+		return nil, types.E(req.Op, peerName, err)
+	}
+	defer pc.close()
+	fwd := *req
+	fwd.OnBehalf = user
+	return pc.roundTrip(&fwd)
+}
+
+// peerConn is a minimal peer-authenticated client used for proxying.
+type peerConn struct {
+	nc net.Conn
+	c  *wire.Conn
+}
+
+func dialPeer(addr, selfName, secret string) (*peerConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := wire.NewConn(nc)
+	var ch wire.Challenge
+	if err := c.ReadJSON(wire.MsgChallenge, &ch); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	resp := auth.Respond(auth.DeriveKey("peer:"+selfName, secret), ch.Nonce)
+	if err := c.WriteJSON(wire.MsgAuth, wire.Auth{Peer: selfName, Response: resp}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	var ok struct{ Server string }
+	if err := c.ReadJSON(wire.MsgAuthOK, &ok); err != nil {
+		nc.Close()
+		return nil, types.E("peerauth", addr, types.ErrAuth)
+	}
+	return &peerConn{nc: nc, c: c}, nil
+}
+
+func (p *peerConn) close() { p.nc.Close() }
+
+func (p *peerConn) roundTrip(req *wire.Request) (json.RawMessage, error) {
+	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := p.c.ReadJSON(wire.MsgResponse, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, resp.Err()
+	}
+	return resp.Body, nil
+}
+
+func (p *peerConn) roundTripData(req *wire.Request) ([]byte, error) {
+	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := p.c.ReadJSON(wire.MsgResponse, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, resp.Err()
+	}
+	if !resp.DataFollows {
+		return nil, types.E(req.Op, "", types.ErrInvalid)
+	}
+	var buf bytes.Buffer
+	if _, err := p.c.RecvData(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// roundTripIngest relays an ingest (request, then data, then response).
+func (p *peerConn) roundTripIngest(req *wire.Request, data []byte) (json.RawMessage, error) {
+	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
+		return nil, err
+	}
+	if err := p.c.SendData(bytes.NewReader(data)); err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := p.c.ReadJSON(wire.MsgResponse, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, resp.Err()
+	}
+	return resp.Body, nil
+}
+
+// parseLockKind maps wire lock names.
+func parseLockKind(s string) (types.LockKind, error) {
+	switch strings.ToLower(s) {
+	case "shared":
+		return types.LockShared, nil
+	case "exclusive":
+		return types.LockExclusive, nil
+	default:
+		return types.LockNone, types.E("lock", s, types.ErrInvalid)
+	}
+}
+
+// Stats builds the server stats reply.
+func (s *Server) stats() wire.StatsReply {
+	st := s.broker.Cat.Stats()
+	return wire.StatsReply{
+		Server: s.name, Objects: st.Objects, Collections: st.Collections,
+		Resources: st.Resources, Users: st.Users,
+	}
+}

@@ -1,0 +1,158 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gosrb/internal/storage"
+	"gosrb/internal/storage/memfs"
+)
+
+type recorder struct{ total time.Duration }
+
+func (r *recorder) sleep(d time.Duration) { r.total += d }
+
+func TestWrapDriverChargesRTTPerOp(t *testing.T) {
+	rec := &recorder{}
+	d := WrapDriver(memfs.New(), LinkProfile{RTT: 10 * time.Millisecond}, rec.sleep)
+	if err := storage.WriteAll(d, "/f", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total != 10*time.Millisecond {
+		t.Errorf("create charged %v", rec.total)
+	}
+	if _, err := storage.ReadAll(d, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total != 20*time.Millisecond {
+		t.Errorf("after read charged %v", rec.total)
+	}
+	d.Stat("/f")
+	if rec.total != 30*time.Millisecond {
+		t.Errorf("after stat charged %v", rec.total)
+	}
+}
+
+func TestWrapDriverBandwidth(t *testing.T) {
+	rec := &recorder{}
+	d := WrapDriver(memfs.New(), LinkProfile{BandwidthBytesPerSec: 1000}, rec.sleep)
+	if err := storage.WriteAll(d, "/f", make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total != 500*time.Millisecond {
+		t.Errorf("write pacing = %v, want 500ms", rec.total)
+	}
+	rec.total = 0
+	if _, err := storage.ReadAll(d, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total != 500*time.Millisecond {
+		t.Errorf("read pacing = %v, want 500ms", rec.total)
+	}
+}
+
+func TestReadAtPaysRTT(t *testing.T) {
+	rec := &recorder{}
+	inner := memfs.New()
+	storage.WriteAll(inner, "/f", []byte("0123456789"))
+	d := WrapDriver(inner, LinkProfile{RTT: time.Millisecond}, rec.sleep)
+	r, err := d.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec.total = 0
+	buf := make([]byte, 3)
+	r.ReadAt(buf, 2)
+	r.ReadAt(buf, 5)
+	// Each positional read is its own remote request.
+	if rec.total != 2*time.Millisecond {
+		t.Errorf("two ReadAts charged %v", rec.total)
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	p := LinkProfile{RTT: 100 * time.Millisecond, BandwidthBytesPerSec: 1 << 20}
+	got := p.TransferTime(1 << 20)
+	want := 100*time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	if (LinkProfile{}).TransferTime(1<<30) != 0 {
+		t.Error("unshaped link should be free")
+	}
+}
+
+func TestPacedConn(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	rec := &recorder{}
+	paced := Pace(c1, LinkProfile{RTT: 20 * time.Millisecond, BandwidthBytesPerSec: 1000}, rec.sleep)
+	go func() {
+		paced.Write(make([]byte, 100))
+		paced.Write(make([]byte, 100))
+		paced.Close()
+	}()
+	if _, err := io.ReadAll(c2); err != nil {
+		t.Fatal(err)
+	}
+	// RTT/2 once + 2 * 100ms of pacing.
+	want := 10*time.Millisecond + 200*time.Millisecond
+	if rec.total != want {
+		t.Errorf("paced conn charged %v, want %v", rec.total, want)
+	}
+}
+
+func TestWrapDriverAllOpsCharge(t *testing.T) {
+	rec := &recorder{}
+	inner := memfs.New()
+	d := WrapDriver(inner, LinkProfile{RTT: time.Millisecond}, rec.sleep)
+	// Every remote operation pays one RTT.
+	w, err := d.OpenAppend("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("x"))
+	w.Close()
+	if err := d.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.List("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("/f", "/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("/g"); err != nil {
+		t.Fatal(err)
+	}
+	// append + mkdir + list + rename + remove = 5 RTTs
+	if rec.total != 5*time.Millisecond {
+		t.Errorf("ops charged %v, want 5ms", rec.total)
+	}
+	// Seek is local (no charge).
+	storage.WriteAll(inner, "/s", []byte("0123456789"))
+	r, _ := d.Open("/s") // Open charges its own RTT
+	defer r.Close()
+	before := rec.total
+	if _, err := r.Seek(5, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total != before {
+		t.Errorf("seek charged %v; it must be local", rec.total-before)
+	}
+}
+
+func TestWrapDriverNilSleepDefaults(t *testing.T) {
+	// A nil clock falls back to time.Sleep; with a zero profile nothing
+	// actually sleeps, so this just exercises the default path.
+	d := WrapDriver(memfs.New(), LinkProfile{}, nil)
+	if err := storage.WriteAll(d, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.ReadAll(d, "/f"); err != nil {
+		t.Fatal(err)
+	}
+}

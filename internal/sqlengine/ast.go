@@ -1,0 +1,140 @@
+package sqlengine
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT, possibly the head of a UNION chain.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr // nil if absent
+	GroupBy  []Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 if absent
+	Union    *SelectStmt
+	UnionAll bool
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one output column: either * (Star), a bare expression,
+// or an aggregate call.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// JoinClause is an INNER JOIN ... ON ... attached to the FROM list.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateStmt is CREATE TABLE name (col, ...).
+type CreateStmt struct {
+	Table   string
+	Columns []string
+}
+
+func (*CreateStmt) stmt() {}
+
+// DropStmt is DROP TABLE name.
+type DropStmt struct{ Table string }
+
+func (*DropStmt) stmt() {}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM name [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// Expr is any evaluable expression.
+type Expr interface{ expr() }
+
+// ColumnRef names a column, optionally qualified by table/alias.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+func (*Literal) expr() {}
+
+// BinaryExpr applies an operator to two operands. Op is one of
+// "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE", "NOT LIKE".
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// NotExpr negates its operand.
+type NotExpr struct{ X Expr }
+
+func (*NotExpr) expr() {}
+
+// InExpr is expr [NOT] IN (v1, v2, ...).
+type InExpr struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+func (*InExpr) expr() {}
+
+// IsNullExpr is expr IS [NOT] NULL.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// BetweenExpr is expr [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// AggregateExpr is COUNT/SUM/AVG/MIN/MAX over an argument, or COUNT(*).
+type AggregateExpr struct {
+	Func string // upper-case
+	Star bool
+	Arg  Expr
+}
+
+func (*AggregateExpr) expr() {}

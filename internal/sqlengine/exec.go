@@ -1,0 +1,655 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// scope resolves column references against the concatenated row of the
+// tables in FROM-order.
+type scope struct {
+	// qualified maps "alias.column" to position.
+	qualified map[string]int
+	// unqualified maps "column" to position; -2 marks ambiguity.
+	unqualified map[string]int
+	width       int
+	// names lists the flattened output column names in order.
+	names []string
+}
+
+func newScope() *scope {
+	return &scope{qualified: make(map[string]int), unqualified: make(map[string]int)}
+}
+
+// add appends a table's columns to the scope under the given alias.
+func (s *scope) add(alias, table string, columns []string) {
+	for _, c := range columns {
+		pos := s.width
+		s.qualified[strings.ToLower(alias+"."+c)] = pos
+		if alias != table {
+			s.qualified[strings.ToLower(table+"."+c)] = pos
+		}
+		key := strings.ToLower(c)
+		if _, dup := s.unqualified[key]; dup {
+			s.unqualified[key] = -2
+		} else {
+			s.unqualified[key] = pos
+		}
+		s.names = append(s.names, c)
+		s.width++
+	}
+}
+
+// resolve finds the row position of a column reference.
+func (s *scope) resolve(ref *ColumnRef) (int, error) {
+	if ref.Table != "" {
+		if pos, ok := s.qualified[strings.ToLower(ref.Table+"."+ref.Column)]; ok {
+			return pos, nil
+		}
+		return 0, fmt.Errorf("sql: unknown column %s.%s", ref.Table, ref.Column)
+	}
+	pos, ok := s.unqualified[strings.ToLower(ref.Column)]
+	if !ok {
+		return 0, fmt.Errorf("sql: unknown column %s", ref.Column)
+	}
+	if pos == -2 {
+		return 0, fmt.Errorf("sql: ambiguous column %s", ref.Column)
+	}
+	return pos, nil
+}
+
+// eval computes expr over one combined row.
+func eval(e Expr, s *scope, row Row) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		pos, err := s.resolve(x)
+		if err != nil {
+			return Null(), err
+		}
+		if pos >= len(row) {
+			return Null(), nil
+		}
+		return row[pos], nil
+	case *NotExpr:
+		v, err := eval(x.X, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(!v.Truth()), nil
+	case *BinaryExpr:
+		return evalBinary(x, s, row)
+	case *InExpr:
+		v, err := eval(x.X, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		found := false
+		for _, item := range x.List {
+			iv, err := eval(item, s, row)
+			if err != nil {
+				return Null(), err
+			}
+			if Equal(v, iv) {
+				found = true
+				break
+			}
+		}
+		return Bool(found != x.Negate), nil
+	case *IsNullExpr:
+		v, err := eval(x.X, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(v.IsNull() != x.Negate), nil
+	case *BetweenExpr:
+		v, err := eval(x.X, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		lo, err := eval(x.Lo, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		hi, err := eval(x.Hi, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		return Bool(in != x.Negate), nil
+	case *AggregateExpr:
+		return Null(), fmt.Errorf("sql: aggregate %s used outside an aggregating query", x.Func)
+	default:
+		return Null(), fmt.Errorf("sql: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *BinaryExpr, s *scope, row Row) (Value, error) {
+	// Short-circuit logical operators.
+	switch x.Op {
+	case "AND":
+		l, err := eval(x.Left, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		if !l.Truth() {
+			return Bool(false), nil
+		}
+		r, err := eval(x.Right, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(r.Truth()), nil
+	case "OR":
+		l, err := eval(x.Left, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		if l.Truth() {
+			return Bool(true), nil
+		}
+		r, err := eval(x.Right, s, row)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(r.Truth()), nil
+	}
+	l, err := eval(x.Left, s, row)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := eval(x.Right, s, row)
+	if err != nil {
+		return Null(), err
+	}
+	switch x.Op {
+	case "=":
+		return Bool(Equal(l, r)), nil
+	case "<>":
+		if l.IsNull() || r.IsNull() {
+			return Bool(false), nil
+		}
+		return Bool(!Equal(l, r)), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Bool(false), nil
+		}
+		c := Compare(l, r)
+		switch x.Op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "LIKE":
+		return Bool(Like(l.Text(), r.Text())), nil
+	case "NOT LIKE":
+		return Bool(!Like(l.Text(), r.Text())), nil
+	default:
+		return Null(), fmt.Errorf("sql: unknown operator %q", x.Op)
+	}
+}
+
+// execSelect runs a (possibly UNIONed) SELECT.
+func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
+	res, err := db.execOneSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	for u := st.Union; u != nil; u = u.Union {
+		sub, err := db.execOneSelect(u)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Columns) != len(res.Columns) {
+			return nil, fmt.Errorf("sql: UNION column count mismatch (%d vs %d)", len(res.Columns), len(sub.Columns))
+		}
+		res.Rows = append(res.Rows, sub.Rows...)
+		if !st.UnionAll {
+			res.Rows = dedupeRows(res.Rows)
+		}
+	}
+	return res, nil
+}
+
+func dedupeRows(rows []Row) []Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := rowKey(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func rowKey(r Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(fmt.Sprintf("%d:%s\x00", v.Kind, v.Text()))
+	}
+	return b.String()
+}
+
+// hasAggregate reports whether any select item contains an aggregate.
+func hasAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Expr == nil {
+			continue
+		}
+		if containsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *AggregateExpr:
+		return true
+	case *BinaryExpr:
+		return containsAggregate(x.Left) || containsAggregate(x.Right)
+	case *NotExpr:
+		return containsAggregate(x.X)
+	case *InExpr:
+		if containsAggregate(x.X) {
+			return true
+		}
+		for _, i := range x.List {
+			if containsAggregate(i) {
+				return true
+			}
+		}
+	case *IsNullExpr:
+		return containsAggregate(x.X)
+	case *BetweenExpr:
+		return containsAggregate(x.X) || containsAggregate(x.Lo) || containsAggregate(x.Hi)
+	}
+	return false
+}
+
+func (db *DB) execOneSelect(st *SelectStmt) (*Result, error) {
+	// SELECT without FROM evaluates items over one empty row.
+	scope := newScope()
+	rows := []Row{{}}
+	if len(st.From) > 0 {
+		var err error
+		rows, err = db.scan(st, scope)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// WHERE
+	if st.Where != nil {
+		filtered := rows[:0:0]
+		for _, row := range rows {
+			v, err := eval(st.Where, scope, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truth() {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+
+	grouped := len(st.GroupBy) > 0 || hasAggregate(st.Items)
+	var res *Result
+	var err error
+	if grouped {
+		res, err = projectGrouped(st, scope, rows)
+	} else {
+		res, err = projectPlain(st, scope, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if st.Distinct {
+		res.Rows = dedupeRows(res.Rows)
+	}
+	if len(st.OrderBy) > 0 {
+		if err := orderRows(st, scope, res); err != nil {
+			return nil, err
+		}
+	}
+	if st.Limit >= 0 && len(res.Rows) > st.Limit {
+		res.Rows = res.Rows[:st.Limit]
+	}
+	return res, nil
+}
+
+// scan materialises the cross product of FROM plus INNER JOINs.
+func (db *DB) scan(st *SelectStmt, sc *scope) ([]Row, error) {
+	type src struct {
+		t  *Table
+		on Expr // nil for plain FROM entries
+	}
+	var srcs []src
+	for _, tr := range st.From {
+		t, err := db.snapshot(tr.Table)
+		if err != nil {
+			return nil, err
+		}
+		alias := tr.Alias
+		if alias == "" {
+			alias = tr.Table
+		}
+		sc.add(alias, tr.Table, t.Columns)
+		srcs = append(srcs, src{t: t})
+	}
+	for _, j := range st.Joins {
+		t, err := db.snapshot(j.Table.Table)
+		if err != nil {
+			return nil, err
+		}
+		alias := j.Table.Alias
+		if alias == "" {
+			alias = j.Table.Table
+		}
+		sc.add(alias, j.Table.Table, t.Columns)
+		srcs = append(srcs, src{t: t, on: j.On})
+	}
+	rows := []Row{{}}
+	for _, s := range srcs {
+		var next []Row
+		for _, left := range rows {
+			for _, right := range s.t.Rows {
+				combined := make(Row, 0, len(left)+len(right))
+				combined = append(combined, left...)
+				combined = append(combined, right...)
+				if s.on != nil {
+					v, err := eval(s.on, sc, combined)
+					if err != nil {
+						return nil, err
+					}
+					if !v.Truth() {
+						continue
+					}
+				}
+				next = append(next, combined)
+			}
+		}
+		rows = next
+	}
+	return rows, nil
+}
+
+// projectPlain evaluates the select list per row (no aggregation).
+func projectPlain(st *SelectStmt, sc *scope, rows []Row) (*Result, error) {
+	cols, evals, err := buildItems(st, sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols}
+	for _, row := range rows {
+		out := make(Row, 0, len(evals))
+		for _, f := range evals {
+			v, err := f(row, nil)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// itemEval computes one output cell: row is the current combined row
+// (representative row for grouped queries), group the full group.
+type itemEval func(row Row, group []Row) (Value, error)
+
+// buildItems compiles the select list into column names and evaluators.
+func buildItems(st *SelectStmt, sc *scope) ([]string, []itemEval, error) {
+	var cols []string
+	var evals []itemEval
+	for _, it := range st.Items {
+		if it.Star {
+			for i, name := range sc.names {
+				pos := i
+				cols = append(cols, name)
+				evals = append(evals, func(row Row, _ []Row) (Value, error) {
+					if pos >= len(row) {
+						return Null(), nil
+					}
+					return row[pos], nil
+				})
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			name = exprName(it.Expr)
+		}
+		cols = append(cols, name)
+		e := it.Expr
+		evals = append(evals, func(row Row, group []Row) (Value, error) {
+			if group != nil {
+				return evalAggregate(e, sc, row, group)
+			}
+			return eval(e, sc, row)
+		})
+	}
+	return cols, evals, nil
+}
+
+func exprName(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Column
+		}
+		return x.Column
+	case *AggregateExpr:
+		if x.Star {
+			return strings.ToLower(x.Func) + "(*)"
+		}
+		return strings.ToLower(x.Func) + "(" + exprName(x.Arg) + ")"
+	case *Literal:
+		return x.Val.Text()
+	default:
+		return "expr"
+	}
+}
+
+// projectGrouped evaluates aggregation queries.
+func projectGrouped(st *SelectStmt, sc *scope, rows []Row) (*Result, error) {
+	cols, evals, err := buildItems(st, sc)
+	if err != nil {
+		return nil, err
+	}
+	// Partition rows into groups.
+	groups := make(map[string][]Row)
+	var order []string
+	if len(st.GroupBy) == 0 {
+		groups[""] = rows
+		order = []string{""}
+	} else {
+		for _, row := range rows {
+			var kb strings.Builder
+			for _, ge := range st.GroupBy {
+				v, err := eval(ge, sc, row)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(fmt.Sprintf("%d:%s\x00", v.Kind, v.Text()))
+			}
+			k := kb.String()
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], row)
+		}
+	}
+	res := &Result{Columns: cols}
+	for _, k := range order {
+		g := groups[k]
+		if g == nil {
+			// An empty group (e.g. COUNT(*) over an empty table) must
+			// still take the aggregate path below.
+			g = []Row{}
+		}
+		var rep Row
+		if len(g) > 0 {
+			rep = g[0]
+		}
+		out := make(Row, 0, len(evals))
+		for _, f := range evals {
+			v, err := f(rep, g)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// evalAggregate evaluates an expression in a grouped context: aggregate
+// calls fold over the group; everything else uses the representative row.
+func evalAggregate(e Expr, sc *scope, rep Row, group []Row) (Value, error) {
+	if agg, ok := e.(*AggregateExpr); ok {
+		return foldAggregate(agg, sc, group)
+	}
+	if be, ok := e.(*BinaryExpr); ok && containsAggregate(be) {
+		l, err := evalAggregate(be.Left, sc, rep, group)
+		if err != nil {
+			return Null(), err
+		}
+		r, err := evalAggregate(be.Right, sc, rep, group)
+		if err != nil {
+			return Null(), err
+		}
+		return evalBinary(&BinaryExpr{Op: be.Op, Left: &Literal{Val: l}, Right: &Literal{Val: r}}, sc, rep)
+	}
+	return eval(e, sc, rep)
+}
+
+func foldAggregate(agg *AggregateExpr, sc *scope, group []Row) (Value, error) {
+	if agg.Star {
+		if agg.Func != "COUNT" {
+			return Null(), fmt.Errorf("sql: %s(*) is not valid", agg.Func)
+		}
+		return Int(int64(len(group))), nil
+	}
+	var vals []Value
+	for _, row := range group {
+		v, err := eval(agg.Arg, sc, row)
+		if err != nil {
+			return Null(), err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch agg.Func {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v.Float()
+		}
+		if agg.Func == "AVG" {
+			return Number(sum / float64(len(vals))), nil
+		}
+		return Number(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (agg.Func == "MIN" && c < 0) || (agg.Func == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Null(), fmt.Errorf("sql: unknown aggregate %s", agg.Func)
+	}
+}
+
+// orderRows sorts res.Rows by the ORDER BY keys. Keys that name an
+// output column (by alias or name) sort on the projected value; for
+// non-grouped queries other expressions are rejected to keep semantics
+// predictable.
+func orderRows(st *SelectStmt, sc *scope, res *Result) error {
+	type keyFn func(row Row) (Value, error)
+	var keys []keyFn
+	var descs []bool
+	for _, ok := range st.OrderBy {
+		ref, isRef := ok.Expr.(*ColumnRef)
+		pos := -1
+		if isRef && ref.Table == "" {
+			for i, c := range res.Columns {
+				if strings.EqualFold(c, ref.Column) {
+					pos = i
+					break
+				}
+			}
+		}
+		if pos < 0 && isRef {
+			// try qualified/unqualified full name against output headers
+			name := exprName(ref)
+			for i, c := range res.Columns {
+				if strings.EqualFold(c, name) {
+					pos = i
+					break
+				}
+			}
+		}
+		if pos < 0 {
+			return fmt.Errorf("sql: ORDER BY must reference an output column")
+		}
+		p := pos
+		keys = append(keys, func(row Row) (Value, error) {
+			if p >= len(row) {
+				return Null(), nil
+			}
+			return row[p], nil
+		})
+		descs = append(descs, ok.Desc)
+	}
+	var sortErr error
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for k, fn := range keys {
+			a, err := fn(res.Rows[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			b, err := fn(res.Rows[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := Compare(a, b)
+			if c == 0 {
+				continue
+			}
+			if descs[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}

@@ -1,0 +1,127 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators: ( ) , * = != <> < <= > >= . ;
+	tokKeyword // reserved words, upper-cased
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "LIKE": true, "IN": true, "IS": true, "NULL": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"GROUP": true, "UNION": true, "AS": true, "JOIN": true, "ON": true,
+	"INNER": true, "CREATE": true, "TABLE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DELETE": true, "DISTINCT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"ALL": true, "BETWEEN": true, "DROP": true,
+}
+
+// lex splits src into tokens, or reports the offending position.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // comment to end of line
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\'': // string literal, '' escapes a quote
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < n && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i
+			seenDot := false
+			for j < n && (src[j] >= '0' && src[j] <= '9' || (src[j] == '.' && !seenDot)) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			// multi-char operators first
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{tokSymbol, two, i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', '.', ';', '-', '+':
+				toks = append(toks, token{tokSymbol, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}

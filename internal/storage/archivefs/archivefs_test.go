@@ -1,0 +1,143 @@
+package archivefs
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"gosrb/internal/storage"
+	"gosrb/internal/storage/drivertest"
+)
+
+func TestConformance(t *testing.T) {
+	drivertest.Run(t, func(t *testing.T) storage.Driver {
+		a := New(Config{}) // zero latency so the suite runs fast
+		return a
+	})
+}
+
+// recorder swaps time.Sleep for a counter so stage waits are observable
+// without slowing tests.
+type recorder struct {
+	total time.Duration
+	calls int
+}
+
+func (r *recorder) sleep(d time.Duration) { r.total += d; r.calls++ }
+
+func newRecorded(cfg Config) (*FS, *recorder) {
+	a := New(cfg)
+	rec := &recorder{}
+	a.SetSleep(rec.sleep)
+	return a, rec
+}
+
+func TestColdOpenPaysStageLatency(t *testing.T) {
+	a, rec := newRecorded(Config{StageLatency: 100 * time.Millisecond})
+	if err := storage.WriteAll(a, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Writing stages the file, so the first read is warm.
+	if _, err := storage.ReadAll(a, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total != 0 {
+		t.Errorf("warm read slept %v", rec.total)
+	}
+	st := a.Stats()
+	if st.Stages != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEvictionForcesRestage(t *testing.T) {
+	a, rec := newRecorded(Config{StageLatency: time.Second, StageCapacity: 2})
+	for _, p := range []string{"/a", "/b", "/c"} {
+		if err := storage.WriteAll(a, p, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2: writing /c evicted /a.
+	if a.Staged("/a") {
+		t.Error("/a should have been evicted")
+	}
+	if !a.Staged("/b") || !a.Staged("/c") {
+		t.Error("/b and /c should be staged")
+	}
+	before := rec.total
+	if _, err := storage.ReadAll(a, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total-before != time.Second {
+		t.Errorf("re-stage slept %v, want 1s", rec.total-before)
+	}
+	if st := a.Stats(); st.Evictions < 1 {
+		t.Errorf("stats = %+v, want evictions", st)
+	}
+}
+
+func TestLRUOrderRespectsAccess(t *testing.T) {
+	a, _ := newRecorded(Config{StageLatency: time.Second, StageCapacity: 2})
+	storage.WriteAll(a, "/a", []byte("1"))
+	storage.WriteAll(a, "/b", []byte("2"))
+	// Touch /a so /b becomes the LRU victim.
+	if _, err := storage.ReadAll(a, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	storage.WriteAll(a, "/c", []byte("3"))
+	if !a.Staged("/a") {
+		t.Error("recently read /a should survive")
+	}
+	if a.Staged("/b") {
+		t.Error("/b should be the eviction victim")
+	}
+}
+
+func TestBandwidthThrottle(t *testing.T) {
+	a, rec := newRecorded(Config{BandwidthBytesPerSec: 1 << 20}) // 1 MiB/s
+	data := make([]byte, 1<<20)
+	if err := storage.WriteAll(a, "/big", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Open("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		t.Fatal(err)
+	}
+	// Reading 1 MiB at 1 MiB/s should accumulate ~1s of simulated wait.
+	if rec.total < 900*time.Millisecond || rec.total > 1100*time.Millisecond {
+		t.Errorf("throttle waited %v, want ~1s", rec.total)
+	}
+}
+
+func TestRemoveUnstages(t *testing.T) {
+	a, _ := newRecorded(Config{StageLatency: time.Second})
+	storage.WriteAll(a, "/f", []byte("x"))
+	if !a.Staged("/f") {
+		t.Fatal("write should stage")
+	}
+	if err := a.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Staged("/f") {
+		t.Error("remove should unstage")
+	}
+}
+
+func TestRenameUnstagesOldPath(t *testing.T) {
+	a, rec := newRecorded(Config{StageLatency: time.Second})
+	storage.WriteAll(a, "/old", []byte("x"))
+	if err := a.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	before := rec.total
+	if _, err := storage.ReadAll(a, "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total-before != time.Second {
+		t.Errorf("read after rename should be cold, slept %v", rec.total-before)
+	}
+}

@@ -1,0 +1,64 @@
+package dbfs
+
+import (
+	"testing"
+
+	"gosrb/internal/storage"
+	"gosrb/internal/storage/drivertest"
+)
+
+func TestConformance(t *testing.T) {
+	drivertest.Run(t, func(t *testing.T) storage.Driver { return New() })
+}
+
+func TestQuotingInPaths(t *testing.T) {
+	f := New()
+	// A path containing a quote must not break or inject SQL.
+	p := "/it's/a file'"
+	if err := storage.WriteAll(f, p, []byte("quoted")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := storage.ReadAll(f, p)
+	if err != nil || string(got) != "quoted" {
+		t.Errorf("read = %q, %v", got, err)
+	}
+	// The LOB table still has exactly one row for it.
+	res, err := f.Database().Exec("SELECT COUNT(*) FROM srb_lobs")
+	if err != nil || res.Rows[0][0].Float() != 1 {
+		t.Errorf("rows = %v, %v", res.Rows, err)
+	}
+}
+
+func TestBinarySafety(t *testing.T) {
+	f := New()
+	data := []byte{0, 1, 2, 255, 254, '\'', '\n', 0}
+	if err := storage.WriteAll(f, "/bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := storage.ReadAll(f, "/bin")
+	if err != nil || string(got) != string(data) {
+		t.Errorf("binary round trip failed: %v, %v", got, err)
+	}
+}
+
+func TestUserTablesCoexist(t *testing.T) {
+	f := New()
+	db := f.Database()
+	if _, err := db.Exec("CREATE TABLE stars (name, mag)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO stars VALUES ('vega', 0.03)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteAll(f, "/lob1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT name FROM stars WHERE mag < 1")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Text() != "vega" {
+		t.Errorf("user table query = %v, %v", res.Rows, err)
+	}
+	u := f.Usage()
+	if u.Files != 1 || u.Bytes != 1 {
+		t.Errorf("usage = %+v", u)
+	}
+}

@@ -1,0 +1,87 @@
+package urlfs
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gosrb/internal/types"
+)
+
+func TestMemScheme(t *testing.T) {
+	f := NewFetcher()
+	f.RegisterMemBytes("mem://reports/daily", []byte("report body"))
+	got, err := f.Fetch("mem://reports/daily")
+	if err != nil || string(got) != "report body" {
+		t.Errorf("Fetch = %q, %v", got, err)
+	}
+	if _, err := f.Fetch("mem://missing"); !errors.Is(err, types.ErrNotFound) {
+		t.Errorf("missing mem: %v", err)
+	}
+	// Dynamic handler: contents can vary with time, as the paper notes
+	// for registered queries and URLs.
+	n := 0
+	f.RegisterMem("mem://dyn", func() ([]byte, error) {
+		n++
+		return []byte(strings.Repeat("x", n)), nil
+	})
+	a, _ := f.Fetch("mem://dyn")
+	b, _ := f.Fetch("mem://dyn")
+	if len(a) != 1 || len(b) != 2 {
+		t.Errorf("dynamic fetch = %d then %d bytes", len(a), len(b))
+	}
+	// Unregister.
+	f.RegisterMem("mem://dyn", nil)
+	if _, err := f.Fetch("mem://dyn"); !errors.Is(err, types.ErrNotFound) {
+		t.Errorf("unregistered: %v", err)
+	}
+}
+
+func TestHTTPScheme(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			w.Write([]byte("hello from web"))
+		case "/boom":
+			http.Error(w, "nope", http.StatusInternalServerError)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	f := NewFetcher()
+	got, err := f.Fetch(srv.URL + "/ok")
+	if err != nil || string(got) != "hello from web" {
+		t.Errorf("http fetch = %q, %v", got, err)
+	}
+	if _, err := f.Fetch(srv.URL + "/missing"); !errors.Is(err, types.ErrNotFound) {
+		t.Errorf("404: %v", err)
+	}
+	if _, err := f.Fetch(srv.URL + "/boom"); err == nil {
+		t.Error("500 should fail")
+	}
+}
+
+func TestSizeLimit(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 1000))
+	}))
+	defer srv.Close()
+	f := NewFetcher()
+	f.MaxBytes = 100
+	if _, err := f.Fetch(srv.URL); !errors.Is(err, types.ErrInvalid) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestUnsupportedScheme(t *testing.T) {
+	f := NewFetcher()
+	if _, err := f.Fetch("gopher://old"); !errors.Is(err, types.ErrUnsupported) {
+		t.Errorf("gopher: %v", err)
+	}
+	if _, err := f.Fetch("://bad"); !errors.Is(err, types.ErrInvalid) {
+		t.Errorf("malformed: %v", err)
+	}
+}

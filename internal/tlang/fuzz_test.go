@@ -1,0 +1,32 @@
+package tlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExtractor ensures extraction scripts never panic the
+// compiler, and compiled scripts never panic on arbitrary input.
+func FuzzParseExtractor(f *testing.F) {
+	f.Add("match /x(\\d+)/ -> n = $1", "x42\n")
+	f.Add("first /a/ -> a = $0\nstop /end/", "a\nend\na\n")
+	f.Add("set k = \"v\" units \"u\"", "")
+	f.Add("match /(/ -> broken = $1", "input")
+	f.Fuzz(func(t *testing.T, script, input string) {
+		ex, err := ParseExtractor(script)
+		if err != nil {
+			return
+		}
+		ex.Extract(strings.NewReader(input)) // must not panic
+	})
+}
+
+// FuzzParseTemplate ensures style sheets never panic.
+func FuzzParseTemplate(f *testing.F) {
+	f.Add("head: h\nrow: $1 ${col}\ntail: t")
+	f.Add("row:\nmulti\nline")
+	f.Add("no sections")
+	f.Fuzz(func(t *testing.T, src string) {
+		ParseTemplate(src) // must not panic
+	})
+}

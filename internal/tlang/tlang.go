@@ -1,0 +1,481 @@
+// Package tlang implements the T-language, SRB's interpreted language
+// for rule-based metadata extraction and for style sheets that render
+// query results (paper §5: extraction methods "written in T-language,
+// which has a simple form of rules for identifying metadata values and
+// associating them with metadata names", and registered-SQL templates
+// where "the user specifies a file already in SRB as the style-sheet").
+//
+// The paper does not publish a grammar, so this package defines a
+// small, regular one in the same spirit:
+//
+// Extraction scripts are line-oriented; '#' starts a comment.
+//
+//	match /regex/ -> name = $1 [units $2]   emit an AVU per matching line
+//	first /regex/ -> name = $1 [units $2]   emit only on the first match
+//	set name = "literal" [units "u"]        unconditional AVU
+//	stop /regex/                            stop scanning at this line
+//
+// The name may itself be a capture reference ($1), so generic scripts
+// can lift `KEY = value` header styles (FITS cards, HTTP headers).
+//
+// Style sheets have three sections rendered around a tabular result:
+//
+//	head: <arbitrary text>
+//	row:  text with $1..$n positional and ${column} named substitutions
+//	tail: <arbitrary text>
+//
+// The built-in templates HTMLREL, HTMLNEST and XMLREL named in the
+// paper are provided by RenderBuiltin.
+package tlang
+
+import (
+	"bufio"
+	"fmt"
+	"html"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"gosrb/internal/sqlengine"
+	"gosrb/internal/types"
+)
+
+// ruleKind discriminates extraction statements.
+type ruleKind int
+
+const (
+	ruleMatch ruleKind = iota
+	ruleFirst
+	ruleSet
+	ruleStop
+)
+
+type rule struct {
+	kind  ruleKind
+	re    *regexp.Regexp
+	name  string // literal name or $n reference
+	value string // value template with $n references (ruleMatch/First) or literal (ruleSet)
+	units string // units template or literal
+	fired bool   // for ruleFirst
+}
+
+// Extractor is a compiled extraction script.
+type Extractor struct {
+	rules []rule
+}
+
+// ParseExtractor compiles an extraction script.
+func ParseExtractor(src string) (*Extractor, error) {
+	ex := &Extractor{}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := parseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("tlang: line %d: %w", lineNo, err)
+		}
+		ex.rules = append(ex.rules, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tlang: %w", err)
+	}
+	if len(ex.rules) == 0 {
+		return nil, fmt.Errorf("tlang: empty extraction script")
+	}
+	return ex, nil
+}
+
+func parseRule(line string) (rule, error) {
+	switch {
+	case strings.HasPrefix(line, "match "), strings.HasPrefix(line, "first "):
+		kind := ruleMatch
+		if strings.HasPrefix(line, "first ") {
+			kind = ruleFirst
+		}
+		rest := strings.TrimSpace(line[len("match "):])
+		re, after, err := parseRegex(rest)
+		if err != nil {
+			return rule{}, err
+		}
+		after = strings.TrimSpace(after)
+		if !strings.HasPrefix(after, "->") {
+			return rule{}, fmt.Errorf("expected '->' after pattern")
+		}
+		name, value, units, err := parseAssignment(strings.TrimSpace(after[2:]), true)
+		if err != nil {
+			return rule{}, err
+		}
+		return rule{kind: kind, re: re, name: name, value: value, units: units}, nil
+	case strings.HasPrefix(line, "set "):
+		name, value, units, err := parseAssignment(strings.TrimSpace(line[len("set "):]), false)
+		if err != nil {
+			return rule{}, err
+		}
+		return rule{kind: ruleSet, name: name, value: value, units: units}, nil
+	case strings.HasPrefix(line, "stop "):
+		re, after, err := parseRegex(strings.TrimSpace(line[len("stop "):]))
+		if err != nil {
+			return rule{}, err
+		}
+		if strings.TrimSpace(after) != "" {
+			return rule{}, fmt.Errorf("trailing text after stop pattern")
+		}
+		return rule{kind: ruleStop, re: re}, nil
+	default:
+		return rule{}, fmt.Errorf("unknown statement %q", strings.Fields(line)[0])
+	}
+}
+
+// parseRegex consumes a /.../ pattern, returning the compiled regexp
+// and the remainder of the line. A backslash escapes a slash.
+func parseRegex(s string) (*regexp.Regexp, string, error) {
+	if !strings.HasPrefix(s, "/") {
+		return nil, "", fmt.Errorf("expected /pattern/")
+	}
+	var pat strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) && s[i+1] == '/' {
+			pat.WriteByte('/')
+			i += 2
+			continue
+		}
+		if c == '/' {
+			re, err := regexp.Compile(pat.String())
+			if err != nil {
+				return nil, "", fmt.Errorf("bad pattern: %w", err)
+			}
+			return re, s[i+1:], nil
+		}
+		pat.WriteByte(c)
+		i++
+	}
+	return nil, "", fmt.Errorf("unterminated /pattern/")
+}
+
+// parseAssignment parses `name = value [units u]`. When captures is
+// true, bare words may contain $n references; quoted strings are
+// literal either way.
+func parseAssignment(s string, captures bool) (name, value, units string, err error) {
+	eq := strings.Index(s, "=")
+	if eq < 0 {
+		return "", "", "", fmt.Errorf("expected '=' in assignment")
+	}
+	name = strings.TrimSpace(s[:eq])
+	if name == "" {
+		return "", "", "", fmt.Errorf("empty attribute name")
+	}
+	rest := strings.TrimSpace(s[eq+1:])
+	value, rest, err = parseToken(rest)
+	if err != nil {
+		return "", "", "", err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "" {
+		if !strings.HasPrefix(rest, "units") {
+			return "", "", "", fmt.Errorf("unexpected trailing %q", rest)
+		}
+		units, rest, err = parseToken(strings.TrimSpace(rest[len("units"):]))
+		if err != nil {
+			return "", "", "", err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return "", "", "", fmt.Errorf("unexpected trailing %q", rest)
+		}
+	}
+	_ = captures
+	return name, value, units, nil
+}
+
+// parseToken reads either a double-quoted string or a bare word.
+func parseToken(s string) (string, string, error) {
+	if s == "" {
+		return "", "", fmt.Errorf("expected value")
+	}
+	if s[0] == '"' {
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	}
+	fields := strings.SplitN(s, " ", 2)
+	rest := ""
+	if len(fields) == 2 {
+		rest = fields[1]
+	}
+	return fields[0], rest, nil
+}
+
+// substitute expands $0..$9 capture references against a regexp match.
+func substitute(tpl string, m []string) string {
+	var b strings.Builder
+	for i := 0; i < len(tpl); i++ {
+		if tpl[i] == '$' && i+1 < len(tpl) && tpl[i+1] >= '0' && tpl[i+1] <= '9' {
+			n := int(tpl[i+1] - '0')
+			if n < len(m) {
+				b.WriteString(m[n])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(tpl[i])
+	}
+	return b.String()
+}
+
+// Extract runs the script over r line by line and returns the emitted
+// metadata triplets in encounter order.
+func (e *Extractor) Extract(r io.Reader) ([]types.AVU, error) {
+	// Reset one-shot state so an Extractor is reusable.
+	rules := make([]rule, len(e.rules))
+	copy(rules, e.rules)
+
+	var out []types.AVU
+	for _, ru := range rules {
+		if ru.kind == ruleSet {
+			out = append(out, types.AVU{Name: ru.name, Value: ru.value, Units: ru.units})
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+scan:
+	for sc.Scan() {
+		line := sc.Text()
+		for i := range rules {
+			ru := &rules[i]
+			switch ru.kind {
+			case ruleStop:
+				if ru.re.MatchString(line) {
+					break scan
+				}
+			case ruleMatch, ruleFirst:
+				if ru.kind == ruleFirst && ru.fired {
+					continue
+				}
+				m := ru.re.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				ru.fired = true
+				avu := types.AVU{
+					Name:  strings.TrimSpace(substitute(ru.name, m)),
+					Value: strings.TrimSpace(substitute(ru.value, m)),
+					Units: strings.TrimSpace(substitute(ru.units, m)),
+				}
+				if avu.Name != "" {
+					out = append(out, avu)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tlang: extract: %w", err)
+	}
+	return out, nil
+}
+
+// Template is a compiled style sheet.
+type Template struct {
+	head, row, tail string
+}
+
+// ParseTemplate compiles a style sheet with head:/row:/tail: sections.
+// Section bodies run to the next section keyword; leading and trailing
+// blank lines are trimmed.
+func ParseTemplate(src string) (*Template, error) {
+	t := &Template{}
+	sections := map[string]*string{"head": &t.head, "row": &t.row, "tail": &t.tail}
+	var cur *string
+	seen := false
+	sc := bufio.NewScanner(strings.NewReader(src))
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		matched := false
+		for key, dst := range sections {
+			if strings.HasPrefix(trimmed, key+":") {
+				cur = dst
+				body := strings.TrimPrefix(trimmed, key+":")
+				if strings.TrimSpace(body) != "" {
+					*cur = strings.TrimSpace(body)
+				}
+				matched = true
+				seen = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		if cur == nil {
+			if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+				continue
+			}
+			return nil, fmt.Errorf("tlang: template text outside a section: %q", trimmed)
+		}
+		if *cur == "" {
+			*cur = line
+		} else {
+			*cur += "\n" + line
+		}
+	}
+	if !seen {
+		return nil, fmt.Errorf("tlang: template has no head:/row:/tail: sections")
+	}
+	return t, nil
+}
+
+// Render writes the result through the style sheet: head once, the row
+// section per tuple with $n positional and ${column} named values, and
+// tail once.
+func (t *Template) Render(w io.Writer, res *sqlengine.Result) error {
+	if t.head != "" {
+		if _, err := io.WriteString(w, t.head+"\n"); err != nil {
+			return err
+		}
+	}
+	for _, row := range res.Rows {
+		line := t.row
+		// named first so ${name} is not clobbered by positional passes
+		for ci, col := range res.Columns {
+			if ci < len(row) {
+				line = strings.ReplaceAll(line, "${"+col+"}", row[ci].Text())
+			}
+		}
+		for ci := len(row); ci >= 1; ci-- {
+			line = strings.ReplaceAll(line, "$"+strconv.Itoa(ci), row[ci-1].Text())
+		}
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	if t.tail != "" {
+		if _, err := io.WriteString(w, t.tail+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Builtin template names (paper §5, registered SQL objects).
+const (
+	TemplateHTMLRel  = "HTMLREL"
+	TemplateHTMLNest = "HTMLNEST"
+	TemplateXMLRel   = "XMLREL"
+)
+
+// IsBuiltin reports whether name names a built-in template.
+func IsBuiltin(name string) bool {
+	switch strings.ToUpper(name) {
+	case TemplateHTMLRel, TemplateHTMLNest, TemplateXMLRel:
+		return true
+	}
+	return false
+}
+
+// RenderBuiltin renders res with one of the built-in templates:
+// HTMLREL prints a relational HTML table, HTMLNEST a nested HTML table
+// grouped by the first column, and XMLREL XML with a simple DTD.
+func RenderBuiltin(name string, w io.Writer, res *sqlengine.Result) error {
+	switch strings.ToUpper(name) {
+	case TemplateHTMLRel:
+		return renderHTMLRel(w, res)
+	case TemplateHTMLNest:
+		return renderHTMLNest(w, res)
+	case TemplateXMLRel:
+		return renderXMLRel(w, res)
+	default:
+		return fmt.Errorf("tlang: unknown built-in template %q", name)
+	}
+}
+
+func renderHTMLRel(w io.Writer, res *sqlengine.Result) error {
+	var b strings.Builder
+	b.WriteString("<table border=\"1\">\n<tr>")
+	for _, c := range res.Columns {
+		b.WriteString("<th>" + html.EscapeString(c) + "</th>")
+	}
+	b.WriteString("</tr>\n")
+	for _, row := range res.Rows {
+		b.WriteString("<tr>")
+		for _, v := range row {
+			b.WriteString("<td>" + html.EscapeString(v.Text()) + "</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderHTMLNest(w io.Writer, res *sqlengine.Result) error {
+	var b strings.Builder
+	b.WriteString("<table border=\"1\">\n")
+	// Group consecutive rows by the first column's value and nest the
+	// remaining columns in an inner table.
+	i := 0
+	for i < len(res.Rows) {
+		key := ""
+		if len(res.Rows[i]) > 0 {
+			key = res.Rows[i][0].Text()
+		}
+		b.WriteString("<tr><td>" + html.EscapeString(key) + "</td><td><table>\n")
+		for i < len(res.Rows) {
+			row := res.Rows[i]
+			k := ""
+			if len(row) > 0 {
+				k = row[0].Text()
+			}
+			if k != key {
+				break
+			}
+			b.WriteString("<tr>")
+			for ci := 1; ci < len(row); ci++ {
+				b.WriteString("<td>" + html.EscapeString(row[ci].Text()) + "</td>")
+			}
+			b.WriteString("</tr>\n")
+			i++
+		}
+		b.WriteString("</table></td></tr>\n")
+	}
+	b.WriteString("</table>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderXMLRel(w io.Writer, res *sqlengine.Result) error {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0"?>` + "\n")
+	b.WriteString("<!DOCTYPE result [\n" +
+		"  <!ELEMENT result (row*)>\n" +
+		"  <!ELEMENT row (col*)>\n" +
+		"  <!ELEMENT col (#PCDATA)>\n" +
+		"  <!ATTLIST col name CDATA #REQUIRED>\n]>\n")
+	b.WriteString("<result>\n")
+	for _, row := range res.Rows {
+		b.WriteString("  <row>")
+		for ci, v := range row {
+			name := ""
+			if ci < len(res.Columns) {
+				name = res.Columns[ci]
+			}
+			b.WriteString(`<col name="` + xmlEscape(name) + `">` + xmlEscape(v.Text()) + "</col>")
+		}
+		b.WriteString("</row>\n")
+	}
+	b.WriteString("</result>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+var xmlReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+
+func xmlEscape(s string) string { return xmlReplacer.Replace(s) }

@@ -1,0 +1,302 @@
+package tlang
+
+import (
+	"strings"
+	"testing"
+
+	"gosrb/internal/sqlengine"
+)
+
+const fitsHeader = `SIMPLE  =                    T / conforms to FITS standard
+BITPIX  =                   16 / bits per pixel
+NAXIS   =                    2
+OBJECT  = 'M31     '           / target name
+TELESCOP= '2MASS   '
+EXPTIME =                 7.80 / seconds
+END
+GARBAGE = 'after end'
+`
+
+// fitsScript is the style of extraction method the paper describes for
+// FITS files: lift KEY = value header cards as metadata triplets.
+const fitsScript = `
+# generic FITS card extractor
+stop /^END\b/
+match /^([A-Z][A-Z0-9_-]*)\s*=\s*'([^']*)'/ -> $1 = $2
+match /^([A-Z][A-Z0-9_-]*)\s*=\s*([0-9.TF+-]+)/ -> $1 = $2
+set content-type = "fits image"
+`
+
+func TestExtractFITS(t *testing.T) {
+	ex, err := ParseExtractor(fitsScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avus, err := ex.Extract(strings.NewReader(fitsHeader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, a := range avus {
+		got[a.Name] = a.Value
+	}
+	want := map[string]string{
+		"SIMPLE":       "T",
+		"BITPIX":       "16",
+		"NAXIS":        "2",
+		"OBJECT":       "M31",
+		"TELESCOP":     "2MASS",
+		"EXPTIME":      "7.80",
+		"content-type": "fits image",
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %q, want %q", k, got[k], v)
+		}
+	}
+	if _, ok := got["GARBAGE"]; ok {
+		t.Error("stop rule should halt before GARBAGE")
+	}
+}
+
+func TestFirstFiresOnce(t *testing.T) {
+	ex, err := ParseExtractor(`first /title: (.+)/ -> title = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avus, err := ex.Extract(strings.NewReader("title: one\ntitle: two\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avus) != 1 || avus[0].Value != "one" {
+		t.Errorf("first = %+v", avus)
+	}
+}
+
+func TestMatchFiresEveryLine(t *testing.T) {
+	ex, err := ParseExtractor(`match /kw: (\w+)/ -> keyword = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avus, err := ex.Extract(strings.NewReader("kw: a\nkw: b\nkw: c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avus) != 3 {
+		t.Fatalf("avus = %+v", avus)
+	}
+	if avus[2].Value != "c" {
+		t.Errorf("third = %+v", avus[2])
+	}
+}
+
+func TestUnitsCapture(t *testing.T) {
+	ex, err := ParseExtractor(`match /^exposure\s+([0-9.]+)\s+(\w+)/ -> exposure = $1 units $2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avus, err := ex.Extract(strings.NewReader("exposure 7.8 seconds\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avus) != 1 || avus[0].Units != "seconds" || avus[0].Value != "7.8" {
+		t.Errorf("avus = %+v", avus)
+	}
+}
+
+func TestSetWithQuotedUnits(t *testing.T) {
+	ex, err := ParseExtractor(`set curator = "a b c" units "role"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avus, err := ex.Extract(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avus) != 1 || avus[0].Value != "a b c" || avus[0].Units != "role" {
+		t.Errorf("avus = %+v", avus)
+	}
+}
+
+func TestExtractorReusable(t *testing.T) {
+	ex, err := ParseExtractor(`first /x=(\d+)/ -> x = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		avus, err := ex.Extract(strings.NewReader("x=1\nx=2\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(avus) != 1 || avus[0].Value != "1" {
+			t.Fatalf("run %d: %+v", i, avus)
+		}
+	}
+}
+
+func TestEscapedSlashInPattern(t *testing.T) {
+	ex, err := ParseExtractor(`match /path: (\/\w+)/ -> path = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avus, err := ex.Extract(strings.NewReader("path: /data\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avus) != 1 || avus[0].Value != "/data" {
+		t.Errorf("avus = %+v", avus)
+	}
+}
+
+func TestParseExtractorErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"# only a comment",
+		"frobnicate /x/ -> a = $1",
+		"match /unterminated -> a = $1",
+		"match /x/ a = $1",
+		"match /x/ -> = $1",
+		"match /x/ -> a $1",
+		"match /[/ -> a = $1",
+		"stop /x/ trailing",
+		`set a = "unterminated`,
+		"match /x/ -> a = $1 unit b",
+	} {
+		if _, err := ParseExtractor(bad); err == nil {
+			t.Errorf("ParseExtractor(%q) should fail", bad)
+		}
+	}
+}
+
+func result() *sqlengine.Result {
+	return &sqlengine.Result{
+		Columns: []string{"survey", "name", "mag"},
+		Rows: []sqlengine.Row{
+			{sqlengine.String("2mass"), sqlengine.String("m31"), sqlengine.Number(3.4)},
+			{sqlengine.String("2mass"), sqlengine.String("m42"), sqlengine.Number(4)},
+			{sqlengine.String("dposs"), sqlengine.String("<ngc&253>"), sqlengine.Number(7.1)},
+		},
+	}
+}
+
+func TestHTMLRel(t *testing.T) {
+	var b strings.Builder
+	if err := RenderBuiltin("HTMLREL", &b, result()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<th>survey</th>", "<td>m31</td>", "&lt;ngc&amp;253&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTMLREL missing %q in %q", want, out)
+		}
+	}
+	if strings.Contains(out, "<ngc") {
+		t.Error("HTMLREL must escape cell contents")
+	}
+}
+
+func TestHTMLNestGroupsByFirstColumn(t *testing.T) {
+	var b strings.Builder
+	if err := RenderBuiltin("htmlnest", &b, result()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "<td>2mass</td>") != 1 {
+		t.Errorf("2mass group should appear once:\n%s", out)
+	}
+	if strings.Count(out, "<td>dposs</td>") != 1 {
+		t.Errorf("dposs group should appear once:\n%s", out)
+	}
+}
+
+func TestXMLRel(t *testing.T) {
+	var b strings.Builder
+	if err := RenderBuiltin("XMLREL", &b, result()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`<?xml version="1.0"?>`,
+		"<!DOCTYPE result",
+		`<col name="survey">2mass</col>`,
+		"&lt;ngc&amp;253&gt;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XMLREL missing %q", want)
+		}
+	}
+}
+
+func TestRenderBuiltinUnknown(t *testing.T) {
+	if err := RenderBuiltin("nope", &strings.Builder{}, result()); err == nil {
+		t.Error("unknown builtin should fail")
+	}
+	if !IsBuiltin("xmlrel") || IsBuiltin("custom.t") {
+		t.Error("IsBuiltin wrong")
+	}
+}
+
+func TestCustomTemplate(t *testing.T) {
+	tpl, err := ParseTemplate(`
+head: == results ==
+row: $2 in ${survey} at mag $3
+tail: == end ==
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tpl.Render(&b, result()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "== results ==\n") || !strings.HasSuffix(out, "== end ==\n") {
+		t.Errorf("head/tail missing:\n%s", out)
+	}
+	if !strings.Contains(out, "m31 in 2mass at mag 3.4") {
+		t.Errorf("row substitution failed:\n%s", out)
+	}
+}
+
+func TestTemplateMultilineRow(t *testing.T) {
+	tpl, err := ParseTemplate("row:\n<item>\n  $1\n</item>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	res := &sqlengine.Result{Columns: []string{"c"}, Rows: []sqlengine.Row{{sqlengine.String("v")}}}
+	if err := tpl.Render(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<item>\n  v\n</item>") {
+		t.Errorf("multiline row:\n%q", b.String())
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	if _, err := ParseTemplate("no sections here"); err == nil {
+		t.Error("sectionless template should fail")
+	}
+	if _, err := ParseTemplate(""); err == nil {
+		t.Error("empty template should fail")
+	}
+}
+
+func TestTemplatePositionalTenPlus(t *testing.T) {
+	// $1 substitution must not corrupt $10-style names ($10 is treated
+	// as $1 followed by '0' in this dialect; document via test).
+	tpl, err := ParseTemplate("row: $1-$2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	res := &sqlengine.Result{Columns: []string{"a", "b"}, Rows: []sqlengine.Row{
+		{sqlengine.String("x"), sqlengine.String("y")},
+	}}
+	if err := tpl.Render(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "x-y" {
+		t.Errorf("got %q", b.String())
+	}
+}

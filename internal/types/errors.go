@@ -1,0 +1,62 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors shared across the grid. Wrap them with OpError to add
+// operation and path context; callers test with errors.Is.
+var (
+	// ErrNotFound reports a missing object, collection, resource or user.
+	ErrNotFound = errors.New("not found")
+	// ErrExists reports a name collision in the logical name space.
+	ErrExists = errors.New("already exists")
+	// ErrPermission reports an access-control denial.
+	ErrPermission = errors.New("permission denied")
+	// ErrLocked reports an operation blocked by an active lock or checkout.
+	ErrLocked = errors.New("locked")
+	// ErrOffline reports that no online resource could serve the request.
+	ErrOffline = errors.New("resource offline")
+	// ErrInvalid reports a malformed argument (bad path, bad kind, ...).
+	ErrInvalid = errors.New("invalid argument")
+	// ErrNotEmpty reports deletion of a non-empty collection or container.
+	ErrNotEmpty = errors.New("not empty")
+	// ErrUnsupported reports an operation the object kind does not allow,
+	// e.g. replicating a file inside a registered directory.
+	ErrUnsupported = errors.New("operation not supported for this object kind")
+	// ErrAuth reports an authentication failure (bad credential, expired
+	// session, unknown user).
+	ErrAuth = errors.New("authentication failed")
+	// ErrMandatoryMeta reports ingestion missing a mandatory structural
+	// attribute required by the target collection.
+	ErrMandatoryMeta = errors.New("mandatory metadata missing")
+)
+
+// OpError carries the failing operation and logical path along with the
+// underlying cause, in the style of os.PathError.
+type OpError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+// Error formats as "op path: cause".
+func (e *OpError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("srb: %s: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("srb: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is and errors.As.
+func (e *OpError) Unwrap() error { return e.Err }
+
+// E wraps err with operation and path context. It returns nil when err
+// is nil so call sites can wrap unconditionally.
+func E(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &OpError{Op: op, Path: path, Err: err}
+}

@@ -1,0 +1,35 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPathOps ensures the logical-path helpers uphold their contracts
+// on arbitrary input: cleaned paths are absolute and idempotent, and
+// the Parent/Base/Join relations hold.
+func FuzzPathOps(f *testing.F) {
+	f.Add("/a/b/c", "name")
+	f.Add("", "..")
+	f.Add("//..//x", "y/z")
+	f.Fuzz(func(t *testing.T, p, name string) {
+		c := CleanPath(p)
+		if !strings.HasPrefix(c, "/") {
+			t.Fatalf("CleanPath(%q) = %q not absolute", p, c)
+		}
+		if CleanPath(c) != c {
+			t.Fatalf("CleanPath not idempotent on %q", p)
+		}
+		for _, a := range Ancestors(c) {
+			if !WithinOrEqual(a, c) {
+				t.Fatalf("ancestor %q not above %q", a, c)
+			}
+		}
+		if ValidName(name) && !strings.Contains(name, ".") {
+			j := Join(c, name)
+			if Parent(j) != c || Base(j) != name {
+				t.Fatalf("Join/Parent/Base mismatch: %q + %q -> %q", c, name, j)
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"//", "/"},
+		{"a", "/a"},
+		{"/a/", "/a"},
+		{"/a//b", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"/a/b/../c", "/a/c"},
+		{"/../a", "/a"},
+		{"a/b/c", "/a/b/c"},
+	}
+	for _, c := range cases {
+		if got := CleanPath(c.in); got != c.want {
+			t.Errorf("CleanPath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJoinBaseParent(t *testing.T) {
+	if got := Join("/a", "b", "c"); got != "/a/b/c" {
+		t.Errorf("Join = %q", got)
+	}
+	if got := Join("", "x"); got != "/x" {
+		t.Errorf("Join empty = %q", got)
+	}
+	if got := Base("/a/b"); got != "b" {
+		t.Errorf("Base = %q", got)
+	}
+	if got := Base("/"); got != "/" {
+		t.Errorf("Base root = %q", got)
+	}
+	if got := Parent("/a/b"); got != "/a" {
+		t.Errorf("Parent = %q", got)
+	}
+	if got := Parent("/a"); got != "/" {
+		t.Errorf("Parent top = %q", got)
+	}
+	if got := Parent("/"); got != "/" {
+		t.Errorf("Parent root = %q", got)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		c, p string
+		want bool
+	}{
+		{"/", "/a", true},
+		{"/", "/", false},
+		{"/a", "/a", false},
+		{"/a", "/a/b", true},
+		{"/a", "/ab", false},
+		{"/a/b", "/a/b/c/d", true},
+		{"/a/b", "/a", false},
+	}
+	for _, c := range cases {
+		if got := Within(c.c, c.p); got != c.want {
+			t.Errorf("Within(%q, %q) = %v, want %v", c.c, c.p, got, c.want)
+		}
+	}
+	if !WithinOrEqual("/a", "/a") {
+		t.Error("WithinOrEqual same path should be true")
+	}
+	if WithinOrEqual("/a", "/b") {
+		t.Error("WithinOrEqual sibling should be false")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	got := Ancestors("/a/b/c")
+	want := []string{"/", "/a", "/a/b"}
+	if len(got) != len(want) {
+		t.Fatalf("Ancestors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ancestors[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if a := Ancestors("/"); a != nil {
+		t.Errorf("Ancestors(/) = %v, want nil", a)
+	}
+	if a := Ancestors("/top"); len(a) != 1 || a[0] != "/" {
+		t.Errorf("Ancestors(/top) = %v", a)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, bad := range []string{"", ".", "..", "a/b", "a\x00b"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+	for _, good := range []string{"a", "file.txt", "with space", "..."} {
+		if !ValidName(good) {
+			t.Errorf("ValidName(%q) = false, want true", good)
+		}
+	}
+}
+
+func TestRebase(t *testing.T) {
+	cases := []struct{ from, to, p, want string }{
+		{"/a", "/x", "/a/b/c", "/x/b/c"},
+		{"/a", "/x", "/a", "/x"},
+		{"/a", "/x", "/other", "/other"},
+		{"/", "/x", "/a", "/x/a"},
+		{"/a/b", "/a/c", "/a/b/f.txt", "/a/c/f.txt"},
+	}
+	for _, c := range cases {
+		if got := Rebase(c.from, c.to, c.p); got != c.want {
+			t.Errorf("Rebase(%q,%q,%q) = %q, want %q", c.from, c.to, c.p, got, c.want)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if Depth("/") != 0 || Depth("/a") != 1 || Depth("/a/b/c") != 3 {
+		t.Errorf("Depth wrong: %d %d %d", Depth("/"), Depth("/a"), Depth("/a/b/c"))
+	}
+}
+
+// Property: CleanPath is idempotent and always yields an absolute path.
+func TestCleanPathProperties(t *testing.T) {
+	f := func(s string) bool {
+		c := CleanPath(s)
+		return strings.HasPrefix(c, "/") && CleanPath(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for valid names, Parent(Join(c, n)) round-trips back to the
+// cleaned collection and Base recovers the name.
+func TestJoinRoundTrip(t *testing.T) {
+	f := func(coll, name string) bool {
+		if !ValidName(name) || strings.Contains(name, ".") {
+			return true // skip names Clean could rewrite
+		}
+		c := CleanPath(coll)
+		p := Join(c, name)
+		return Parent(p) == c && Base(p) == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Within(c, p) implies Rebase(c, c, p) == p (identity rebase).
+func TestRebaseIdentity(t *testing.T) {
+	f := func(c, p string) bool {
+		cc, pp := CleanPath(c), CleanPath(p)
+		return Rebase(cc, cc, pp) == pp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectKindString(t *testing.T) {
+	if KindFile.String() != "file" || KindSQL.String() != "sql" {
+		t.Error("kind names wrong")
+	}
+	if !KindURL.Registered() || KindFile.Registered() || KindLink.Registered() {
+		t.Error("Registered() wrong")
+	}
+	if got := ObjectKind(99).String(); got != "ObjectKind(99)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}

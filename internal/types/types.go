@@ -1,0 +1,505 @@
+// Package types defines the shared domain vocabulary of the SRB data
+// grid: data objects and their replicas, collections, storage
+// resources, users, permissions, metadata, annotations, audit records,
+// locks, pins and versions.
+//
+// The catalog (internal/mcat), the broker (internal/core), the wire
+// protocol and the web interface all exchange these values, so they are
+// deliberately plain data: no behaviour beyond validation, formatting
+// and comparison lives here.
+package types
+
+import (
+	"fmt"
+	"time"
+)
+
+// ObjectID identifies a data object uniquely within one MCAT.
+type ObjectID int64
+
+// ReplicaNumber distinguishes the physical copies of one data object.
+// Numbers are assigned densely starting at 0 and are never reused
+// within an object's lifetime.
+type ReplicaNumber int
+
+// ObjectKind classifies a data object by how its bytes are produced.
+//
+// The paper (§5, "Data Movement Operations") distinguishes objects
+// whose bytes SRB stores and controls (ingested files) from five kinds
+// of registered objects where SRB keeps only a pointer: files outside
+// SRB control, shadow directories, SQL queries, URLs and method
+// objects (proxy commands / proxy functions).
+type ObjectKind int
+
+const (
+	// KindFile is a regular object whose replicas SRB stores and controls.
+	KindFile ObjectKind = iota
+	// KindRegisteredFile is a file registered in place: SRB keeps a
+	// pointer to an existing physical path it does not control.
+	KindRegisteredFile
+	// KindShadowDir is a registered directory: the cone of files under
+	// the physical directory is visible read-only through this object.
+	KindShadowDir
+	// KindSQL is a registered SQL query, executed at retrieval time
+	// against a database resource.
+	KindSQL
+	// KindURL is a registered URL whose contents are fetched at
+	// retrieval time and never stored.
+	KindURL
+	// KindMethod is a registered method object: a remote proxy command
+	// or an in-server proxy function executed at access time.
+	KindMethod
+	// KindLink is a soft link to another object; access control of the
+	// original is inherited, and chains of links collapse to the parent.
+	KindLink
+)
+
+var objectKindNames = [...]string{
+	KindFile:           "file",
+	KindRegisteredFile: "registered-file",
+	KindShadowDir:      "shadow-directory",
+	KindSQL:            "sql",
+	KindURL:            "url",
+	KindMethod:         "method",
+	KindLink:           "link",
+}
+
+// String returns the lower-case name used on the wire and in listings.
+func (k ObjectKind) String() string {
+	if k < 0 || int(k) >= len(objectKindNames) {
+		return fmt.Sprintf("ObjectKind(%d)", int(k))
+	}
+	return objectKindNames[k]
+}
+
+// Registered reports whether the kind is one of the five registered
+// (pointer-only) kinds, for which SRB does not control the bytes.
+func (k ObjectKind) Registered() bool {
+	switch k {
+	case KindRegisteredFile, KindShadowDir, KindSQL, KindURL, KindMethod:
+		return true
+	}
+	return false
+}
+
+// ReplicaStatus tracks the consistency of one physical copy.
+type ReplicaStatus int
+
+const (
+	// ReplicaClean is current with respect to the object's latest write.
+	ReplicaClean ReplicaStatus = iota
+	// ReplicaDirty is stale: a sibling replica has newer bytes.
+	ReplicaDirty
+	// ReplicaOffline marks the replica's resource as unavailable; reads
+	// fail over to a clean sibling.
+	ReplicaOffline
+)
+
+var replicaStatusNames = [...]string{
+	ReplicaClean:   "clean",
+	ReplicaDirty:   "dirty",
+	ReplicaOffline: "offline",
+}
+
+func (s ReplicaStatus) String() string {
+	if s < 0 || int(s) >= len(replicaStatusNames) {
+		return fmt.Sprintf("ReplicaStatus(%d)", int(s))
+	}
+	return replicaStatusNames[s]
+}
+
+// Replica describes one physical copy of a data object.
+type Replica struct {
+	Number       ReplicaNumber
+	Resource     string // physical resource holding the bytes
+	PhysicalPath string // driver-specific path within the resource
+	Status       ReplicaStatus
+	Size         int64
+	Checksum     string // hex SHA-256 of the contents; empty if unknown
+	CreatedAt    time.Time
+	ModifiedAt   time.Time
+	// Registered is true when the replica points at bytes SRB does not
+	// control (registered objects); size and checksum may drift.
+	Registered bool
+}
+
+// LockKind is the paper's two lock flavours.
+type LockKind int
+
+const (
+	// LockNone means the object is unlocked.
+	LockNone LockKind = iota
+	// LockShared blocks writes by users other than the holder; reads of
+	// data and metadata remain allowed.
+	LockShared
+	// LockExclusive allows no interactions with the object by other users.
+	LockExclusive
+)
+
+var lockKindNames = [...]string{LockNone: "none", LockShared: "shared", LockExclusive: "exclusive"}
+
+func (k LockKind) String() string {
+	if k < 0 || int(k) >= len(lockKindNames) {
+		return fmt.Sprintf("LockKind(%d)", int(k))
+	}
+	return lockKindNames[k]
+}
+
+// Lock is a lease-style lock on an object. A zero Lock means unlocked.
+type Lock struct {
+	Kind    LockKind
+	Holder  string // user name
+	Expires time.Time
+}
+
+// Active reports whether the lock still restricts access at time now.
+func (l Lock) Active(now time.Time) bool {
+	return l.Kind != LockNone && now.Before(l.Expires)
+}
+
+// Pin prevents a replica from being purged from a cache resource until
+// it expires or is explicitly removed.
+type Pin struct {
+	Resource string
+	Holder   string
+	Expires  time.Time
+}
+
+// Active reports whether the pin still protects the replica at now.
+func (p Pin) Active(now time.Time) bool { return now.Before(p.Expires) }
+
+// Version is a retained earlier state of an object created by the
+// checkout/checkin cycle. Versions are numbered from 1 upward.
+type Version struct {
+	Number    int
+	Resource  string
+	Path      string // physical path of the preserved copy
+	Size      int64
+	Checksum  string
+	CreatedAt time.Time
+	Comment   string
+}
+
+// SQLSpec is the payload of a KindSQL object: the (possibly partial)
+// SELECT text, the database resource it runs against, and the template
+// used to render results.
+type SQLSpec struct {
+	Resource string // database resource name
+	Query    string // full or partial SELECT; partial queries are completed at retrieval
+	Partial  bool
+	Template string // "HTMLREL", "HTMLNEST", "XMLREL", or logical path of a T-language style sheet
+}
+
+// MethodSpec is the payload of a KindMethod object.
+type MethodSpec struct {
+	// Proxy is true for remote proxy commands (executables registered in
+	// a server's bin directory), false for in-server proxy functions.
+	Proxy bool
+	// Server is the SRB server that hosts the executable or function.
+	Server string
+	// Name is the command or function name.
+	Name string
+	// Args are default command-line parameters; callers may append more
+	// at invocation.
+	Args []string
+}
+
+// AltSpec is one "registered replicate" of a registered object (paper
+// §5): another directory, URL or SQL query declared semantically equal
+// to the primary. SRB does not check the equivalence; access falls back
+// through alternates in registration order.
+type AltSpec struct {
+	Kind ObjectKind
+	// URL for KindURL alternates.
+	URL string
+	// SQL for KindSQL alternates.
+	SQL *SQLSpec
+	// Resource/PhysicalPath for registered file or directory alternates.
+	Resource     string
+	PhysicalPath string
+}
+
+// DataObject is a logical entry in the SRB name space. The replicas
+// carry the physical locations; all other fields are catalog state.
+type DataObject struct {
+	ID         ObjectID
+	Name       string // base name within the collection
+	Collection string // logical path of the parent collection
+	Kind       ObjectKind
+	DataType   string // e.g. "generic", "fits image", "html", "ascii text"
+	Owner      string
+	Size       int64 // size of the current clean contents
+	Checksum   string
+	CreatedAt  time.Time
+	ModifiedAt time.Time
+
+	Replicas []Replica
+
+	// Container is the logical path of the container the object lives
+	// in, or empty. A container specification at ingestion overrides a
+	// resource specification (paper §5).
+	Container string
+	// ContainerOffset/ContainerSize locate the bytes inside the container.
+	ContainerOffset int64
+	ContainerSize   int64
+
+	// LinkTarget is the logical path of the linked-to object for KindLink.
+	LinkTarget string
+	// URL is the target for KindURL.
+	URL string
+	// SQL is the payload for KindSQL.
+	SQL *SQLSpec
+	// Method is the payload for KindMethod.
+	Method *MethodSpec
+
+	// Alternates are "registered replicates" of registered objects.
+	Alternates []AltSpec
+
+	Lock     Lock
+	Pins     []Pin
+	Versions []Version
+	// CheckedOutBy names the user holding the object checked out, or "".
+	CheckedOutBy string
+}
+
+// Path returns the full logical path of the object.
+func (o *DataObject) Path() string { return Join(o.Collection, o.Name) }
+
+// CleanReplica returns the first clean replica, preferring the given
+// resource if it holds one, and reports whether any was found.
+func (o *DataObject) CleanReplica(preferResource string) (Replica, bool) {
+	if preferResource != "" {
+		for _, r := range o.Replicas {
+			if r.Resource == preferResource && r.Status == ReplicaClean {
+				return r, true
+			}
+		}
+	}
+	for _, r := range o.Replicas {
+		if r.Status == ReplicaClean {
+			return r, true
+		}
+	}
+	return Replica{}, false
+}
+
+// ReplicaByNumber returns the replica with the given number.
+func (o *DataObject) ReplicaByNumber(n ReplicaNumber) (Replica, bool) {
+	for _, r := range o.Replicas {
+		if r.Number == n {
+			return r, true
+		}
+	}
+	return Replica{}, false
+}
+
+// Collection is a node in the logical hierarchy. Collections carry
+// descriptive metadata (triplets about the collection itself) and
+// structural metadata (requirements imposed on objects ingested into
+// the collection); see Metadata and StructuralAttr.
+type Collection struct {
+	Path      string
+	Owner     string
+	CreatedAt time.Time
+	// LinkTarget, when non-empty, makes this entry a linked
+	// sub-collection pointing at another collection's path.
+	LinkTarget string
+}
+
+// Name returns the base name of the collection.
+func (c *Collection) Name() string { return Base(c.Path) }
+
+// ResourceKind separates single storage systems from logical groupings.
+type ResourceKind int
+
+const (
+	// ResourcePhysical is one storage system managed by one driver.
+	ResourcePhysical ResourceKind = iota
+	// ResourceLogical ties together two or more physical resources;
+	// storing a file into it replicates synchronously into every member.
+	ResourceLogical
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case ResourcePhysical:
+		return "physical"
+	case ResourceLogical:
+		return "logical"
+	default:
+		return fmt.Sprintf("ResourceKind(%d)", int(k))
+	}
+}
+
+// ResourceClass hints at the latency/persistence profile of a physical
+// resource; replica selection and cache management consult it.
+type ResourceClass int
+
+const (
+	// ClassCache is low-latency, purgeable storage (memory, local disk).
+	ClassCache ResourceClass = iota
+	// ClassFileSystem is an ordinary file system.
+	ClassFileSystem
+	// ClassArchive is a high-latency archival system (tape library).
+	ClassArchive
+	// ClassDatabase is a database resource holding LOBs and tables.
+	ClassDatabase
+)
+
+var resourceClassNames = [...]string{
+	ClassCache:      "cache",
+	ClassFileSystem: "filesystem",
+	ClassArchive:    "archive",
+	ClassDatabase:   "database",
+}
+
+func (c ResourceClass) String() string {
+	if c < 0 || int(c) >= len(resourceClassNames) {
+		return fmt.Sprintf("ResourceClass(%d)", int(c))
+	}
+	return resourceClassNames[c]
+}
+
+// Resource describes a storage resource registered in the catalog.
+type Resource struct {
+	Name   string
+	Kind   ResourceKind
+	Class  ResourceClass
+	Driver string // driver type: "memfs", "posixfs", "archivefs", "dbfs", "urlfs"
+	// Server names the SRB server that owns (directly mounts) this
+	// resource; requests from other servers federate to it.
+	Server string
+	// Members lists the physical member resources of a logical resource,
+	// in replica-creation order.
+	Members []string
+	// Online is false while the resource is unavailable; reads fail over.
+	Online bool
+	// CreatedAt records registration time.
+	CreatedAt time.Time
+}
+
+// User is a registered SRB user within a domain.
+type User struct {
+	Name      string
+	Domain    string // administrative domain, e.g. "sdsc", "caltech"
+	CreatedAt time.Time
+	// Admin users may register resources, users and proxy commands.
+	Admin bool
+}
+
+// Qualified returns the user's fully qualified name, name@domain.
+func (u User) Qualified() string { return u.Name + "@" + u.Domain }
+
+// Group is a named set of users used in access control.
+type Group struct {
+	Name    string
+	Members []string // user names
+}
+
+// AVU is one metadata triplet: attribute name, value and units.
+// The paper: "metadata ... are made of name, value and units triplets".
+type AVU struct {
+	Name  string
+	Value string
+	Units string
+}
+
+// MetaClass is the paper's five metadata classes (§5, Metadata
+// Operations).
+type MetaClass int
+
+const (
+	// MetaSystem is created and maintained by SRB itself (size, owner,
+	// timestamps, replica info); viewable and queryable, not writable.
+	MetaSystem MetaClass = iota
+	// MetaUser is free-form user-defined triplets.
+	MetaUser
+	// MetaType is type-oriented (domain-oriented) metadata: predefined
+	// element sets such as Dublin Core, associated via data type.
+	MetaType
+	// MetaFile is file-based metadata: another SRB object carrying
+	// triplets for this object; view-only, not queryable.
+	MetaFile
+	// MetaAnnotation is annotations and commentary: free-form notes,
+	// ratings, errata; writable by any user with read permission.
+	MetaAnnotation
+)
+
+var metaClassNames = [...]string{
+	MetaSystem:     "system",
+	MetaUser:       "user",
+	MetaType:       "type",
+	MetaFile:       "file",
+	MetaAnnotation: "annotation",
+}
+
+func (c MetaClass) String() string {
+	if c < 0 || int(c) >= len(metaClassNames) {
+		return fmt.Sprintf("MetaClass(%d)", int(c))
+	}
+	return metaClassNames[c]
+}
+
+// StructuralAttr is structural metadata attached to a collection: a
+// requirement or suggestion for objects ingested into it, with optional
+// default value(s) and a mandatory flag (paper §5).
+type StructuralAttr struct {
+	Name string
+	// Defaults holds zero defaults (empty), one default, or a reserved
+	// vocabulary that appears as a drop-down list in MySRB.
+	Defaults []string
+	// Comment explains the attribute and its requirements to ingestors.
+	Comment string
+	// Mandatory requires ingestors to provide a value.
+	Mandatory bool
+	Units     string
+}
+
+// Annotation is free-form commentary on an object or collection. Any
+// user with read permission may add one.
+type Annotation struct {
+	Author string
+	// Kind classifies the annotation: "comment", "rating", "errata",
+	// "question", "answer", "memo", ...
+	Kind string
+	// Location optionally anchors the annotation within the object.
+	Location  string
+	Text      string
+	CreatedAt time.Time
+}
+
+// AuditRecord is one entry in the audit trail.
+type AuditRecord struct {
+	Time   time.Time
+	User   string
+	Op     string // operation name, e.g. "get", "ingest", "delete-replica"
+	Target string // logical path or resource/user name acted upon
+	Detail string
+	OK     bool
+}
+
+// Session is an authenticated session key with a bounded lifetime.
+// MySRB stores the key as an in-memory cookie; the paper sets the
+// maximum time limit at 60 minutes.
+type Session struct {
+	Key     string
+	User    string
+	Created time.Time
+	Expires time.Time
+}
+
+// Valid reports whether the session may still be used at time now.
+func (s Session) Valid(now time.Time) bool { return now.Before(s.Expires) }
+
+// Stat is a lightweight listing entry for collections and objects.
+type Stat struct {
+	Path       string
+	IsCollect  bool
+	Kind       ObjectKind
+	DataType   string
+	Owner      string
+	Size       int64
+	ModifiedAt time.Time
+	Replicas   int
+	Container  string
+}

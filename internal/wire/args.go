@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"gosrb/internal/mcat"
+	"gosrb/internal/types"
+)
+
+// Op names understood by the server. The client mirrors this table.
+const (
+	OpMkdir         = "mkdir"
+	OpRmColl        = "rmcoll"
+	OpList          = "list"
+	OpStat          = "stat"
+	OpIngest        = "ingest"
+	OpReingest      = "reingest"
+	OpGet           = "get"
+	OpReadRange     = "readrange"
+	OpReplicate     = "replicate"
+	OpDelete        = "delete"
+	OpDeleteReplica = "rmreplica"
+	OpMove          = "move"
+	OpCopy          = "copy"
+	OpLink          = "link"
+	OpAddMeta       = "addmeta"
+	OpGetMeta       = "getmeta"
+	OpAnnotate      = "annotate"
+	OpAnnotations   = "annotations"
+	OpQuery         = "query"
+	OpQueryAttrs    = "queryattrs"
+	OpChmod         = "chmod"
+	OpLock          = "lock"
+	OpUnlock        = "unlock"
+	OpPin           = "pin"
+	OpUnpin         = "unpin"
+	OpCheckout      = "checkout"
+	OpCheckin       = "checkin"
+	OpRegisterURL   = "registerurl"
+	OpRegisterSQL   = "registersql"
+	OpExecSQL       = "execsql"
+	OpInvoke        = "invoke"
+	OpMkContainer   = "mkcontainer"
+	OpSyncContainer = "synccontainer"
+	OpExtract       = "extract"
+	OpGetObject     = "getobject"
+	OpServerStats   = "serverstats"
+	// OpIngestReplica is the server-to-server replication step: the
+	// owning server stores streamed bytes as a new replica of an
+	// existing object.
+	OpIngestReplica = "ingestreplica"
+	// OpIssueTicket mints a delegated-access ticket for a path.
+	OpIssueTicket = "issueticket"
+	// OpAudit queries the audit trail (administrators only).
+	OpAudit = "audit"
+	// OpShadowList lists inside a registered (shadow) directory.
+	OpShadowList = "shadowlist"
+	// OpShadowOpen reads a file inside a registered directory's cone.
+	OpShadowOpen = "shadowopen"
+	// OpAddUser registers a user account (administrators only).
+	OpAddUser = "adduser"
+	// OpResources lists the registered storage resources.
+	OpResources = "resources"
+)
+
+// PathArgs addresses one logical path.
+type PathArgs struct {
+	Path string
+}
+
+// IngestArgs precedes a bulk data stream carrying the contents.
+type IngestArgs struct {
+	Path      string
+	Resource  string
+	Container string
+	DataType  string
+	Meta      []types.AVU
+}
+
+// RangeArgs reads length bytes at offset (the parallel-transfer
+// primitive; length < 0 means "to the end").
+type RangeArgs struct {
+	Path   string
+	Offset int64
+	Length int64
+}
+
+// SizeReply reports a transfer size before data frames.
+type SizeReply struct {
+	Size int64
+}
+
+// MoveArgs renames src to dst.
+type MoveArgs struct {
+	Src, Dst string
+}
+
+// CopyArgs copies src to dst, optionally onto a specific resource.
+type CopyArgs struct {
+	Src, Dst, Resource string
+}
+
+// LinkArgs links target at linkPath.
+type LinkArgs struct {
+	Target, LinkPath string
+}
+
+// ReplicateArgs replicates path onto resource.
+type ReplicateArgs struct {
+	Path, Resource string
+}
+
+// ReplicaArgs addresses one replica.
+type ReplicaArgs struct {
+	Path   string
+	Number int
+}
+
+// MetaArgs attaches one triplet of a class.
+type MetaArgs struct {
+	Path  string
+	Class int
+	AVU   types.AVU
+}
+
+// GetMetaArgs fetches one class of metadata.
+type GetMetaArgs struct {
+	Path  string
+	Class int
+}
+
+// AnnotateArgs adds commentary.
+type AnnotateArgs struct {
+	Path string
+	Ann  types.Annotation
+}
+
+// QueryArgs wraps a catalog query.
+type QueryArgs struct {
+	Q mcat.Query
+}
+
+// ChmodArgs sets a grant.
+type ChmodArgs struct {
+	Path    string
+	Grantee string
+	Level   string
+}
+
+// LockArgs places a lock; TTLSeconds <= 0 uses the default.
+type LockArgs struct {
+	Path       string
+	Kind       string // "shared" or "exclusive"
+	TTLSeconds int64
+}
+
+// PinArgs pins a replica on a resource.
+type PinArgs struct {
+	Path       string
+	Resource   string
+	TTLSeconds int64
+}
+
+// CheckinArgs precedes a data stream with the new contents.
+type CheckinArgs struct {
+	Path    string
+	Comment string
+}
+
+// RegisterURLArgs registers a URL object.
+type RegisterURLArgs struct {
+	Path string
+	URL  string
+}
+
+// RegisterSQLArgs registers a SQL object.
+type RegisterSQLArgs struct {
+	Path string
+	Spec types.SQLSpec
+}
+
+// ExecSQLArgs executes a registered SQL object.
+type ExecSQLArgs struct {
+	Path   string
+	Suffix string
+}
+
+// InvokeArgs runs a method object.
+type InvokeArgs struct {
+	Path string
+	Args []string
+}
+
+// ContainerArgs creates a container on a resource.
+type ContainerArgs struct {
+	Path     string
+	Resource string
+}
+
+// ExtractArgs runs a metadata extraction method.
+type ExtractArgs struct {
+	Path   string
+	Method string
+	From   string
+}
+
+// CountReply reports an affected count.
+type CountReply struct {
+	N int
+}
+
+// TicketArgs mints a ticket for Path at Level ("read"...), with Uses
+// uses (negative = unlimited) expiring after TTLSeconds.
+type TicketArgs struct {
+	Path       string
+	Level      string
+	Uses       int
+	TTLSeconds int64
+}
+
+// TicketReply returns the minted ticket id.
+type TicketReply struct {
+	ID string
+}
+
+// ShadowArgs addresses a path inside a shadow directory object.
+type ShadowArgs struct {
+	Path string // logical path of the shadow directory object
+	Rel  string // relative path within the cone ("." = root)
+}
+
+// AddUserArgs registers an account and its password.
+type AddUserArgs struct {
+	Name     string
+	Domain   string
+	Password string
+	Admin    bool
+}
+
+// AuditArgs filters the audit trail; zero fields match everything.
+type AuditArgs struct {
+	User   string
+	Op     string
+	Target string
+	Limit  int
+}
+
+// StatsReply reports server/catalog size counters.
+type StatsReply struct {
+	Server      string
+	Objects     int
+	Collections int
+	Resources   int
+	Users       int
+}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"gosrb/internal/types"
+)
+
+// pipeConn is an in-memory bidirectional transport for tests.
+func pipeConn() (*Conn, *Conn) {
+	a2b := &blockingBuffer{ch: make(chan []byte, 64)}
+	b2a := &blockingBuffer{ch: make(chan []byte, 64)}
+	a := NewConn(&duplex{r: b2a, w: a2b})
+	b := NewConn(&duplex{r: a2b, w: b2a})
+	return a, b
+}
+
+type duplex struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (d *duplex) Read(p []byte) (int, error)  { return d.r.Read(p) }
+func (d *duplex) Write(p []byte) (int, error) { return d.w.Write(p) }
+
+// blockingBuffer delivers writes to readers through a channel.
+type blockingBuffer struct {
+	ch  chan []byte
+	cur []byte
+}
+
+func (b *blockingBuffer) Write(p []byte) (int, error) {
+	cp := append([]byte(nil), p...)
+	b.ch <- cp
+	return len(p), nil
+}
+
+func (b *blockingBuffer) Read(p []byte) (int, error) {
+	if len(b.cur) == 0 {
+		chunk, ok := <-b.ch
+		if !ok {
+			return 0, io.EOF
+		}
+		b.cur = chunk
+	}
+	n := copy(p, b.cur)
+	b.cur = b.cur[n:]
+	return n, nil
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := pipeConn()
+	go func() {
+		a.WriteMsg(MsgRequest, []byte("payload"))
+	}()
+	typ, payload, err := b.ReadMsg()
+	if err != nil || typ != MsgRequest || string(payload) != "payload" {
+		t.Errorf("frame = %d %q %v", typ, payload, err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a, b := pipeConn()
+	go a.WriteJSON(MsgChallenge, Challenge{Server: "srb1", Nonce: "abc"})
+	var ch Challenge
+	if err := b.ReadJSON(MsgChallenge, &ch); err != nil || ch.Server != "srb1" || ch.Nonce != "abc" {
+		t.Errorf("challenge = %+v, %v", ch, err)
+	}
+	// Wrong expected type errors.
+	go a.WriteJSON(MsgAuth, Auth{User: "u"})
+	if err := b.ReadJSON(MsgChallenge, &ch); !errors.Is(err, types.ErrInvalid) {
+		t.Errorf("type mismatch = %v", err)
+	}
+}
+
+func TestDataStream(t *testing.T) {
+	a, b := pipeConn()
+	payload := make([]byte, DataChunk*3+100) // multiple chunks
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go func() {
+		if err := a.SendData(bytes.NewReader(payload)); err != nil {
+			t.Error(err)
+		}
+	}()
+	var buf bytes.Buffer
+	n, err := b.RecvData(&buf)
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("RecvData = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Error("data corrupted")
+	}
+}
+
+func TestEmptyDataStream(t *testing.T) {
+	a, b := pipeConn()
+	go a.SendData(bytes.NewReader(nil))
+	var buf bytes.Buffer
+	n, err := b.RecvData(&buf)
+	if err != nil || n != 0 {
+		t.Errorf("empty stream = %d, %v", n, err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var sink bytes.Buffer
+	c := NewConn(&sink)
+	if err := c.WriteMsg(MsgData, make([]byte, MaxFrame+1)); !errors.Is(err, types.ErrInvalid) {
+		t.Errorf("oversize write = %v", err)
+	}
+	// A forged oversize header is rejected on read.
+	var buf bytes.Buffer
+	buf.Write([]byte{byte(MsgData), 0xFF, 0xFF, 0xFF, 0xFF})
+	r := NewConn(&buf)
+	if _, _, err := r.ReadMsg(); !errors.Is(err, types.ErrInvalid) {
+		t.Errorf("oversize read = %v", err)
+	}
+}
+
+func TestErrKindRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{
+		types.ErrNotFound, types.ErrExists, types.ErrPermission,
+		types.ErrLocked, types.ErrOffline, types.ErrInvalid,
+		types.ErrNotEmpty, types.ErrUnsupported, types.ErrAuth,
+		types.ErrMandatoryMeta,
+	} {
+		wrapped := types.E("op", "/p", sentinel)
+		resp := ErrResponse(wrapped)
+		back := resp.Err()
+		if !errors.Is(back, sentinel) {
+			t.Errorf("sentinel %v lost through the wire: %v", sentinel, back)
+		}
+	}
+	// Unclassified errors still carry their message.
+	resp := ErrResponse(errors.New("weird failure"))
+	if resp.Err() == nil || resp.Err().Error() != "weird failure" {
+		t.Errorf("unclassified = %v", resp.Err())
+	}
+	// Success responses carry no error.
+	ok, _ := OkResponse(struct{}{}, false)
+	if ok.Err() != nil {
+		t.Error("ok response should have nil error")
+	}
+}
+
+// Property: any payload under the frame limit round-trips intact.
+func TestFrameProperty(t *testing.T) {
+	f := func(payload []byte, kind uint8) bool {
+		a, b := pipeConn()
+		typ := MsgType(kind%8 + 1)
+		go a.WriteMsg(typ, payload)
+		gt, gp, err := b.ReadMsg()
+		if err != nil || gt != typ {
+			return false
+		}
+		return bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

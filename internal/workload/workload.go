@@ -1,0 +1,141 @@
+// Package workload generates the synthetic collections the experiments
+// ingest: 2MASS-style sky-survey libraries (the paper's 10 TB / 5
+// million file exemplar, scaled down), small-file populations for the
+// container experiments, and deterministic pseudo-random content.
+//
+// Everything is seeded so every bench run sees the same workload.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gosrb/internal/types"
+)
+
+// Gen is a deterministic workload generator.
+type Gen struct {
+	rnd *rand.Rand
+}
+
+// NewGen returns a generator seeded deterministically.
+func NewGen(seed int64) *Gen {
+	return &Gen{rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Bytes returns size pseudo-random bytes, cheap enough for bulk ingest.
+func (g *Gen) Bytes(size int) []byte {
+	b := make([]byte, size)
+	// Fill 8 bytes per RNG call; plenty random for storage payloads.
+	for i := 0; i < size; i += 8 {
+		v := g.rnd.Uint64()
+		for j := 0; j < 8 && i+j < size; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return b
+}
+
+// Spec describes one object to ingest.
+type Spec struct {
+	Collection string
+	Name       string
+	Size       int
+	DataType   string
+	Meta       []types.AVU
+}
+
+// Path returns the spec's logical path.
+func (s Spec) Path() string { return types.Join(s.Collection, s.Name) }
+
+var (
+	surveys    = []string{"2mass", "dposs", "ukidss", "sdss"}
+	bands      = []string{"J", "H", "K", "g", "r", "i"}
+	telescopes = []string{"Mt Hopkins", "Palomar", "UKIRT", "Apache Point"}
+)
+
+// SkySurvey generates n image specs spread across nColls sub-collections
+// of root, each with survey metadata (survey, band, mag, telescope) in
+// the style of the 2-Micron All Sky Survey library.
+func (g *Gen) SkySurvey(root string, n, nColls int) []Spec {
+	if nColls < 1 {
+		nColls = 1
+	}
+	out := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		coll := types.Join(root, fmt.Sprintf("plate%03d", i%nColls))
+		si := g.rnd.Intn(len(surveys))
+		spec := Spec{
+			Collection: coll,
+			Name:       fmt.Sprintf("img%07d.fits", i),
+			Size:       2048 + g.rnd.Intn(6144),
+			DataType:   "fits image",
+			Meta: []types.AVU{
+				{Name: "survey", Value: surveys[si]},
+				{Name: "band", Value: bands[g.rnd.Intn(len(bands))]},
+				{Name: "mag", Value: fmt.Sprintf("%.2f", 2+g.rnd.Float64()*14)},
+				{Name: "telescope", Value: telescopes[si]},
+			},
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// SmallFiles generates n specs with sizes uniform in [minSize, maxSize],
+// all in one collection — the container experiments' population.
+func (g *Gen) SmallFiles(coll string, n, minSize, maxSize int) []Spec {
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	out := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Spec{
+			Collection: coll,
+			Name:       fmt.Sprintf("small%06d.dat", i),
+			Size:       minSize + g.rnd.Intn(maxSize-minSize+1),
+			DataType:   "generic",
+		})
+	}
+	return out
+}
+
+// FITSHeader renders a FITS-like header block for a spec, the input to
+// the T-language extraction experiment.
+func (g *Gen) FITSHeader(s Spec) []byte {
+	object := fmt.Sprintf("OBJ%05d", g.rnd.Intn(100000))
+	var survey, band, mag string
+	for _, m := range s.Meta {
+		switch m.Name {
+		case "survey":
+			survey = m.Value
+		case "band":
+			band = m.Value
+		case "mag":
+			mag = m.Value
+		}
+	}
+	hdr := fmt.Sprintf(
+		"SIMPLE  =                    T / conforms to FITS standard\n"+
+			"BITPIX  =                   16\n"+
+			"NAXIS   =                    2\n"+
+			"OBJECT  = '%s'\n"+
+			"SURVEY  = '%s'\n"+
+			"FILTER  = '%s'\n"+
+			"MAG     = %s\n"+
+			"END\n", object, survey, band, mag)
+	return []byte(hdr)
+}
+
+// DublinCore returns a Dublin Core element set for a spec, the paper's
+// example of standardised type-oriented metadata.
+func DublinCore(title, creator, subject, description string) []types.AVU {
+	return []types.AVU{
+		{Name: "dc:title", Value: title},
+		{Name: "dc:creator", Value: creator},
+		{Name: "dc:subject", Value: subject},
+		{Name: "dc:description", Value: description},
+		{Name: "dc:type", Value: "Image"},
+		{Name: "dc:format", Value: "image/fits"},
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewGen(42).SkySurvey("/lib", 100, 4)
+	b := NewGen(42).SkySurvey("/lib", 100, 4)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Path() != b[i].Path() || a[i].Size != b[i].Size {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Meta {
+			if a[i].Meta[j] != b[i].Meta[j] {
+				t.Fatalf("meta %d/%d differs", i, j)
+			}
+		}
+	}
+	if !bytes.Equal(NewGen(7).Bytes(1000), NewGen(7).Bytes(1000)) {
+		t.Error("Bytes must be deterministic")
+	}
+	if bytes.Equal(NewGen(7).Bytes(1000), NewGen(8).Bytes(1000)) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSkySurveyShape(t *testing.T) {
+	specs := NewGen(1).SkySurvey("/lib", 200, 8)
+	colls := map[string]bool{}
+	for _, s := range specs {
+		colls[s.Collection] = true
+		if !strings.HasPrefix(s.Collection, "/lib/plate") {
+			t.Fatalf("collection %q", s.Collection)
+		}
+		if s.DataType != "fits image" || len(s.Meta) != 4 {
+			t.Fatalf("spec %+v", s)
+		}
+		if s.Size < 2048 || s.Size >= 2048+6144 {
+			t.Errorf("size %d out of range", s.Size)
+		}
+	}
+	if len(colls) != 8 {
+		t.Errorf("collections = %d, want 8", len(colls))
+	}
+}
+
+func TestSmallFiles(t *testing.T) {
+	specs := NewGen(2).SmallFiles("/sm", 50, 100, 200)
+	if len(specs) != 50 {
+		t.Fatal("count")
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if s.Size < 100 || s.Size > 200 {
+			t.Errorf("size %d", s.Size)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	// Degenerate range collapses safely.
+	one := NewGen(3).SmallFiles("/sm", 1, 500, 100)
+	if one[0].Size != 500 {
+		t.Errorf("collapsed range size = %d", one[0].Size)
+	}
+}
+
+func TestBytesLength(t *testing.T) {
+	g := NewGen(1)
+	for _, n := range []int{0, 1, 7, 8, 9, 1023} {
+		if got := len(g.Bytes(n)); got != n {
+			t.Errorf("Bytes(%d) = %d bytes", n, got)
+		}
+	}
+}
+
+func TestFITSHeader(t *testing.T) {
+	g := NewGen(1)
+	specs := g.SkySurvey("/lib", 1, 1)
+	hdr := string(g.FITSHeader(specs[0]))
+	for _, want := range []string{"SIMPLE", "SURVEY", "FILTER", "MAG", "END"} {
+		if !strings.Contains(hdr, want) {
+			t.Errorf("header missing %s:\n%s", want, hdr)
+		}
+	}
+}
+
+func TestDublinCore(t *testing.T) {
+	avus := DublinCore("T", "C", "S", "D")
+	if len(avus) != 6 || avus[0].Name != "dc:title" || avus[0].Value != "T" {
+		t.Errorf("DublinCore = %+v", avus)
+	}
+}
