@@ -1,0 +1,39 @@
+# gosrb build/check entry points. `make check` is the gate every PR
+# must keep green: vet, full build, and the test suite under the race
+# detector (the telemetry registry is exercised concurrently, so -race
+# is load-bearing, not decorative).
+
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-obs clean
+
+all: check
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (experiments E1–E10 plus the wire and broker
+# concurrency benches).
+bench:
+	$(GO) test -bench . -benchtime 200ms -run '^$$' .
+
+# Instrumentation-overhead report: measures broker Put/Get with
+# telemetry on vs SetMetrics(nil) and writes BENCH_obs.json so the
+# overhead is tracked from this PR onward.
+bench-obs:
+	BENCH_OBS=1 $(GO) test -run TestObsOverheadReport -v .
+
+clean:
+	rm -f BENCH_obs.json
+	$(GO) clean -testcache

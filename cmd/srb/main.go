@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -55,7 +56,10 @@ func usage() {
 
 commands:
   ls <coll>                          list a collection
-  stat <path>                        describe a path
+  stat [path]                        describe a path; without a path,
+                                     show server telemetry (op counts,
+                                     latency quantiles, byte totals)
+  opstats                            server telemetry (alias of bare stat)
   mkdir <coll>                       create a collection
   rmdir <coll>                       remove an empty collection
   put <local> <path> [-resource r | -container c] [-type t]
@@ -107,13 +111,20 @@ func run(cl *client.Client, cmd string, args []string) error {
 		return nil
 
 	case "stat":
-		st, err := cl.Stat(need(args, 0, "path"))
+		// With a path: describe it. Without: the server's telemetry.
+		if len(args) == 0 {
+			return printOpStats(cl)
+		}
+		st, err := cl.Stat(args[0])
 		if err != nil {
 			return err
 		}
 		fmt.Printf("path: %s\nkind: %v\nsize: %d\nowner: %s\nreplicas: %d\nmodified: %s\n",
 			st.Path, st.Kind, st.Size, st.Owner, st.Replicas, st.ModifiedAt.Format(time.RFC3339))
 		return nil
+
+	case "opstats":
+		return printOpStats(cl)
 
 	case "mkdir":
 		return cl.Mkdir(need(args, 0, "collection"))
@@ -377,6 +388,75 @@ func run(cl *client.Client, cmd string, args []string) error {
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printOpStats renders the server's telemetry snapshot: the `srb stat`
+// view of what the admin /metrics endpoint serves.
+func printOpStats(cl *client.Client) error {
+	st, err := cl.OpStats()
+	if err != nil {
+		return err
+	}
+	s := st.Snapshot
+	fmt.Printf("server: %s  uptime: %.0fs\n", st.Server, s.UptimeSeconds)
+
+	var ops []string
+	for name, o := range s.Ops {
+		if o.Count > 0 {
+			ops = append(ops, name)
+		}
+	}
+	if len(ops) > 0 {
+		sort.Strings(ops)
+		fmt.Printf("\n%-26s %8s %7s %10s %10s %10s\n", "op", "count", "errors", "p50(us)", "p90(us)", "p99(us)")
+		for _, name := range ops {
+			o := s.Ops[name]
+			fmt.Printf("%-26s %8d %7d %10.1f %10.1f %10.1f\n",
+				name, o.Count, o.Errors, o.P50Micros, o.P90Micros, o.P99Micros)
+		}
+	}
+
+	var counters []string
+	for name, v := range s.Counters {
+		if v != 0 {
+			counters = append(counters, name)
+		}
+	}
+	if len(counters) > 0 {
+		sort.Strings(counters)
+		fmt.Printf("\ncounters:\n")
+		for _, name := range counters {
+			fmt.Printf("  %-36s %d\n", name, s.Counters[name])
+		}
+	}
+
+	var gauges []string
+	for name := range s.Gauges {
+		gauges = append(gauges, name)
+	}
+	if len(gauges) > 0 {
+		sort.Strings(gauges)
+		fmt.Printf("\ngauges:\n")
+		for _, name := range gauges {
+			fmt.Printf("  %-36s %d\n", name, s.Gauges[name])
+		}
+	}
+
+	if n := len(s.Traces); n > 0 {
+		fmt.Printf("\nrecent traces (%d):\n", n)
+		show := s.Traces
+		if len(show) > 10 {
+			show = show[len(show)-10:]
+		}
+		for _, t := range show {
+			line := fmt.Sprintf("  %s %-14s %6dus", t.Trace, t.Op, t.Micros)
+			if t.Err != "" {
+				line += "  err: " + t.Err
+			}
+			fmt.Println(line)
+		}
+	}
+	return nil
 }
 
 // need returns args[i] or exits with a usage message.

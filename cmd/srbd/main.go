@@ -26,6 +26,7 @@ import (
 	"gosrb/internal/auth"
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
+	"gosrb/internal/obs"
 	"gosrb/internal/server"
 	"gosrb/internal/storage"
 	"gosrb/internal/storage/archivefs"
@@ -44,6 +45,8 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 func main() {
 	var (
 		addr      = flag.String("addr", ":5544", "listen address")
+		adminAddr = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz and /debug/pprof (empty disables)")
+		quiet     = flag.Bool("quiet", false, "log only errors (default logs every failed operation with op/remote/trace context)")
 		name      = flag.String("name", "srb1", "server name within the federation")
 		adminUser = flag.String("admin", "admin", "administrator user name")
 		adminPw   = flag.String("admin-pw", os.Getenv("SRB_ADMIN_PW"), "administrator password (or $SRB_ADMIN_PW)")
@@ -177,7 +180,10 @@ func main() {
 		fedMode = server.Redirect
 	}
 	srv := server.New(broker, authn, fedMode)
-	srv.Logger = logger
+	srv.Logger = obs.NewLogger(os.Stderr, *name, obs.LevelInfo)
+	if *quiet {
+		srv.Logger.SetLevel(obs.LevelError)
+	}
 	for _, p := range peers {
 		parts := strings.SplitN(p, "=", 3)
 		if len(parts) != 3 {
@@ -191,6 +197,13 @@ func main() {
 		logger.Fatalf("listen: %v", err)
 	}
 	logger.Printf("%s listening on %s (%s federation)", *name, bound, *mode)
+	if *adminAddr != "" {
+		abound, err := srv.ServeAdmin(*adminAddr)
+		if err != nil {
+			logger.Fatalf("admin listen: %v", err)
+		}
+		logger.Printf("admin endpoint on http://%s (/metrics /healthz /debug/pprof)", abound)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -213,6 +226,16 @@ func main() {
 	<-stop
 	logger.Printf("shutting down")
 	srv.Close()
+	// One final stats line so the run's totals survive in the log even
+	// when no scraper ever hit the admin endpoint.
+	snap := broker.Metrics().Snapshot()
+	var totalOps, totalErrs int64
+	for _, o := range snap.Ops {
+		totalOps += o.Count
+		totalErrs += o.Errors
+	}
+	logger.Printf("final stats: uptime=%.0fs ops=%d errors=%d audit_dropped=%d",
+		snap.UptimeSeconds, totalOps, totalErrs, cat.Audit.Dropped())
 	snapshot()
 	if jnl != nil {
 		jnl.Close()

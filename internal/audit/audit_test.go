@@ -98,3 +98,40 @@ func TestDefaultCapacity(t *testing.T) {
 		t.Error("default-capacity log should accept records")
 	}
 }
+
+// TestWraparoundAccounting walks the ring through several full
+// wraparounds and checks the books stay exact: every displaced record
+// is counted, the survivors are the newest capacity records in append
+// order, and Len never exceeds the bound.
+func TestWraparoundAccounting(t *testing.T) {
+	const capacity = 4
+	l := New(capacity)
+	const total = capacity*3 + 2 // three full wraps plus a partial
+	for i := 0; i < total; i++ {
+		l.Op("u", "op", fmt.Sprintf("/f%d", i), true, "")
+		if l.Len() > capacity {
+			t.Fatalf("Len = %d exceeds capacity %d", l.Len(), capacity)
+		}
+		wantDropped := int64(i + 1 - capacity)
+		if wantDropped < 0 {
+			wantDropped = 0
+		}
+		if l.Dropped() != wantDropped {
+			t.Fatalf("after %d records Dropped = %d, want %d", i+1, l.Dropped(), wantDropped)
+		}
+	}
+	recs := l.Query(Filter{})
+	if len(recs) != capacity {
+		t.Fatalf("Query returned %d records, want %d", len(recs), capacity)
+	}
+	for i, r := range recs {
+		want := fmt.Sprintf("/f%d", total-capacity+i)
+		if r.Target != want {
+			t.Errorf("recs[%d] = %s, want %s", i, r.Target, want)
+		}
+	}
+	// Dropped plus retained must equal everything ever recorded.
+	if l.Dropped()+int64(l.Len()) != int64(total) {
+		t.Errorf("dropped %d + len %d != total %d", l.Dropped(), l.Len(), total)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"gosrb/internal/auth"
 	"gosrb/internal/mcat"
+	"gosrb/internal/obs"
 	"gosrb/internal/storage"
 	"gosrb/internal/types"
 	"gosrb/internal/wire"
@@ -125,11 +126,14 @@ func (cl *Client) call(op string, args any, sendData []byte, out any) ([]byte, e
 }
 
 // callTicket is call with an optional delegated-access ticket attached.
+// Each logical call mints one trace ID, kept across redirect retries,
+// so the servers involved all record it under the same trace.
 func (cl *Client) callTicket(op string, args any, sendData []byte, out any, ticket string) ([]byte, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	trace := obs.NewTraceID()
 	for redirects := 0; ; redirects++ {
-		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket)
+		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket, trace)
 		if err != nil {
 			return nil, err
 		}
@@ -147,12 +151,12 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 	}
 }
 
-func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket string) ([]byte, *wire.Redirect, error) {
+func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket, trace string) ([]byte, *wire.Redirect, error) {
 	raw, err := json.Marshal(args)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := cl.c.WriteJSON(wire.MsgRequest, wire.Request{Op: op, Args: raw, Ticket: ticket}); err != nil {
+	if err := cl.c.WriteJSON(wire.MsgRequest, wire.Request{Op: op, Args: raw, Ticket: ticket, Trace: trace}); err != nil {
 		return nil, nil, types.E(op, "", err)
 	}
 	if sendData != nil {
@@ -550,5 +554,14 @@ func (cl *Client) Resources() ([]types.Resource, error) {
 func (cl *Client) ServerStats() (wire.StatsReply, error) {
 	var out wire.StatsReply
 	_, err := cl.call(wire.OpServerStats, struct{}{}, nil, &out)
+	return out, err
+}
+
+// OpStats fetches the connected server's telemetry snapshot: per-op
+// counts and latency quantiles, per-driver byte totals, replica fan-out
+// counters, audit drops and recent trace records.
+func (cl *Client) OpStats() (wire.OpStatsReply, error) {
+	var out wire.OpStatsReply
+	_, err := cl.call(wire.OpOpStats, struct{}{}, nil, &out)
 	return out, err
 }

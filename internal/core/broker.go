@@ -15,6 +15,7 @@ import (
 	"gosrb/internal/acl"
 	"gosrb/internal/mcat"
 	"gosrb/internal/metadata"
+	"gosrb/internal/obs"
 	"gosrb/internal/replica"
 	"gosrb/internal/sqlengine"
 	"gosrb/internal/storage"
@@ -50,6 +51,40 @@ type Broker struct {
 
 	serverName string
 	now        func() time.Time
+
+	// metrics is the broker's telemetry registry; ops caches the hot
+	// per-operation handles so recording stays a pointer deref.
+	metrics *obs.Registry
+	ops     brokerOps
+}
+
+// brokerOps caches the per-operation metric handles. All fields may be
+// nil (instrumentation disabled), which obs treats as no-ops.
+type brokerOps struct {
+	get, ingest, reingest, replicate, ingestReplica *obs.Op
+	delete_, list, query                            *obs.Op
+	mkContainer, syncContainer                      *obs.Op
+
+	// fanoutOK/fanoutFail mirror the replica.Manager counters for the
+	// ingest member loop, cached so the hot path skips the registry map.
+	fanoutOK, fanoutFail *obs.Counter
+}
+
+func newBrokerOps(r *obs.Registry) brokerOps {
+	return brokerOps{
+		fanoutOK:   r.Counter("replica.fanout.ok"),
+		fanoutFail: r.Counter("replica.fanout.fail"),
+		get:           r.Op("broker.get"),
+		ingest:        r.Op("broker.ingest"),
+		reingest:      r.Op("broker.reingest"),
+		replicate:     r.Op("broker.replicate"),
+		ingestReplica: r.Op("broker.ingestreplica"),
+		delete_:       r.Op("broker.delete"),
+		list:          r.Op("broker.list"),
+		query:         r.Op("broker.query"),
+		mkContainer:   r.Op("broker.mkcontainer"),
+		syncContainer: r.Op("broker.synccontainer"),
+	}
 }
 
 // New returns a broker over the catalog. serverName identifies this
@@ -65,9 +100,37 @@ func New(cat *mcat.Catalog, serverName string) *Broker {
 		contLocks:  make(map[string]*sync.Mutex),
 		serverName: serverName,
 		now:        time.Now,
+		metrics:    obs.NewRegistry(),
 	}
+	b.ops = newBrokerOps(b.metrics)
 	b.rm = replica.NewManager(cat, b)
+	b.rm.SetMetrics(b.metrics)
 	return b
+}
+
+// Metrics returns the broker's telemetry registry. srbd's admin
+// endpoint, the OpStats wire op and the MySRB status page all render
+// from its snapshot.
+func (b *Broker) Metrics() *obs.Registry { return b.metrics }
+
+// SetMetrics replaces the telemetry registry; nil disables broker
+// instrumentation entirely (the overhead-benchmark baseline). Call it
+// before mounting resources so drivers pick up the same registry.
+func (b *Broker) SetMetrics(r *obs.Registry) {
+	b.metrics = r
+	b.ops = newBrokerOps(r)
+	b.rm.SetMetrics(r)
+}
+
+// ioMetricsFor names the per-driver byte counters for one resource.
+func (b *Broker) ioMetricsFor(resource string) storage.IOMetrics {
+	return storage.IOMetrics{
+		BytesIn:  b.metrics.Counter("storage." + resource + ".bytes_in"),
+		BytesOut: b.metrics.Counter("storage." + resource + ".bytes_out"),
+		Reads:    b.metrics.Counter("storage." + resource + ".reads"),
+		Writes:   b.metrics.Counter("storage." + resource + ".writes"),
+		Errors:   b.metrics.Counter("storage." + resource + ".errors"),
+	}
 }
 
 // SetClock overrides the time source (tests).
@@ -120,14 +183,26 @@ func (b *Broker) AddPhysicalResource(user, name string, class types.ResourceClas
 	if err != nil {
 		return err
 	}
+	b.mount(name, d)
+	b.audit(user, "addresource", name, true, driverName)
+	return nil
+}
+
+// mount installs a driver under byte-level instrumentation — or bare
+// when metrics are disabled, so the uninstrumented baseline pays no
+// wrapper cost at all. The dbfs engine is captured from the raw driver
+// before wrapping.
+func (b *Broker) mount(name string, d storage.Driver) {
 	b.mu.Lock()
-	b.drivers[name] = d
+	if b.metrics == nil {
+		b.drivers[name] = d
+	} else {
+		b.drivers[name] = storage.Instrument(d, b.ioMetricsFor(name))
+	}
 	if db, ok := d.(*dbfs.FS); ok {
 		b.dbs[name] = db.Database()
 	}
 	b.mu.Unlock()
-	b.audit(user, "addresource", name, true, driverName)
-	return nil
 }
 
 // AddLogicalResource groups physical resources; storing into it
@@ -153,12 +228,7 @@ func (b *Broker) Remount(name string, d storage.Driver) error {
 	if _, err := b.Cat.GetResource(name); err != nil {
 		return err
 	}
-	b.mu.Lock()
-	b.drivers[name] = d
-	if db, ok := d.(*dbfs.FS); ok {
-		b.dbs[name] = db.Database()
-	}
-	b.mu.Unlock()
+	b.mount(name, d)
 	return nil
 }
 

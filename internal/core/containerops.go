@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gosrb/internal/acl"
 	"gosrb/internal/container"
@@ -18,6 +19,13 @@ const ContainerDataType = "srb-container"
 // system using semantics associated with the logical resource
 // specification of the container" (paper §5).
 func (b *Broker) CreateContainer(user, path, resource string) (types.DataObject, error) {
+	start := time.Now()
+	o, err := b.createContainer(user, path, resource)
+	b.ops.mkContainer.Done(start, err)
+	return o, err
+}
+
+func (b *Broker) createContainer(user, path, resource string) (types.DataObject, error) {
 	coll := types.Parent(path)
 	if err := b.need(user, coll, acl.Write, "mkcontainer"); err != nil {
 		return types.DataObject{}, err
@@ -280,6 +288,13 @@ func (b *Broker) ingestAppendOnly(contPath string, data []byte) (int64, error) {
 // SyncContainer refreshes dirty segment replicas from a clean one and
 // returns how many were repaired.
 func (b *Broker) SyncContainer(user, contPath string) (int, error) {
+	start := time.Now()
+	n, err := b.syncContainer(user, contPath)
+	b.ops.syncContainer.Done(start, err)
+	return n, err
+}
+
+func (b *Broker) syncContainer(user, contPath string) (int, error) {
 	cont, err := b.Cat.GetObject(contPath)
 	if err != nil {
 		return 0, err

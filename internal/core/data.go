@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"gosrb/internal/acl"
 	"gosrb/internal/replica"
@@ -30,6 +31,13 @@ func (b *Broker) Mkdir(user, path string) error {
 
 // List returns the members of a collection the user may read.
 func (b *Broker) List(user, path string) ([]types.Stat, error) {
+	start := time.Now()
+	stats, err := b.list(user, path)
+	b.ops.list.Done(start, err)
+	return stats, err
+}
+
+func (b *Broker) list(user, path string) ([]types.Stat, error) {
 	if err := b.need(user, path, acl.Read, "list"); err != nil {
 		return nil, err
 	}
@@ -95,6 +103,13 @@ type IngestOpts struct {
 // Ingest stores a new data object. The user needs Write on the target
 // collection and on the resource.
 func (b *Broker) Ingest(user string, opts IngestOpts) (types.DataObject, error) {
+	start := time.Now()
+	o, err := b.ingest(user, opts)
+	b.ops.ingest.Done(start, err)
+	return o, err
+}
+
+func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) {
 	path := types.CleanPath(opts.Path)
 	coll, name := types.Parent(path), types.Base(path)
 	if !types.ValidName(name) {
@@ -159,6 +174,11 @@ func (b *Broker) Ingest(user string, opts IngestOpts) (types.DataObject, error) 
 				wrote++
 			}
 		}
+		if rep.Status == types.ReplicaClean {
+			b.ops.fanoutOK.Inc()
+		} else {
+			b.ops.fanoutFail.Inc()
+		}
 		reps = append(reps, rep)
 	}
 	if wrote == 0 {
@@ -188,6 +208,13 @@ func (b *Broker) Ingest(user string, opts IngestOpts) (types.DataObject, error) 
 // ("a user can reingest a file, i.e. all metadata associated with the
 // file by the SRB are still linked to it").
 func (b *Broker) Reingest(user, path string, data []byte) error {
+	start := time.Now()
+	err := b.reingest(user, path, data)
+	b.ops.reingest.Done(start, err)
+	return err
+}
+
+func (b *Broker) reingest(user, path string, data []byte) error {
 	o, err := b.checkWrite(user, path, "reingest")
 	if err != nil {
 		return err
@@ -212,6 +239,13 @@ func (b *Broker) Reingest(user, path string, data []byte) error {
 // in place, SQL objects execute, URLs fetch, method objects run, and
 // links resolve to their target.
 func (b *Broker) Get(user, path string) ([]byte, error) {
+	start := time.Now()
+	data, err := b.get(user, path)
+	b.ops.get.Done(start, err)
+	return data, err
+}
+
+func (b *Broker) get(user, path string) ([]byte, error) {
 	o, err := b.checkRead(user, path, "get")
 	if err != nil {
 		return nil, err
@@ -372,6 +406,13 @@ func (nopReadFile) Close() error { return nil }
 // registered directories are not replicable (paper §5); the replica
 // manager enforces the container rule.
 func (b *Broker) Replicate(user, path, resource string) (types.Replica, error) {
+	start := time.Now()
+	rep, err := b.replicate(user, path, resource)
+	b.ops.replicate.Done(start, err)
+	return rep, err
+}
+
+func (b *Broker) replicate(user, path, resource string) (types.Replica, error) {
 	if _, err := b.checkWrite(user, path, "replicate"); err != nil {
 		return types.Replica{}, err
 	}
@@ -388,6 +429,13 @@ func (b *Broker) Replicate(user, path, resource string) (types.Replica, error) {
 // but syntactically-different copies (tiff vs gif). SRB does not check
 // equality.
 func (b *Broker) IngestReplica(user, path, resource string, data []byte) (types.Replica, error) {
+	start := time.Now()
+	rep, err := b.ingestReplica(user, path, resource, data)
+	b.ops.ingestReplica.Done(start, err)
+	return rep, err
+}
+
+func (b *Broker) ingestReplica(user, path, resource string, data []byte) (types.Replica, error) {
 	o, err := b.checkWrite(user, path, "ingestreplica")
 	if err != nil {
 		return types.Replica{}, err
@@ -561,6 +609,13 @@ func (b *Broker) LinkColl(user, target, linkPath string) error {
 // only unlink; files lose every replica's bytes and, with the last
 // replica, all metadata and annotations (paper §5).
 func (b *Broker) Delete(user, path string) error {
+	start := time.Now()
+	err := b.deleteObj(user, path)
+	b.ops.delete_.Done(start, err)
+	return err
+}
+
+func (b *Broker) deleteObj(user, path string) error {
 	o, err := b.Cat.GetObject(path)
 	if err != nil {
 		return types.E("delete", path, types.ErrNotFound)

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"gosrb/internal/acl"
 	"gosrb/internal/mcat"
@@ -246,6 +247,13 @@ func (b *Broker) Structural(user, coll string) ([]types.StructuralAttr, error) {
 // Query executes a conjunctive metadata query; hits are filtered to
 // objects the user may read.
 func (b *Broker) Query(user string, q mcat.Query) ([]mcat.Hit, error) {
+	start := time.Now()
+	hits, err := b.query(user, q)
+	b.ops.query.Done(start, err)
+	return hits, err
+}
+
+func (b *Broker) query(user string, q mcat.Query) ([]mcat.Hit, error) {
 	hits, err := b.Cat.RunQuery(q)
 	if err != nil {
 		return nil, err

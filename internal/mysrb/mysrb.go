@@ -66,6 +66,7 @@ func (a *App) routes() {
 	a.mux.HandleFunc("/registerobj", a.withSession(a.handleRegisterObj))
 	a.mux.HandleFunc("/register", a.withSession(a.handleRegister))
 	a.mux.HandleFunc("/help", a.withSession(a.handleHelp))
+	a.mux.HandleFunc("/status", a.withSession(a.handleStatus))
 }
 
 // withSession performs the paper's "security checks on the session keys

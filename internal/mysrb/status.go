@@ -1,0 +1,80 @@
+package mysrb
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+)
+
+// handleStatus renders the server status page from the same telemetry
+// snapshot the srbd admin endpoint and the OpStats wire op serve: per-op
+// counts and latency quantiles, per-driver byte totals, replica fan-out
+// counters, audit drops and the recent trace records.
+func (a *App) handleStatus(w http.ResponseWriter, r *http.Request, user string) {
+	reg := a.broker.Metrics()
+	reg.Gauge("audit.dropped").Set(a.broker.Cat.Audit.Dropped())
+	s := reg.Snapshot()
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>mySRB server status</title></head><body>
+<h2>Server status — %s</h2>
+<p>uptime: %.0fs &middot; <a href="/browse">back to browsing</a></p>`,
+		template.HTMLEscapeString(a.broker.ServerName()), s.UptimeSeconds)
+
+	var ops []string
+	for name, o := range s.Ops {
+		if o.Count > 0 {
+			ops = append(ops, name)
+		}
+	}
+	if len(ops) > 0 {
+		sort.Strings(ops)
+		fmt.Fprint(w, `<h3>Operations</h3><table border="1" cellpadding="3">
+<tr><th>op</th><th>count</th><th>errors</th><th>p50 (&micro;s)</th><th>p90 (&micro;s)</th><th>p99 (&micro;s)</th></tr>`)
+		for _, name := range ops {
+			o := s.Ops[name]
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f</td><td>%.1f</td><td>%.1f</td></tr>",
+				template.HTMLEscapeString(name), o.Count, o.Errors, o.P50Micros, o.P90Micros, o.P99Micros)
+		}
+		fmt.Fprint(w, "</table>")
+	}
+
+	var counters []string
+	for name, v := range s.Counters {
+		if v != 0 {
+			counters = append(counters, name)
+		}
+	}
+	for name := range s.Gauges {
+		counters = append(counters, name)
+	}
+	if len(counters) > 0 {
+		sort.Strings(counters)
+		fmt.Fprint(w, `<h3>Counters</h3><table border="1" cellpadding="3"><tr><th>name</th><th>value</th></tr>`)
+		for _, name := range counters {
+			v, ok := s.Counters[name]
+			if !ok {
+				v = s.Gauges[name]
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td></tr>", template.HTMLEscapeString(name), v)
+		}
+		fmt.Fprint(w, "</table>")
+	}
+
+	if len(s.Traces) > 0 {
+		fmt.Fprint(w, `<h3>Recent traces</h3><table border="1" cellpadding="3">
+<tr><th>trace</th><th>op</th><th>server</th><th>&micro;s</th><th>error</th></tr>`)
+		show := s.Traces
+		if len(show) > 20 {
+			show = show[len(show)-20:]
+		}
+		for _, t := range show {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>",
+				template.HTMLEscapeString(t.Trace), template.HTMLEscapeString(t.Op),
+				template.HTMLEscapeString(t.Server), t.Micros, template.HTMLEscapeString(t.Err))
+		}
+		fmt.Fprint(w, "</table>")
+	}
+	fmt.Fprint(w, "</body></html>")
+}

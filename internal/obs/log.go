@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level selects how much a Logger emits.
+type Level int32
+
+const (
+	// LevelError emits only errors — srbd's -quiet mode.
+	LevelError Level = iota
+	// LevelInfo adds operational events (the default).
+	LevelInfo
+	// LevelDebug adds per-request detail.
+	LevelDebug
+)
+
+// Logger is a minimal leveled logger. It exists so server components
+// never default to a silent sink: accept, auth and dispatch failures
+// always have somewhere visible to go. Safe for concurrent use; all
+// methods tolerate a nil receiver (logging disabled).
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	level  atomic.Int32
+	now    func() time.Time
+}
+
+// NewLogger returns a logger writing to w with the given prefix and
+// level.
+func NewLogger(w io.Writer, prefix string, lvl Level) *Logger {
+	if prefix != "" {
+		prefix += " "
+	}
+	l := &Logger{w: w, prefix: prefix, now: time.Now}
+	l.level.Store(int32(lvl))
+	return l
+}
+
+// SetLevel changes the emission threshold.
+func (l *Logger) SetLevel(lvl Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(lvl))
+}
+
+// Enabled reports whether lvl would be emitted.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && Level(l.level.Load()) >= lvl
+}
+
+func (l *Logger) emit(tag, format string, args ...any) {
+	ts := l.now().UTC().Format("2006-01-02T15:04:05.000Z")
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s %-5s %s%s\n", ts, tag, l.prefix, msg)
+}
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) {
+	if !l.Enabled(LevelError) {
+		return
+	}
+	l.emit("ERROR", format, args...)
+}
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) {
+	if !l.Enabled(LevelInfo) {
+		return
+	}
+	l.emit("INFO", format, args...)
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) {
+	if !l.Enabled(LevelDebug) {
+		return
+	}
+	l.emit("DEBUG", format, args...)
+}

@@ -1,0 +1,405 @@
+// Package obs is the grid's telemetry layer: dependency-free atomic
+// counters, gauges and fixed-bucket latency histograms collected in a
+// namespaced Registry, plus request-scoped trace IDs (see trace.go) and
+// a leveled logger (see log.go).
+//
+// The paper's DGA calls for visibility into grid usage ("in some cases,
+// it may be necessary to audit usage of the data", §2); obs is the
+// measurement substrate under that: every broker operation, storage
+// driver and wire dispatch records into one Registry, and srbd exposes
+// the same snapshot over its admin endpoint, the OpStats wire op and
+// the MySRB status page.
+//
+// All types are safe for concurrent use, and every method tolerates a
+// nil receiver so instrumentation can be switched off (e.g. for
+// baseline benchmarks) by simply dropping the handles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket k holds observations in
+// [2^(k-1), 2^k) microseconds, so the range spans 1µs to ~2¼ minutes
+// with the last bucket collecting everything beyond.
+const histBuckets = 28
+
+// Histogram is a fixed-bucket latency histogram with power-of-two
+// microsecond bucket bounds. Observations are lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	k := bits.Len64(uint64(us))
+	if k >= histBuckets {
+		k = histBuckets - 1
+	}
+	return k
+}
+
+// BucketUpperMicros returns the inclusive upper bound of bucket k in
+// microseconds (the last bucket is unbounded and reports its lower
+// bound).
+func BucketUpperMicros(k int) int64 { return int64(1) << uint(k) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	UpperMicros int64 // inclusive upper bound; last bucket is open-ended
+	Count       int64
+}
+
+// HistSnapshot is a point-in-time view of a histogram.
+type HistSnapshot struct {
+	Count       int64
+	TotalMicros int64
+	P50Micros   float64
+	P90Micros   float64
+	P99Micros   float64
+	Buckets     []BucketCount `json:",omitempty"`
+}
+
+// Snapshot captures the histogram with interpolated quantiles.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{
+		Count:       h.count.Load(),
+		TotalMicros: h.sumNano.Load() / 1000,
+	}
+	if total == 0 {
+		return s
+	}
+	s.P50Micros = quantile(counts[:], total, 0.50)
+	s.P90Micros = quantile(counts[:], total, 0.90)
+	s.P99Micros = quantile(counts[:], total, 0.99)
+	for k, n := range counts {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpperMicros: BucketUpperMicros(k), Count: n})
+		}
+	}
+	return s
+}
+
+// quantile interpolates the q-quantile (0..1) from bucket counts.
+func quantile(counts []int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for k, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lower := float64(0)
+			if k > 0 {
+				lower = float64(int64(1) << uint(k-1))
+			}
+			upper := float64(int64(1) << uint(k))
+			frac := (rank - cum) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		cum = next
+	}
+	return float64(int64(1) << uint(len(counts)-1))
+}
+
+// Op bundles the three per-operation metrics — count, errors, latency —
+// so call sites record one line per exit path.
+type Op struct {
+	count Counter
+	errs  Counter
+	lat   Histogram
+}
+
+// Done records one completed operation that started at start.
+func (o *Op) Done(start time.Time, err error) {
+	if o == nil {
+		return
+	}
+	o.Observe(time.Since(start), err)
+}
+
+// Observe records one completed operation of duration d.
+func (o *Op) Observe(d time.Duration, err error) {
+	if o == nil {
+		return
+	}
+	o.count.Inc()
+	if err != nil {
+		o.errs.Inc()
+	}
+	o.lat.Observe(d)
+}
+
+// Count returns how many operations completed.
+func (o *Op) Count() int64 { return o.count.Value() }
+
+// Errors returns how many operations failed.
+func (o *Op) Errors() int64 { return o.errs.Value() }
+
+// OpSnapshot is a point-in-time view of one operation family.
+type OpSnapshot struct {
+	Count  int64
+	Errors int64
+	HistSnapshot
+}
+
+// Snapshot captures the operation metrics.
+func (o *Op) Snapshot() OpSnapshot {
+	if o == nil {
+		return OpSnapshot{}
+	}
+	return OpSnapshot{Count: o.count.Value(), Errors: o.errs.Value(), HistSnapshot: o.lat.Snapshot()}
+}
+
+// Registry is a namespaced collection of metrics plus the recent-span
+// trace ring. Metric names are dotted paths ("storage.disk1.bytes_in",
+// "broker.get"). Get-or-create accessors make registration implicit.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	ops      map[string]*Op
+	start    time.Time
+	traces   *TraceRing
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		ops:      make(map[string]*Op),
+		start:    time.Now(),
+		traces:   NewTraceRing(256),
+	}
+}
+
+// Counter returns (creating if absent) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if absent) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Op returns (creating if absent) the named operation family.
+func (r *Registry) Op(name string) *Op {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	o, ok := r.ops[name]
+	r.mu.RUnlock()
+	if ok {
+		return o
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o, ok = r.ops[name]; ok {
+		return o
+	}
+	o = &Op{}
+	r.ops[name] = o
+	return o
+}
+
+// Traces returns the registry's recent-span ring.
+func (r *Registry) Traces() *TraceRing {
+	if r == nil {
+		return nil
+	}
+	return r.traces
+}
+
+// Snapshot is a point-in-time view of a whole registry, JSON-ready for
+// the OpStats wire reply and the MySRB status page.
+type Snapshot struct {
+	UptimeSeconds float64
+	Counters      map[string]int64      `json:",omitempty"`
+	Gauges        map[string]int64      `json:",omitempty"`
+	Ops           map[string]OpSnapshot `json:",omitempty"`
+	Traces        []SpanRecord          `json:",omitempty"`
+}
+
+// Snapshot captures every metric and the recent traces.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	s := Snapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		Ops:           make(map[string]OpSnapshot, len(r.ops)),
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	ops := make(map[string]*Op, len(r.ops))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	for k, v := range r.ops {
+		ops[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range ops {
+		s.Ops[k] = v.Snapshot()
+	}
+	s.Traces = r.traces.Recent(64)
+	return s
+}
+
+// WriteText dumps the registry as sorted "name value" lines — the
+// plain-text format the srbd admin /metrics endpoint serves.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+6*len(s.Ops)+1)
+	lines = append(lines, fmt.Sprintf("uptime_seconds %.3f", s.UptimeSeconds))
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, o := range s.Ops {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", k, o.Count),
+			fmt.Sprintf("%s.errors %d", k, o.Errors),
+			fmt.Sprintf("%s.total_us %d", k, o.TotalMicros),
+			fmt.Sprintf("%s.p50_us %.1f", k, o.P50Micros),
+			fmt.Sprintf("%s.p90_us %.1f", k, o.P90Micros),
+			fmt.Sprintf("%s.p99_us %.1f", k, o.P99Micros),
+		)
+		for _, b := range o.Buckets {
+			lines = append(lines, fmt.Sprintf("%s.bucket_le_%dus %d", k, b.UpperMicros, b.Count))
+		}
+	}
+	sort.Strings(lines)
+	for _, ln := range lines {
+		if _, err := fmt.Fprintln(w, ln); err != nil {
+			return err
+		}
+	}
+	return nil
+}

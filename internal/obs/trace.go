@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// NewTraceID returns a fresh 16-hex-digit request trace ID. IDs only
+// need to be unique among recent requests, so a fast PRNG suffices.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// Span is one timed, trace-scoped unit of work. The zero value is not
+// useful; obtain spans with StartSpan. The trace ID travels in the wire
+// Request envelope, so every server a federated operation touches
+// records spans under the same ID.
+type Span struct {
+	Trace string
+	Op    string
+	Start time.Time
+}
+
+// StartSpan opens a span under trace, minting a fresh trace ID when
+// trace is empty (i.e. this server originates the request).
+func StartSpan(trace, op string) Span {
+	if trace == "" {
+		trace = NewTraceID()
+	}
+	return Span{Trace: trace, Op: op, Start: time.Now()}
+}
+
+// Elapsed reports how long the span has been open.
+func (s Span) Elapsed() time.Duration { return time.Since(s.Start) }
+
+// SpanRecord is one finished span as held by a TraceRing.
+type SpanRecord struct {
+	Trace  string
+	Op     string
+	Server string `json:",omitempty"`
+	Remote string `json:",omitempty"`
+	Start  time.Time
+	Micros int64
+	Err    string `json:",omitempty"`
+}
+
+// TraceRing is a bounded ring of recently finished spans — enough to
+// follow one logical operation across federation hops without keeping
+// unbounded history. Safe for concurrent use.
+type TraceRing struct {
+	mu    sync.Mutex
+	recs  []SpanRecord
+	start int
+	count int
+}
+
+// NewTraceRing returns a ring holding up to capacity records (64 when
+// capacity <= 0).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &TraceRing{recs: make([]SpanRecord, capacity)}
+}
+
+// Add appends one finished span, displacing the oldest when full.
+func (t *TraceRing) Add(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count < len(t.recs) {
+		t.recs[(t.start+t.count)%len(t.recs)] = rec
+		t.count++
+		return
+	}
+	t.recs[t.start] = rec
+	t.start = (t.start + 1) % len(t.recs)
+}
+
+// Recent returns up to n records, oldest first (n <= 0 returns all).
+func (t *TraceRing) Recent(n int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.count {
+		n = t.count
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := t.count - n; i < t.count; i++ {
+		out = append(out, t.recs[(t.start+i)%len(t.recs)])
+	}
+	return out
+}
+
+// End finishes the span into ring, stamping server/remote context.
+func (s Span) End(ring *TraceRing, server, remote string, err error) {
+	if ring == nil {
+		return
+	}
+	rec := SpanRecord{
+		Trace:  s.Trace,
+		Op:     s.Op,
+		Server: server,
+		Remote: remote,
+		Start:  s.Start,
+		Micros: time.Since(s.Start).Microseconds(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	ring.Add(rec)
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"gosrb/internal/mcat"
+	"gosrb/internal/obs"
 	"gosrb/internal/storage"
 	"gosrb/internal/types"
 )
@@ -42,6 +43,22 @@ type Manager struct {
 	drivers DriverMap
 	policy  Policy
 	rr      atomic.Uint64
+
+	// fanoutOK / fanoutFail count individual replica writes during
+	// synchronous fan-out (WriteAll, SyncDirty, Replicate): one logical
+	// write touching k replicas records k outcomes. failover counts
+	// reads served by a non-first candidate — the paper's automatic
+	// redirection (§3.4) made visible.
+	fanoutOK   *obs.Counter
+	fanoutFail *obs.Counter
+	failover   *obs.Counter
+}
+
+// SetMetrics attaches fan-out counters from the registry (nil detaches).
+func (m *Manager) SetMetrics(r *obs.Registry) {
+	m.fanoutOK = r.Counter("replica.fanout.ok")
+	m.fanoutFail = r.Counter("replica.fanout.fail")
+	m.failover = r.Counter("replica.read.failover")
 }
 
 // NewManager returns a Manager with the FirstAlive policy.
@@ -114,7 +131,7 @@ func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types
 		return nil, types.Replica{}, types.E("open", path, types.ErrOffline)
 	}
 	var lastErr error
-	for _, r := range cands {
+	for i, r := range cands {
 		d, err := m.drivers.Driver(r.Resource)
 		if err != nil {
 			lastErr = err
@@ -124,6 +141,9 @@ func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if i > 0 {
+			m.failover.Inc()
 		}
 		return f, r, nil
 	}
@@ -163,15 +183,19 @@ func (m *Manager) WriteAll(path string, data []byte) error {
 	for _, r := range o.Replicas {
 		res, err := m.cat.GetResource(r.Resource)
 		if err != nil || !res.Online {
+			m.fanoutFail.Inc()
 			continue
 		}
 		d, err := m.drivers.Driver(r.Resource)
 		if err != nil {
+			m.fanoutFail.Inc()
 			continue
 		}
 		if err := storage.WriteAll(d, r.PhysicalPath, data); err != nil {
+			m.fanoutFail.Inc()
 			continue
 		}
+		m.fanoutOK.Inc()
 		written[r.Number] = true
 	}
 	if len(written) == 0 {
@@ -238,11 +262,14 @@ func (m *Manager) Replicate(path, resource string) (types.Replica, error) {
 	size, err := io.Copy(w, io.TeeReader(src, h))
 	if err != nil {
 		w.Close()
+		m.fanoutFail.Inc()
 		return types.Replica{}, types.E("replicate", path, err)
 	}
 	if err := w.Close(); err != nil {
+		m.fanoutFail.Inc()
 		return types.Replica{}, types.E("replicate", path, err)
 	}
+	m.fanoutOK.Inc()
 	newRep := types.Replica{
 		Number:       next,
 		Resource:     resource,
@@ -297,15 +324,19 @@ func (m *Manager) SyncDirty(path string) (int, error) {
 	for _, r := range dirty {
 		res, err := m.cat.GetResource(r.Resource)
 		if err != nil || !res.Online {
+			m.fanoutFail.Inc()
 			continue
 		}
 		d, err := m.drivers.Driver(r.Resource)
 		if err != nil {
+			m.fanoutFail.Inc()
 			continue
 		}
 		if err := storage.WriteAll(d, r.PhysicalPath, data); err != nil {
+			m.fanoutFail.Inc()
 			continue
 		}
+		m.fanoutOK.Inc()
 		fixed[r.Number] = true
 	}
 	if len(fixed) == 0 {

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// adminServer is the operator-facing HTTP endpoint riding alongside the
+// wire listener: plain-text metrics, a liveness probe, and the runtime
+// profiler. It is read-only and unauthenticated, so bind it to
+// localhost in production.
+type adminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin endpoint on addr ("host:0" picks a port)
+// and returns the bound address. Routes:
+//
+//	/metrics       plain-text "name value" lines from the telemetry
+//	               registry (audit drops refreshed per scrape)
+//	/healthz       liveness probe, reports server name and uptime
+//	/debug/pprof/  the Go runtime profiler
+//
+// The endpoint stops when the server closes.
+func (s *Server) ServeAdmin(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := s.broker.Metrics()
+		reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok %s uptime=%.0fs\n", s.name, s.broker.Metrics().Snapshot().UptimeSeconds)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.admin = &adminServer{ln: ln, srv: srv}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			select {
+			case <-s.closed:
+			default:
+				s.Logger.Errorf("admin: %v", err)
+			}
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// closeAdmin stops the admin endpoint if one is serving.
+func (s *Server) closeAdmin() {
+	s.mu.Lock()
+	a := s.admin
+	s.admin = nil
+	s.mu.Unlock()
+	if a != nil {
+		a.srv.Close()
+	}
+}

@@ -10,77 +10,108 @@ import (
 	"gosrb/internal/core"
 
 	"gosrb/internal/acl"
+	"gosrb/internal/obs"
 	"gosrb/internal/types"
 	"gosrb/internal/wire"
 )
 
-// dispatch executes one request and writes exactly one response (or a
+// dispatch times one wire operation under a span: a missing trace ID is
+// minted here (this server originates the request), an inbound one is
+// kept — proxied requests carry it onward, so one user action shows up
+// under the same ID on every federation hop. The outcome (handler error
+// via ss.fail, or transport error) is attributed to the per-op metrics,
+// the trace ring and the log.
+func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
+	if req.Trace == "" {
+		req.Trace = obs.NewTraceID()
+	}
+	ss.opErr = nil
+	sp := obs.StartSpan(req.Trace, req.Op)
+	err := s.dispatchOp(c, ss, req)
+	opErr := ss.opErr
+	if opErr == nil {
+		opErr = err
+	}
+	reg := s.broker.Metrics()
+	reg.Op("server."+req.Op).Observe(sp.Elapsed(), opErr)
+	sp.End(reg.Traces(), s.name, ss.remote, opErr)
+	if opErr != nil {
+		s.Logger.Infof("op %s user=%s remote=%s trace=%s: %v",
+			req.Op, ss.user+ss.peer, ss.remote, req.Trace, opErr)
+	} else {
+		s.Logger.Debugf("op %s user=%s remote=%s trace=%s ok",
+			req.Op, ss.user+ss.peer, ss.remote, req.Trace)
+	}
+	return err
+}
+
+// dispatchOp executes one request and writes exactly one response (or a
 // redirect). Handler errors are turned into error responses; only
 // transport failures propagate and drop the connection.
-func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
+func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error {
 	user, err := ss.effectiveUser(req)
 	if err != nil {
-		return replyErr(c, err)
+		return ss.fail(c, err)
 	}
 	b := s.broker
 	switch req.Op {
 	case wire.OpMkdir:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Mkdir(user, a.Path); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpRmColl:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.RmColl(user, a.Path); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpList:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		stats, err := b.List(user, a.Path)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, stats)
 
 	case wire.OpStat:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		st, err := b.StatPath(user, a.Path)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, st)
 
 	case wire.OpGetObject:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		o, err := b.Cat.GetObject(a.Path)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, o)
 
 	case wire.OpIngest:
 		a, err := decode[wire.IngestArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
 		if _, err := c.RecvData(&buf); err != nil {
@@ -91,66 +122,66 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 		if owner := s.resourceOwner(a.Resource); owner != "" && !ss.isPeer {
 			body, err := s.proxyIngest(owner, user, req, buf.Bytes())
 			if err != nil {
-				return replyErr(c, err)
+				return ss.fail(c, err)
 			}
 			return c.WriteJSON(wire.MsgResponse, wire.Response{OK: true, Body: body})
 		}
 		o, err := b.Ingest(user, toIngestOpts(a, buf.Bytes()))
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, o)
 
 	case wire.OpReingest:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
 		if _, err := c.RecvData(&buf); err != nil {
 			return err
 		}
 		if err := b.Reingest(user, a.Path, buf.Bytes()); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpGet:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		// A valid ticket lets the holder read with the issuer's
 		// authority — delegated access independent of ACL grants.
 		if req.Ticket != "" {
 			level, issuer, terr := s.tickets.Redeem(req.Ticket, a.Path)
 			if terr != nil {
-				return replyErr(c, terr)
+				return ss.fail(c, terr)
 			}
 			if l, lerr := acl.ParseLevel(level); lerr == nil && l >= acl.Read {
 				user = issuer
 			}
 		}
 		if owner := s.localityOf(a.Path); owner != "" && !ss.isPeer {
-			return s.federate(c, owner, user, req)
+			return s.federate(c, ss, owner, user, req)
 		}
 		data, err := b.Get(user, a.Path)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return replyData(c, data)
 
 	case wire.OpIssueTicket:
 		a, err := decode[wire.TicketArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		// Only a user holding Own may delegate access to a path.
 		if b.Cat.EffectiveLevel(a.Path, user) < acl.Own {
-			return replyErr(c, types.E("issueticket", a.Path, types.ErrPermission))
+			return ss.fail(c, types.E("issueticket", a.Path, types.ErrPermission))
 		}
 		if _, err := acl.ParseLevel(a.Level); err != nil {
-			return replyErr(c, types.E("issueticket", a.Level, types.ErrInvalid))
+			return ss.fail(c, types.E("issueticket", a.Level, types.ErrInvalid))
 		}
 		ttl := time.Duration(a.TTLSeconds) * time.Second
 		if ttl <= 0 {
@@ -158,39 +189,39 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 		}
 		tk, err := s.tickets.Issue(user, a.Path, a.Level, a.Uses, time.Now().Add(ttl))
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, wire.TicketReply{ID: tk.ID})
 
 	case wire.OpReadRange:
 		a, err := decode[wire.RangeArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if owner := s.localityOf(a.Path); owner != "" && !ss.isPeer {
-			return s.federate(c, owner, user, req)
+			return s.federate(c, ss, owner, user, req)
 		}
 		data, err := s.readRange(user, a)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return replyData(c, data)
 
 	case wire.OpReplicate:
 		a, err := decode[wire.ReplicateArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		rep, err := s.handleReplicate(user, ss, a)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, rep)
 
 	case wire.OpIngestReplica:
 		a, err := decode[wire.ReplicateArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
 		if _, err := c.RecvData(&buf); err != nil {
@@ -198,321 +229,321 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 		}
 		rep, err := b.IngestReplica(user, a.Path, a.Resource, buf.Bytes())
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, rep)
 
 	case wire.OpDelete:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Delete(user, a.Path); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpDeleteReplica:
 		a, err := decode[wire.ReplicaArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.DeleteReplica(user, a.Path, types.ReplicaNumber(a.Number)); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpMove:
 		a, err := decode[wire.MoveArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Move(user, a.Src, a.Dst); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpCopy:
 		a, err := decode[wire.CopyArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Copy(user, a.Src, a.Dst, a.Resource); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpLink:
 		a, err := decode[wire.LinkArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Link(user, a.Target, a.LinkPath); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpAddMeta:
 		a, err := decode[wire.MetaArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.AddMeta(user, a.Path, types.MetaClass(a.Class), a.AVU); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpGetMeta:
 		a, err := decode[wire.GetMetaArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		avus, err := b.GetMeta(user, a.Path, types.MetaClass(a.Class))
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, avus)
 
 	case wire.OpAnnotate:
 		a, err := decode[wire.AnnotateArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Annotate(user, a.Path, a.Ann); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpAnnotations:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		anns, err := b.Annotations(user, a.Path)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, anns)
 
 	case wire.OpQuery:
 		a, err := decode[wire.QueryArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		hits, err := b.Query(user, a.Q)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, hits)
 
 	case wire.OpQueryAttrs:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, b.QueryAttrNames(user, a.Path))
 
 	case wire.OpChmod:
 		a, err := decode[wire.ChmodArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		level, err := acl.ParseLevel(a.Level)
 		if err != nil {
-			return replyErr(c, types.E("chmod", a.Level, types.ErrInvalid))
+			return ss.fail(c, types.E("chmod", a.Level, types.ErrInvalid))
 		}
 		if err := b.Chmod(user, a.Path, a.Grantee, level); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpLock:
 		a, err := decode[wire.LockArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		kind, err := parseLockKind(a.Kind)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Lock(user, a.Path, kind, time.Duration(a.TTLSeconds)*time.Second); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpUnlock:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Unlock(user, a.Path); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpPin:
 		a, err := decode[wire.PinArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Pin(user, a.Path, a.Resource, time.Duration(a.TTLSeconds)*time.Second); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpUnpin:
 		a, err := decode[wire.PinArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Unpin(user, a.Path, a.Resource); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpCheckout:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if err := b.Checkout(user, a.Path); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpCheckin:
 		a, err := decode[wire.CheckinArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
 		if _, err := c.RecvData(&buf); err != nil {
 			return err
 		}
 		if err := b.Checkin(user, a.Path, buf.Bytes(), a.Comment); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, struct{}{})
 
 	case wire.OpRegisterURL:
 		a, err := decode[wire.RegisterURLArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		o, err := b.RegisterURL(user, a.Path, a.URL)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, o)
 
 	case wire.OpRegisterSQL:
 		a, err := decode[wire.RegisterSQLArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		o, err := b.RegisterSQL(user, a.Path, a.Spec)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, o)
 
 	case wire.OpExecSQL:
 		a, err := decode[wire.ExecSQLArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if owner := s.sqlOwner(a.Path); owner != "" && !ss.isPeer {
-			return s.federate(c, owner, user, req)
+			return s.federate(c, ss, owner, user, req)
 		}
 		data, err := b.ExecuteSQL(user, a.Path, a.Suffix)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return replyData(c, data)
 
 	case wire.OpInvoke:
 		a, err := decode[wire.InvokeArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		data, err := b.InvokeMethod(user, a.Path, a.Args)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return replyData(c, data)
 
 	case wire.OpMkContainer:
 		a, err := decode[wire.ContainerArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		o, err := b.CreateContainer(user, a.Path, a.Resource)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, o)
 
 	case wire.OpSyncContainer:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		n, err := b.SyncContainer(user, a.Path)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, wire.CountReply{N: n})
 
 	case wire.OpExtract:
 		a, err := decode[wire.ExtractArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		n, err := b.ExtractMeta(user, a.Path, a.Method, a.From)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, wire.CountReply{N: n})
 
 	case wire.OpShadowList:
 		a, err := decode[wire.ShadowArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		infos, err := b.ShadowList(user, a.Path, a.Rel)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return reply(c, infos)
 
 	case wire.OpShadowOpen:
 		a, err := decode[wire.ShadowArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		data, err := b.ShadowOpen(user, a.Path, a.Rel)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		return replyData(c, data)
 
 	case wire.OpAddUser:
 		a, err := decode[wire.AddUserArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if !b.Cat.IsAdmin(user) {
-			return replyErr(c, types.E("adduser", a.Name, types.ErrPermission))
+			return ss.fail(c, types.E("adduser", a.Name, types.ErrPermission))
 		}
 		if a.Name == "" || a.Password == "" {
-			return replyErr(c, types.E("adduser", a.Name, types.ErrInvalid))
+			return ss.fail(c, types.E("adduser", a.Name, types.ErrInvalid))
 		}
 		domain := a.Domain
 		if domain == "" {
 			domain = "local"
 		}
 		if err := b.Cat.AddUser(types.User{Name: a.Name, Domain: domain, Admin: a.Admin}); err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		s.authn.Register(a.Name, a.Password)
 		b.Cat.Audit.Op(user, "adduser", a.Name, true, domain)
@@ -521,10 +552,10 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 	case wire.OpAudit:
 		a, err := decode[wire.AuditArgs](req)
 		if err != nil {
-			return replyErr(c, err)
+			return ss.fail(c, err)
 		}
 		if !b.Cat.IsAdmin(user) {
-			return replyErr(c, types.E("audit", "", types.ErrPermission))
+			return ss.fail(c, types.E("audit", "", types.ErrPermission))
 		}
 		recs := b.Cat.Audit.Query(audit.Filter{User: a.User, Op: a.Op, Target: a.Target})
 		if a.Limit > 0 && len(recs) > a.Limit {
@@ -538,8 +569,11 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 	case wire.OpServerStats:
 		return reply(c, s.stats())
 
+	case wire.OpOpStats:
+		return reply(c, s.Telemetry())
+
 	default:
-		return replyErr(c, types.E(req.Op, "", types.ErrUnsupported))
+		return ss.fail(c, types.E(req.Op, "", types.ErrUnsupported))
 	}
 }
 

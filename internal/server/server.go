@@ -15,14 +15,15 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
-	"log"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"gosrb/internal/auth"
 	"gosrb/internal/core"
+	"gosrb/internal/obs"
 	"gosrb/internal/types"
 	"gosrb/internal/wire"
 )
@@ -53,8 +54,12 @@ type Server struct {
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
-	// Logger receives connection errors; defaults to a silent logger.
-	Logger *log.Logger
+	admin     *adminServer
+	// Logger receives connection and operation errors with op,
+	// remote-addr and trace-ID context. Defaults to stderr at LevelError
+	// so failures are never silently swallowed; srbd raises it to
+	// LevelInfo (or back down with -quiet).
+	Logger *obs.Logger
 }
 
 type peer struct {
@@ -73,7 +78,7 @@ func New(b *core.Broker, a *auth.Authenticator, mode FederationMode) *Server {
 		peers:   make(map[string]peer),
 		tickets: auth.NewTicketStore(),
 		closed:  make(chan struct{}),
-		Logger:  log.New(io.Discard, "", 0),
+		Logger:  obs.NewLogger(os.Stderr, b.ServerName(), obs.LevelError),
 	}
 }
 
@@ -113,8 +118,9 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for active connections to finish.
-// It is safe to call more than once.
+// Close stops the listener (and the admin endpoint, when serving) and
+// waits for active connections to finish. It is safe to call more than
+// once.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -122,6 +128,7 @@ func (s *Server) Close() error {
 		if s.ln != nil {
 			err = s.ln.Close()
 		}
+		s.closeAdmin()
 		s.wg.Wait()
 	})
 	return err
@@ -136,7 +143,7 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				s.Logger.Printf("accept: %v", err)
+				s.Logger.Errorf("accept: %v", err)
 				return
 			}
 		}
@@ -145,7 +152,7 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			defer conn.Close()
 			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) {
-				s.Logger.Printf("conn: %v", err)
+				s.Logger.Errorf("conn %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
@@ -156,6 +163,19 @@ type session struct {
 	user   string // authenticated end user, or "" on peer connections
 	peer   string // authenticated peer server, or ""
 	isPeer bool
+	remote string // remote address, for log and trace context
+	// opErr records the handler error of the request being dispatched
+	// (connections are served by one goroutine, so this is race-free);
+	// the dispatch shim reads it to attribute errors to the op's
+	// metrics, span record and log line.
+	opErr error
+}
+
+// fail reports a handler failure to the client and records it for the
+// dispatch shim.
+func (ss *session) fail(c *wire.Conn, err error) error {
+	ss.opErr = err
+	return replyErr(c, err)
 }
 
 // effectiveUser resolves the user an operation runs as.
@@ -175,6 +195,7 @@ func (s *Server) handleConn(nc net.Conn) error {
 	if err != nil {
 		return err
 	}
+	ss.remote = nc.RemoteAddr().String()
 	for {
 		var req wire.Request
 		if err := c.ReadJSON(wire.MsgRequest, &req); err != nil {
@@ -302,18 +323,19 @@ func (s *Server) resourceOwner(resource string) string {
 
 // federate serves a get-style request for data owned by peerName:
 // proxy mode relays the bytes, redirect mode hands the client the
-// owning server's address.
-func (s *Server) federate(c *wire.Conn, peerName, user string, req *wire.Request) error {
+// owning server's address. The forwarded request keeps req.Trace, so
+// the same trace ID lands in both servers' records.
+func (s *Server) federate(c *wire.Conn, ss *session, peerName, user string, req *wire.Request) error {
 	addr, ok := s.PeerAddr(peerName)
 	if !ok {
-		return replyErr(c, types.E(req.Op, peerName, types.ErrOffline))
+		return ss.fail(c, types.E(req.Op, peerName, types.ErrOffline))
 	}
 	if s.mode == Redirect {
 		return c.WriteJSON(wire.MsgRedirect, wire.Redirect{Server: peerName, Addr: addr})
 	}
 	data, err := s.proxyGet(peerName, addr, user, req)
 	if err != nil {
-		return replyErr(c, err)
+		return ss.fail(c, err)
 	}
 	return replyData(c, data)
 }
@@ -457,4 +479,14 @@ func (s *Server) stats() wire.StatsReply {
 		Server: s.name, Objects: st.Objects, Collections: st.Collections,
 		Resources: st.Resources, Users: st.Users,
 	}
+}
+
+// Telemetry snapshots the broker registry for the OpStats wire op, the
+// admin /metrics endpoint and the MySRB status page. Audit-ring drops
+// are folded in as a gauge just before snapshotting so every exposure
+// path reports them.
+func (s *Server) Telemetry() wire.OpStatsReply {
+	reg := s.broker.Metrics()
+	reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
+	return wire.OpStatsReply{Server: s.name, Snapshot: reg.Snapshot()}
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"gosrb/internal/mcat"
+	"gosrb/internal/obs"
 	"gosrb/internal/types"
 )
 
@@ -59,6 +60,10 @@ const (
 	OpAddUser = "adduser"
 	// OpResources lists the registered storage resources.
 	OpResources = "resources"
+	// OpOpStats returns the server's telemetry snapshot: per-op
+	// counts/errors/latency, per-driver byte totals, replica fan-out
+	// counters, audit drops and recent trace records.
+	OpOpStats = "opstats"
 )
 
 // PathArgs addresses one logical path.
@@ -250,4 +255,10 @@ type StatsReply struct {
 	Collections int
 	Resources   int
 	Users       int
+}
+
+// OpStatsReply carries one server's telemetry snapshot.
+type OpStatsReply struct {
+	Server   string
+	Snapshot obs.Snapshot
 }

@@ -71,7 +71,12 @@ type Request struct {
 	// Ticket optionally presents a delegated-access ticket; read
 	// operations honour it when the caller's own ACLs do not suffice.
 	Ticket string
-	Args   json.RawMessage
+	// Trace carries the request-scoped trace ID. The client mints one
+	// per logical call (kept across redirects); the server mints one when
+	// absent and copies it onto every proxied request, so one user action
+	// carries the same ID on every federation hop it touches.
+	Trace string `json:",omitempty"`
+	Args  json.RawMessage
 }
 
 // Response answers a Request. Body is op-specific JSON. ErrKind names a
