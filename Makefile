@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-obs clean
+.PHONY: all check vet build test race test-faults bench bench-obs clean
 
 all: check
 
-check: vet build race
+check: vet build race test-faults
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection sweep: the resilience and faultnet suites plus the
+# chaos end-to-end, repeated under -race to prove the fixed-seed fault
+# schedule replays deterministically.
+test-faults:
+	$(GO) test -race -count=1 ./internal/resilience/ ./internal/faultnet/
+	$(GO) test -race -count=10 -run 'TestChaos' ./cmd/srbd/
 
 # Full benchmark sweep (experiments E1–E10 plus the wire and broker
 # concurrency benches).

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gosrb/internal/acl"
+	"gosrb/internal/auth"
+	"gosrb/internal/client"
+	"gosrb/internal/core"
+	"gosrb/internal/faultnet"
+	"gosrb/internal/mcat"
+	"gosrb/internal/resilience"
+	"gosrb/internal/server"
+	"gosrb/internal/storage/memfs"
+	"gosrb/internal/types"
+)
+
+// chaosSeed fixes every random choice the injector makes, so each run
+// of this test replays the identical fault schedule.
+const chaosSeed = 42
+
+// fakeTicker is a hand-driven clock for breaker cooldowns.
+type fakeTicker struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeTicker) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeTicker) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestChaosFederatedFailover is the chaos end-to-end: an in-process
+// two-server zone with deterministic fault injection. It kills the
+// local resource under a replicated object (reads must fail over to
+// the surviving replica via the peer), then kills the peer uplink
+// mid-federation (the peer breaker must trip, fast-fail, and recover
+// through a half-open probe once the link heals).
+func TestChaosFederatedFailover(t *testing.T) {
+	inj := faultnet.New(chaosSeed)
+
+	cat := mcat.New("admin", "sdsc")
+	cat.AddUser(types.User{Name: "alice", Domain: "sdsc"})
+	cat.MkColl("/home", "admin")
+	cat.SetACL("/home", "alice", acl.Write)
+
+	b1 := core.New(cat, "srb1")
+	b2 := core.New(cat, "srb2")
+	if err := b1.AddPhysicalResource("admin", "disk1", types.ClassFileSystem, "memfs",
+		inj.WrapDriver("disk1", memfs.New())); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AddPhysicalResource("admin", "disk2", types.ClassFileSystem, "memfs",
+		inj.WrapDriver("disk2", memfs.New())); err != nil {
+		t.Fatal(err)
+	}
+
+	authn := auth.New()
+	authn.Register("alice", "alicepw")
+	authn.Register("admin", "adminpw")
+
+	s1 := server.New(b1, authn, server.Proxy)
+	s2 := server.New(b2, authn, server.Proxy)
+	t.Cleanup(func() { s1.Close(); s2.Close() })
+	addr1, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.AddPeer("srb2", addr2, "zone-secret")
+	s2.AddPeer("srb1", addr1, "zone-secret")
+
+	// All of srb1's federation traffic runs over the injectable uplink,
+	// with deterministic latency spikes from the seeded RNG.
+	s1.SetPeerDialer(inj.WrapDial("uplink", func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, time.Second)
+	}))
+	inj.Target("uplink").SpikeLatency(time.Millisecond, 0.25)
+	s1.SetRetryPolicy(resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+
+	clock := &fakeTicker{now: time.Unix(1_000_000, 0)}
+	b1.Breakers().SetConfig(resilience.BreakerConfig{Threshold: 2, Cooldown: time.Minute})
+	b1.Breakers().SetClock(clock.Now)
+
+	adminAddr, err := s1.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := client.Dial(addr1, "alice", "alicepw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRetryPolicy(resilience.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+
+	// Seed: one object replicated on both disks, one remote-only.
+	if _, err := cl.Put("/home/chaos.txt", []byte("survives chaos"), client.PutOpts{Resource: "disk1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Replicate("/home/chaos.txt", "disk2"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		cl2, err := client.Dial(addr2, "alice", "alicepw")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl2.Close()
+		if _, err := cl2.Put("/home/remote-only.txt", []byte("only on disk2"), client.PutOpts{Resource: "disk2"}); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// Phase 1 — kill the local resource. One client Get absorbs the
+	// whole failover: local attempts fail, the resource breaker trips,
+	// and the read federates to the surviving replica on srb2.
+	inj.Target("disk1").Kill()
+	data, err := cl.Get("/home/chaos.txt")
+	if err != nil || string(data) != "survives chaos" {
+		t.Fatalf("failover get = %q, %v", data, err)
+	}
+	if cl.Retries() == 0 {
+		t.Error("client absorbed the outage without retrying — breaker never exercised")
+	}
+	if st := b1.Breakers().States()["resource.disk1"]; st != resilience.Open {
+		t.Errorf("resource.disk1 breaker = %v, want Open", st)
+	}
+
+	// Phase 2 — kill the uplink mid-federation. Dial attempts fail,
+	// the peer breaker opens, and further reads fast-fail offline.
+	if data, err := cl.Get("/home/remote-only.txt"); err != nil || string(data) != "only on disk2" {
+		t.Fatalf("pre-outage proxied get = %q, %v", data, err)
+	}
+	inj.Target("uplink").Kill()
+	if _, err := cl.Get("/home/remote-only.txt"); err == nil {
+		t.Fatal("get over dead uplink must fail")
+	}
+	if st := b1.Breakers().States()["peer.srb2"]; st != resilience.Open {
+		t.Fatalf("peer.srb2 breaker = %v, want Open", st)
+	}
+	// Open breaker: the next read fast-fails, shaped as offline.
+	if _, err := cl.Get("/home/remote-only.txt"); !errors.Is(err, types.ErrOffline) {
+		t.Fatalf("fast-fail get = %v, want offline", err)
+	}
+
+	// The open breaker is visible on the admin endpoint.
+	metrics := scrape(t, adminAddr)
+	if !strings.Contains(metrics, "breaker.peer.srb2.state 2") {
+		t.Errorf("/metrics missing open peer breaker:\n%s", grepLines(metrics, "breaker."))
+	}
+
+	// Phase 3 — heal the uplink. After the cooldown the breaker goes
+	// half-open; the probe read succeeds and closes it.
+	inj.Target("uplink").Revive()
+	clock.Advance(2 * time.Minute)
+	data, err = cl.Get("/home/remote-only.txt")
+	if err != nil || string(data) != "only on disk2" {
+		t.Fatalf("post-recovery get = %q, %v", data, err)
+	}
+	if st := b1.Breakers().States()["peer.srb2"]; st != resilience.Closed {
+		t.Errorf("peer.srb2 breaker = %v, want Closed after probe", st)
+	}
+}
+
+// scrape fetches the admin /metrics page.
+func scrape(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// grepLines keeps only lines containing pat, for focused failure output.
+func grepLines(s, pat string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, pat) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -27,6 +27,7 @@ import (
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
+	"gosrb/internal/resilience"
 	"gosrb/internal/server"
 	"gosrb/internal/storage"
 	"gosrb/internal/storage/archivefs"
@@ -55,6 +56,9 @@ func main() {
 		mode      = flag.String("mode", "proxy", "federation mode: proxy or redirect")
 		saveEvery = flag.Duration("save-every", time.Minute, "catalog autosave interval (0 disables)")
 		syncEvery = flag.Duration("sync-every", time.Minute, "dirty-replica sweep interval (0 disables)")
+		dialTO    = flag.Duration("dial-timeout", resilience.DialTimeout, "TCP dial timeout for federation peers")
+		brkTrip   = flag.Int("breaker-threshold", resilience.DefaultBreakerConfig.Threshold, "consecutive failures before a peer/resource circuit breaker opens")
+		brkCool   = flag.Duration("breaker-cooldown", resilience.DefaultBreakerConfig.Cooldown, "how long an open circuit breaker waits before a half-open probe")
 	)
 	var resources, users, peers, logicals repeated
 	flag.Var(&resources, "resource", "physical resource: name=driver:arg (driver: posixfs|memfs|archivefs|dbfs); repeatable")
@@ -180,6 +184,8 @@ func main() {
 		fedMode = server.Redirect
 	}
 	srv := server.New(broker, authn, fedMode)
+	srv.SetDialTimeout(*dialTO)
+	broker.Breakers().SetConfig(resilience.BreakerConfig{Threshold: *brkTrip, Cooldown: *brkCool})
 	srv.Logger = obs.NewLogger(os.Stderr, *name, obs.LevelInfo)
 	if *quiet {
 		srv.Logger.SetLevel(obs.LevelError)

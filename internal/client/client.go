@@ -16,13 +16,15 @@ import (
 	"gosrb/internal/auth"
 	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
+	"gosrb/internal/resilience"
 	"gosrb/internal/storage"
 	"gosrb/internal/types"
 	"gosrb/internal/wire"
 )
 
-// DialTimeout bounds connection establishment.
-const DialTimeout = 10 * time.Second
+// DialTimeout bounds connection establishment. It is the same tunable
+// the server uses for peer dials (resilience.DialTimeout).
+const DialTimeout = resilience.DialTimeout
 
 // Client is one authenticated connection to an SRB server. Methods are
 // safe for concurrent use (requests are serialised on the connection);
@@ -40,6 +42,19 @@ type Client struct {
 
 	// dial allows tests to shape connections.
 	dial func(addr string) (net.Conn, error)
+
+	// timeout, when set, bounds each logical call; the remaining budget
+	// rides in wire.Request.TimeoutMillis so every server on the
+	// federation path inherits it.
+	timeout time.Duration
+	// retry shapes automatic retries. Only idempotent (read-only) ops
+	// are ever retried; see wire.Idempotent.
+	retry resilience.Policy
+	sleep func(time.Duration)
+	randf func() float64
+	// retries counts retry attempts actually performed (tests and the
+	// Scommand -v output read it via Retries).
+	retries int64
 }
 
 // Dial connects and authenticates to the server at addr.
@@ -54,11 +69,39 @@ func DialWith(addr, user, password string, dialer func(addr string) (net.Conn, e
 			return net.DialTimeout("tcp", a, DialTimeout)
 		}
 	}
-	cl := &Client{addr: addr, user: user, password: password, dial: dialer}
+	cl := &Client{
+		addr: addr, user: user, password: password, dial: dialer,
+		retry: resilience.DefaultPolicy, sleep: time.Sleep,
+	}
 	if err := cl.connect(addr); err != nil {
 		return nil, err
 	}
 	return cl, nil
+}
+
+// SetTimeout bounds each logical call (0 = unbounded). The budget is
+// carried on the wire, so federation hops enforce what remains of it.
+func (cl *Client) SetTimeout(d time.Duration) {
+	cl.mu.Lock()
+	cl.timeout = d
+	cl.mu.Unlock()
+}
+
+// SetRetryPolicy tunes automatic retries of idempotent operations.
+// MaxAttempts of 1 disables them.
+func (cl *Client) SetRetryPolicy(p resilience.Policy) {
+	cl.mu.Lock()
+	if p.MaxAttempts > 0 {
+		cl.retry = p
+	}
+	cl.mu.Unlock()
+}
+
+// Retries reports how many retry attempts this client has performed.
+func (cl *Client) Retries() int64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.retries
 }
 
 // connect establishes and authenticates one connection, replacing the
@@ -126,14 +169,51 @@ func (cl *Client) call(op string, args any, sendData []byte, out any) ([]byte, e
 }
 
 // callTicket is call with an optional delegated-access ticket attached.
-// Each logical call mints one trace ID, kept across redirect retries,
-// so the servers involved all record it under the same trace.
+// Each logical call mints one trace ID, kept across redirect and retry
+// attempts, so the servers involved all record it under the same trace.
+//
+// Idempotent operations that fail with a retryable error (offline,
+// timeout, transport) are retried under the client's backoff policy; a
+// transport error additionally reconnects first, since the conn is
+// poisoned mid-protocol. Mutating ops get exactly one attempt — a lost
+// response does not prove the mutation was lost.
 func (cl *Client) callTicket(op string, args any, sendData []byte, out any, ticket string) ([]byte, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	trace := obs.NewTraceID()
+	var deadline time.Time
+	if cl.timeout > 0 {
+		deadline = time.Now().Add(cl.timeout)
+	}
+	policy := cl.retry
+	if !wire.Idempotent(op) {
+		policy.MaxAttempts = 1
+	}
+	r := resilience.Retrier{
+		Policy: policy, Sleep: cl.sleep, Rand: cl.randf, Deadline: deadline,
+		OnRetry: func(int, error) { cl.retries++ },
+	}
+	var result []byte
+	err := r.Do(func() error {
+		data, err := cl.callRedirect(op, args, sendData, out, ticket, trace, deadline)
+		if err != nil {
+			if resilience.Transport(err) {
+				// The conn died mid-protocol: re-establish it so the
+				// next attempt (if any) starts on a clean exchange.
+				cl.connect(cl.addr)
+			}
+			return err
+		}
+		result = data
+		return nil
+	})
+	return result, err
+}
+
+// callRedirect performs one attempt, following federation redirects.
+func (cl *Client) callRedirect(op string, args any, sendData []byte, out any, ticket, trace string, deadline time.Time) ([]byte, error) {
 	for redirects := 0; ; redirects++ {
-		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket, trace)
+		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket, trace, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -151,12 +231,29 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 	}
 }
 
-func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket, trace string) ([]byte, *wire.Redirect, error) {
+func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket, trace string, deadline time.Time) ([]byte, *wire.Redirect, error) {
 	raw, err := json.Marshal(args)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := cl.c.WriteJSON(wire.MsgRequest, wire.Request{Op: op, Args: raw, Ticket: ticket, Trace: trace}); err != nil {
+	req := wire.Request{Op: op, Args: raw, Ticket: ticket, Trace: trace}
+	if !deadline.IsZero() {
+		// The wire budget tells the server chain how long this call may
+		// take; the conn deadline enforces it locally so a stalled
+		// server cannot hang the client past it.
+		left := time.Until(deadline)
+		if left <= 0 {
+			return nil, nil, types.E(op, "", types.ErrTimeout)
+		}
+		ms := left.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMillis = ms
+		cl.nc.SetDeadline(deadline)
+		defer cl.nc.SetDeadline(time.Time{})
+	}
+	if err := cl.c.WriteJSON(wire.MsgRequest, req); err != nil {
 		return nil, nil, types.E(op, "", err)
 	}
 	if sendData != nil {
@@ -297,6 +394,9 @@ func (cl *Client) ParallelGet(path string, streams int) ([]byte, error) {
 	out := make([]byte, size)
 	chunk := (size + int64(streams) - 1) / int64(streams)
 	errs := make(chan error, streams)
+	cl.mu.Lock()
+	timeout, retry := cl.timeout, cl.retry
+	cl.mu.Unlock()
 	for i := 0; i < streams; i++ {
 		off := int64(i) * chunk
 		length := chunk
@@ -304,13 +404,16 @@ func (cl *Client) ParallelGet(path string, streams int) ([]byte, error) {
 			length = size - off
 		}
 		go func(off, length int64) {
-			// Each stream is its own authenticated connection.
+			// Each stream is its own authenticated connection and
+			// inherits the parent's resilience knobs.
 			sub, err := DialWith(cl.Addr(), cl.user, cl.password, cl.dial)
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer sub.Close()
+			sub.SetTimeout(timeout)
+			sub.SetRetryPolicy(retry)
 			data, err := sub.GetRange(path, off, length)
 			if err != nil {
 				errs <- err

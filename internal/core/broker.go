@@ -17,6 +17,7 @@ import (
 	"gosrb/internal/metadata"
 	"gosrb/internal/obs"
 	"gosrb/internal/replica"
+	"gosrb/internal/resilience"
 	"gosrb/internal/sqlengine"
 	"gosrb/internal/storage"
 	"gosrb/internal/storage/dbfs"
@@ -56,6 +57,11 @@ type Broker struct {
 	// per-operation handles so recording stays a pointer deref.
 	metrics *obs.Registry
 	ops     brokerOps
+
+	// breakers holds the per-target circuit breakers (one per federated
+	// peer, one per storage resource) shared by the replica manager and
+	// the server's federation paths.
+	breakers *resilience.Set
 }
 
 // brokerOps caches the per-operation metric handles. All fields may be
@@ -72,8 +78,8 @@ type brokerOps struct {
 
 func newBrokerOps(r *obs.Registry) brokerOps {
 	return brokerOps{
-		fanoutOK:   r.Counter("replica.fanout.ok"),
-		fanoutFail: r.Counter("replica.fanout.fail"),
+		fanoutOK:      r.Counter("replica.fanout.ok"),
+		fanoutFail:    r.Counter("replica.fanout.fail"),
 		get:           r.Op("broker.get"),
 		ingest:        r.Op("broker.ingest"),
 		reingest:      r.Op("broker.reingest"),
@@ -103,10 +109,17 @@ func New(cat *mcat.Catalog, serverName string) *Broker {
 		metrics:    obs.NewRegistry(),
 	}
 	b.ops = newBrokerOps(b.metrics)
+	b.breakers = resilience.NewSet(resilience.DefaultBreakerConfig, b.metrics)
 	b.rm = replica.NewManager(cat, b)
 	b.rm.SetMetrics(b.metrics)
+	b.rm.SetBreakers(b.breakers)
 	return b
 }
+
+// Breakers returns the broker's circuit-breaker set. The server
+// consults it before federation hops; the replica manager consults it
+// when choosing replicas, so reads fail over past tripped resources.
+func (b *Broker) Breakers() *resilience.Set { return b.breakers }
 
 // Metrics returns the broker's telemetry registry. srbd's admin
 // endpoint, the OpStats wire op and the MySRB status page all render
@@ -119,7 +132,9 @@ func (b *Broker) Metrics() *obs.Registry { return b.metrics }
 func (b *Broker) SetMetrics(r *obs.Registry) {
 	b.metrics = r
 	b.ops = newBrokerOps(r)
+	b.breakers = resilience.NewSet(resilience.DefaultBreakerConfig, r)
 	b.rm.SetMetrics(r)
+	b.rm.SetBreakers(b.breakers)
 }
 
 // ioMetricsFor names the per-driver byte counters for one resource.

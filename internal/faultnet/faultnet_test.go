@@ -1,0 +1,217 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gosrb/internal/resilience"
+	"gosrb/internal/storage"
+	"gosrb/internal/storage/memfs"
+	"gosrb/internal/types"
+)
+
+func TestFailAfterOps(t *testing.T) {
+	in := New(1)
+	d := in.WrapDriver("resource.disk1", memfs.New())
+	scripted := types.E("stat", "/f", types.ErrOffline)
+	in.Target("resource.disk1").FailAfterOps(2, scripted)
+
+	if err := storage.WriteAll(d, "/f", []byte("hi")); err != nil { // op 1: Create
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := d.Stat("/f"); err != nil { // op 2
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, err := d.Stat("/f"); !errors.Is(err, types.ErrOffline) { // op 3 fails
+		t.Fatalf("op 3 err = %v, want scripted offline", err)
+	}
+	if _, err := d.Open("/f"); !errors.Is(err, types.ErrOffline) {
+		t.Fatalf("op 4 err = %v, want scripted offline", err)
+	}
+	in.Target("resource.disk1").Clear()
+	if _, err := storage.ReadAll(d, "/f"); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}
+
+func TestPartialWriteTruncatesAndFails(t *testing.T) {
+	in := New(1)
+	mem := memfs.New()
+	d := in.WrapDriver("resource.disk1", mem)
+	in.Target("resource.disk1").PartialWriteAfter(5)
+
+	w, err := d.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("0123456789"))
+	if n != 5 {
+		t.Errorf("n = %d, want 5 (budget)", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected", err)
+	}
+	// Budget exhausted: the next write moves nothing.
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("post-budget write = (%d, %v)", n, err)
+	}
+	w.Close()
+	// Only the truncated prefix reached the store.
+	got, err := storage.ReadAll(mem, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Errorf("stored %q, want %q", got, "01234")
+	}
+}
+
+func TestKillSwitchDriver(t *testing.T) {
+	in := New(1)
+	d := in.WrapDriver("resource.disk1", memfs.New())
+	if err := storage.WriteAll(d, "/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Open("/f") // open before the kill
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	in.Target("resource.disk1").Kill()
+	if _, err := d.Stat("/f"); !errors.Is(err, types.ErrOffline) {
+		t.Errorf("stat on killed target = %v, want offline", err)
+	}
+	// The already-open handle dies too.
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, types.ErrOffline) {
+		t.Errorf("read on killed target = %v, want offline", err)
+	}
+	in.Target("resource.disk1").Revive()
+	if _, err := d.Stat("/f"); err != nil {
+		t.Errorf("after revive: %v", err)
+	}
+}
+
+func TestConnDropMidFrame(t *testing.T) {
+	in := New(1)
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := in.WrapConn("peer.srb2", a)
+	in.Target("peer.srb2").DropAfterBytes(4)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	// A 10-byte frame: only 4 bytes cross before the conn is cut.
+	n, err := fc.Write([]byte("frame-data"))
+	if n != 4 {
+		t.Errorf("wrote %d bytes, want 4", n)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", err)
+	}
+	if !resilience.Transport(err) {
+		t.Error("drop error must classify as transport")
+	}
+	if frag := <-got; string(frag) != "fram" {
+		t.Errorf("peer saw %q, want truncated frame %q", frag, "fram")
+	}
+	// The underlying conn is closed: further writes fail immediately.
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Error("write after drop must fail")
+	}
+}
+
+func TestKillSwitchConnAndDial(t *testing.T) {
+	in := New(1)
+	dialed := 0
+	dial := in.WrapDial("peer.srb2", func(addr string) (net.Conn, error) {
+		dialed++
+		a, b := net.Pipe()
+		go func() { io.Copy(io.Discard, b) }()
+		return a, nil
+	})
+
+	c, err := dial("srb2:5544")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Target("peer.srb2").Kill()
+	// Established conn dies on next I/O; new dials are refused.
+	if _, err := c.Write([]byte("x")); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("write on killed peer = %v", err)
+	}
+	if _, err := dial("srb2:5544"); err == nil {
+		t.Error("dial to killed peer must fail")
+	}
+	if dialed != 1 {
+		t.Errorf("killed dial reached the network (dialed=%d)", dialed)
+	}
+
+	in.Target("peer.srb2").Revive()
+	if _, err := dial("srb2:5544"); err != nil {
+		t.Errorf("dial after revive: %v", err)
+	}
+}
+
+// TestLatencySpikesDeterministic proves the seeded RNG makes spike
+// placement replayable: two injectors with the same seed stall the
+// same ops; a different seed diverges.
+func TestLatencySpikesDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed)
+		var spikes []bool
+		in.SetSleep(func(time.Duration) { spikes[len(spikes)-1] = true })
+		d := in.WrapDriver("resource.disk1", memfs.New())
+		in.Target("resource.disk1").SpikeLatency(time.Second, 0.5)
+		for i := 0; i < 32; i++ {
+			spikes = append(spikes, false)
+			d.Stat("/nope")
+		}
+		return spikes
+	}
+	a, b := pattern(42), pattern(42)
+	diverged := false
+	anySpike := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+		anySpike = anySpike || a[i]
+	}
+	if !anySpike {
+		t.Error("p=0.5 over 32 ops produced no spikes")
+	}
+	for i, v := range pattern(43) {
+		if v != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical spike pattern")
+	}
+}
+
+func TestOpsCounterAndTargetIdentity(t *testing.T) {
+	in := New(1)
+	d := in.WrapDriver("resource.disk1", memfs.New())
+	d.Stat("/a")
+	d.Stat("/b")
+	if got := in.Target("resource.disk1").Ops(); got != 2 {
+		t.Errorf("ops = %d, want 2", got)
+	}
+	if in.Target("resource.disk1") != in.Target("resource.disk1") {
+		t.Error("Target must return one instance per name")
+	}
+}

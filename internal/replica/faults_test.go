@@ -1,0 +1,141 @@
+package replica
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gosrb/internal/faultnet"
+	"gosrb/internal/resilience"
+	"gosrb/internal/types"
+)
+
+// TestWriteAllPartialWriteNoGhostReplica drives WriteAll into an
+// error-after-N-bytes driver: the torn replica must come back marked
+// dirty in the MCAT — not as a ghost row still claiming the old clean
+// contents — and the error must name the failing resource.
+func TestWriteAllPartialWriteNoGhostReplica(t *testing.T) {
+	cat, dm, m := rig(t)
+	before, err := cat.GetObject("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := faultnet.New(7)
+	dm["r1"] = in.WrapDriver("resource.r1", dm["r1"])
+	in.Target("resource.r1").PartialWriteAfter(4)
+
+	werr := m.WriteAll("/d/f", []byte("new contents, longer than four bytes"))
+	if werr == nil {
+		t.Fatal("partial write must fail WriteAll")
+	}
+	if !strings.Contains(werr.Error(), "resource r1") {
+		t.Errorf("error %q does not name the failing resource", werr)
+	}
+	if !errors.Is(werr, faultnet.ErrInjected) {
+		t.Errorf("error %v does not carry the driver cause", werr)
+	}
+
+	o, err := cat.GetObject("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The physical file is truncated, so the replica row must be dirty:
+	// a clean row here would serve 4 garbage bytes as the old object.
+	if got := o.Replicas[0].Status; got != types.ReplicaDirty {
+		t.Errorf("torn replica status = %v, want dirty", got)
+	}
+	// The logical object keeps its old identity — nothing was stored.
+	if o.Size != before.Size || o.Checksum != before.Checksum {
+		t.Errorf("object rewritten despite failed write: size %d checksum %s", o.Size, o.Checksum)
+	}
+	// And no reader can be handed the torn bytes.
+	if _, _, err := m.ReadAll("/d/f", ""); !errors.Is(err, types.ErrOffline) {
+		t.Errorf("read after torn write = %v, want offline", err)
+	}
+}
+
+// TestWriteAllPartialWithHealthySibling: when one replica tears but a
+// sibling takes the bytes, the write succeeds, the torn replica is
+// dirty, and reads serve the new contents from the healthy one.
+func TestWriteAllPartialWithHealthySibling(t *testing.T) {
+	cat, dm, m := rig(t)
+	if _, err := m.Replicate("/d/f", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	in := faultnet.New(7)
+	dm["r1"] = in.WrapDriver("resource.r1", dm["r1"])
+	in.Target("resource.r1").PartialWriteAfter(4)
+
+	newData := []byte("v2 contents")
+	if err := m.WriteAll("/d/f", newData); err != nil {
+		t.Fatalf("write with one healthy replica: %v", err)
+	}
+	o, err := cat.GetObject("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range o.Replicas {
+		want := types.ReplicaClean
+		if r.Resource == "r1" {
+			want = types.ReplicaDirty
+		}
+		if r.Status != want {
+			t.Errorf("replica on %s status = %v, want %v", r.Resource, r.Status, want)
+		}
+	}
+	data, rep, err := m.ReadAll("/d/f", "")
+	if err != nil || string(data) != string(newData) || rep.Resource != "r2" {
+		t.Errorf("read = %q from %s (%v), want new contents from r2", data, rep.Resource, err)
+	}
+	// Clear the fault and SyncDirty heals the torn replica.
+	in.Target("resource.r1").Clear()
+	if n, err := m.SyncDirty("/d/f"); n != 1 || err != nil {
+		t.Errorf("SyncDirty = %d, %v", n, err)
+	}
+}
+
+// TestCandidatesSkipTrippedResource: once a resource's breaker opens,
+// replica selection routes around it without touching its driver, and
+// a half-open probe brings it back after the cooldown.
+func TestCandidatesSkipTrippedResource(t *testing.T) {
+	_, dm, m := rig(t)
+	if _, err := m.Replicate("/d/f", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	in := faultnet.New(7)
+	dm["r1"] = in.WrapDriver("resource.r1", dm["r1"])
+
+	clk := struct{ t time.Time }{t: time.Unix(5000, 0)}
+	set := resilience.NewSet(resilience.BreakerConfig{Threshold: 2, Cooldown: time.Minute}, nil)
+	set.SetClock(func() time.Time { return clk.t })
+	m.SetBreakers(set)
+
+	in.Target("resource.r1").Kill()
+	// Reads fail over to r2 while the breaker counts r1's failures.
+	for i := 0; i < 2; i++ {
+		if _, rep, err := m.ReadAll("/d/f", ""); err != nil || rep.Resource != "r2" {
+			t.Fatalf("read %d = %s, %v", i, rep.Resource, err)
+		}
+	}
+	if st := set.States()["resource.r1"]; st != resilience.Open {
+		t.Fatalf("breaker after %d failures = %v, want open", 2, st)
+	}
+	opsAtTrip := in.Target("resource.r1").Ops()
+	if _, rep, err := m.ReadAll("/d/f", ""); err != nil || rep.Resource != "r2" {
+		t.Fatalf("read with open breaker = %s, %v", rep.Resource, err)
+	}
+	if got := in.Target("resource.r1").Ops(); got != opsAtTrip {
+		t.Errorf("open breaker still let %d ops reach the dead driver", got-opsAtTrip)
+	}
+	// Heal the driver; after the cooldown a probe closes the breaker.
+	in.Target("resource.r1").Revive()
+	clk.t = clk.t.Add(time.Minute)
+	if _, rep, err := m.ReadAll("/d/f", "r1"); err != nil || rep.Resource != "r1" {
+		t.Errorf("probe read = %s, %v, want r1", rep.Resource, err)
+	}
+	if st := set.States()["resource.r1"]; st != resilience.Closed {
+		t.Errorf("breaker after successful probe = %v, want closed", st)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
+	"gosrb/internal/resilience"
 	"gosrb/internal/storage"
 	"gosrb/internal/types"
 )
@@ -52,6 +53,11 @@ type Manager struct {
 	fanoutOK   *obs.Counter
 	fanoutFail *obs.Counter
 	failover   *obs.Counter
+
+	// breakers, when set, vetoes replicas whose resource breaker is open
+	// and records per-resource outcomes, so repeated driver failures
+	// route reads to healthy replicas before the driver is even tried.
+	breakers *resilience.Set
 }
 
 // SetMetrics attaches fan-out counters from the registry (nil detaches).
@@ -59,6 +65,15 @@ func (m *Manager) SetMetrics(r *obs.Registry) {
 	m.fanoutOK = r.Counter("replica.fanout.ok")
 	m.fanoutFail = r.Counter("replica.fanout.fail")
 	m.failover = r.Counter("replica.read.failover")
+}
+
+// SetBreakers attaches the per-resource circuit breakers (nil disables
+// breaker-aware selection).
+func (m *Manager) SetBreakers(s *resilience.Set) { m.breakers = s }
+
+// breaker returns the breaker guarding a resource (nil when disabled).
+func (m *Manager) breaker(resource string) *resilience.Breaker {
+	return m.breakers.For("resource." + resource)
 }
 
 // NewManager returns a Manager with the FirstAlive policy.
@@ -92,6 +107,11 @@ func (m *Manager) candidates(o *types.DataObject, prefer string) []types.Replica
 		}
 		res, err := m.cat.GetResource(r.Resource)
 		if err != nil || !res.Online {
+			continue
+		}
+		// An open breaker means the resource's driver has been failing:
+		// route around it until a half-open probe proves it back.
+		if !m.breaker(r.Resource).Allow() {
 			continue
 		}
 		clean = append(clean, r)
@@ -134,14 +154,24 @@ func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types
 	for i, r := range cands {
 		d, err := m.drivers.Driver(r.Resource)
 		if err != nil {
-			lastErr = err
+			// No local driver usually means a remote resource; that is
+			// not the resource failing, so the breaker stays untouched
+			// and a real failure from another replica keeps precedence
+			// as the reported (retryable) cause.
+			if lastErr == nil {
+				lastErr = err
+			}
 			continue
 		}
 		f, err := d.Open(r.PhysicalPath)
 		if err != nil {
+			if resilience.Retryable(err) {
+				m.breaker(r.Resource).Failure()
+			}
 			lastErr = err
 			continue
 		}
+		m.breaker(r.Resource).Success()
 		if i > 0 {
 			m.failover.Inc()
 		}
@@ -180,42 +210,65 @@ func (m *Manager) WriteAll(path string, data []byte) error {
 	}
 	sum := Checksum(data)
 	written := make(map[types.ReplicaNumber]bool)
+	// torn marks replicas whose write was attempted and failed: the
+	// physical file may be truncated, so the replica row must not stay
+	// catalogued clean even when every sibling write fails too.
+	torn := make(map[types.ReplicaNumber]bool)
+	var failRes string
+	var failErr error
 	for _, r := range o.Replicas {
 		res, err := m.cat.GetResource(r.Resource)
 		if err != nil || !res.Online {
 			m.fanoutFail.Inc()
+			failRes = r.Resource
 			continue
 		}
 		d, err := m.drivers.Driver(r.Resource)
 		if err != nil {
 			m.fanoutFail.Inc()
+			failRes, failErr = r.Resource, err
 			continue
 		}
 		if err := storage.WriteAll(d, r.PhysicalPath, data); err != nil {
 			m.fanoutFail.Inc()
+			m.breaker(r.Resource).Failure()
+			torn[r.Number] = true
+			failRes, failErr = r.Resource, err
 			continue
 		}
 		m.fanoutOK.Inc()
+		m.breaker(r.Resource).Success()
 		written[r.Number] = true
 	}
-	if len(written) == 0 {
-		return types.E("write", path, types.ErrOffline)
-	}
-	return m.cat.UpdateObject(path, func(o *types.DataObject) error {
-		o.Size = int64(len(data))
-		o.Checksum = sum
+	uerr := m.cat.UpdateObject(path, func(o *types.DataObject) error {
+		if len(written) > 0 {
+			o.Size = int64(len(data))
+			o.Checksum = sum
+		}
 		for i := range o.Replicas {
 			r := &o.Replicas[i]
-			if written[r.Number] {
+			switch {
+			case written[r.Number]:
 				r.Status = types.ReplicaClean
 				r.Size = int64(len(data))
 				r.Checksum = sum
-			} else {
+			case len(written) > 0 || torn[r.Number]:
+				// Stale relative to the new contents, or possibly a
+				// truncated file: either way not servable as clean.
 				r.Status = types.ReplicaDirty
 			}
+			// Otherwise the write never touched this replica and nothing
+			// was stored anywhere: the old contents remain authoritative.
 		}
 		return nil
 	})
+	if len(written) == 0 {
+		if failErr == nil {
+			failErr = types.ErrOffline
+		}
+		return types.E("write", path, fmt.Errorf("resource %s: %w", failRes, failErr))
+	}
+	return uerr
 }
 
 // Replicate creates a new replica of the object on resource. The new
@@ -262,10 +315,12 @@ func (m *Manager) Replicate(path, resource string) (types.Replica, error) {
 	size, err := io.Copy(w, io.TeeReader(src, h))
 	if err != nil {
 		w.Close()
+		dst.Remove(physPath) // no orphaned partial file
 		m.fanoutFail.Inc()
 		return types.Replica{}, types.E("replicate", path, err)
 	}
 	if err := w.Close(); err != nil {
+		dst.Remove(physPath)
 		m.fanoutFail.Inc()
 		return types.Replica{}, types.E("replicate", path, err)
 	}

@@ -1,0 +1,169 @@
+// Package resilience implements the grid's failure discipline: retry
+// policies with capped exponential backoff and jitter, error
+// classification (what is worth retrying, what requires a reconnect),
+// and per-target circuit breakers (see breaker.go).
+//
+// The paper's federation claims — "users can connect to any SRB server
+// to access data from any other SRB server" and replication so that
+// "data access can continue even when a resource is unavailable" (§3) —
+// only hold if a dead peer or flaky storage driver is met with
+// deadlines, bounded retries and failover instead of a raw error. The
+// client library, the federation proxy and the replica manager all pull
+// their discipline from here so the whole grid retries the same way.
+package resilience
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"gosrb/internal/types"
+)
+
+// DialTimeout is the single grid-wide default for connection
+// establishment — the client library and the federation's peer dials
+// share it (previously each hardcoded its own copy).
+const DialTimeout = 10 * time.Second
+
+// Policy bounds a retry loop: how many attempts total, and how the
+// delay between them grows.
+type Policy struct {
+	// MaxAttempts is the total number of tries (1 = no retry).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k (0-based retry
+	// index) waits BaseDelay << k, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomised away (0..1):
+	// delay' = delay * (1 - Jitter*rand). Jitter de-synchronises
+	// retrying clients so a recovering server is not hit in lockstep.
+	Jitter float64
+}
+
+// DefaultPolicy is the grid default: four tries, 25ms base, half a
+// second cap, half the delay jittered.
+var DefaultPolicy = Policy{MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: 500 * time.Millisecond, Jitter: 0.5}
+
+// Backoff returns the pre-jitter delay before retry attempt (0-based).
+func (p Policy) Backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Retryable reports whether err signals a condition that a retry (or a
+// failover to another replica/peer) might cure: an unreachable or
+// timed-out target, or a broken transport. Application-level errors —
+// not-found, permission, locked, invalid — are deterministic and must
+// never be retried.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, types.ErrOffline) || errors.Is(err, types.ErrTimeout) {
+		return true
+	}
+	return Transport(err)
+}
+
+// Transport reports whether err broke the connection itself, meaning
+// the caller must reconnect before retrying.
+func Transport(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// Retrier runs a function under a Policy. The zero value retries
+// nothing; fill in Policy (and optionally the hooks) and call Do.
+type Retrier struct {
+	Policy Policy
+	// Sleep is the wait function (nil = time.Sleep). Tests inject a
+	// recorder to count simulated time instead of spending real time.
+	Sleep func(time.Duration)
+	// Rand supplies jitter in [0,1) (nil = math/rand.Float64). Chaos
+	// tests pin it for exact replay.
+	Rand func() float64
+	// Retryable classifies errors (nil = Retryable). Wrappers narrow it
+	// further, e.g. "retryable AND the breaker still allows".
+	Retryable func(error) bool
+	// Deadline, when non-zero, stops the loop once passed: no attempt
+	// starts after it, and no backoff sleeps across it.
+	Deadline time.Time
+	// OnRetry is called before each re-attempt with the attempt number
+	// just failed (0-based) and its error — the retry-counter hook.
+	OnRetry func(attempt int, err error)
+}
+
+// Do calls fn until it succeeds, exhausts the policy, hits the
+// deadline, or fails with a non-retryable error. The last error is
+// returned.
+func (r Retrier) Do(fn func() error) error {
+	attempts := r.Policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	retryable := r.Retryable
+	if retryable == nil {
+		retryable = Retryable
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := r.Policy.Backoff(attempt - 1)
+			if r.Policy.Jitter > 0 && d > 0 {
+				f := r.Rand
+				if f == nil {
+					f = rand.Float64
+				}
+				d = d - time.Duration(r.Policy.Jitter*f()*float64(d))
+			}
+			if !r.Deadline.IsZero() && time.Now().Add(d).After(r.Deadline) {
+				return err
+			}
+			if d > 0 {
+				sleep(d)
+			}
+			if r.OnRetry != nil {
+				r.OnRetry(attempt-1, err)
+			}
+		}
+		if !r.Deadline.IsZero() && time.Now().After(r.Deadline) {
+			if err == nil {
+				err = types.E("retry", "", types.ErrTimeout)
+			}
+			return err
+		}
+		err = fn()
+		if err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}

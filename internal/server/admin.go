@@ -35,6 +35,7 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		reg := s.broker.Metrics()
 		reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
+		s.broker.Breakers().Publish()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		reg.WriteText(w)
 	})

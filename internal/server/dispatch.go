@@ -26,6 +26,12 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 		req.Trace = obs.NewTraceID()
 	}
 	ss.opErr = nil
+	// The request's time budget starts counting here; federation hops
+	// forward only what remains of it.
+	ss.deadline = time.Time{}
+	if req.TimeoutMillis > 0 {
+		ss.deadline = time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond)
+	}
 	sp := obs.StartSpan(req.Trace, req.Op)
 	err := s.dispatchOp(c, ss, req)
 	opErr := ss.opErr
@@ -33,6 +39,9 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 		opErr = err
 	}
 	reg := s.broker.Metrics()
+	if ss.expired() {
+		reg.Counter("server.deadline.exceeded").Inc()
+	}
 	reg.Op("server."+req.Op).Observe(sp.Elapsed(), opErr)
 	sp.End(reg.Traces(), s.name, ss.remote, opErr)
 	if opErr != nil {
@@ -52,6 +61,18 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 	user, err := ss.effectiveUser(req)
 	if err != nil {
 		return ss.fail(c, err)
+	}
+	// A request whose budget already ran out (it sat queued behind a
+	// slow one, or a hop forwarded a sliver) fails before any work.
+	// Ops that stream inbound data are exempt here: the data frames
+	// must be drained to keep the protocol healthy, so their handlers
+	// run and the deadline is enforced on the federation hop instead.
+	switch req.Op {
+	case wire.OpIngest, wire.OpReingest, wire.OpIngestReplica, wire.OpCheckin:
+	default:
+		if ss.expired() {
+			return ss.fail(c, types.E(req.Op, "", types.ErrTimeout))
+		}
 	}
 	b := s.broker
 	switch req.Op {
@@ -120,7 +141,7 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		// A remote target resource federates by proxy: the owning
 		// server performs the ingest.
 		if owner := s.resourceOwner(a.Resource); owner != "" && !ss.isPeer {
-			body, err := s.proxyIngest(owner, user, req, buf.Bytes())
+			body, err := s.proxyIngest(owner, user, req, buf.Bytes(), ss.deadline)
 			if err != nil {
 				return ss.fail(c, err)
 			}
@@ -634,8 +655,7 @@ func (s *Server) handleReplicate(user string, ss *session, a wire.ReplicateArgs)
 		if !ok {
 			return types.Replica{}, types.E("replicate", sourceOwner, types.ErrOffline)
 		}
-		_ = addr
-		data, err = s.proxyGet(sourceOwner, addr, user, req)
+		data, err = s.proxyGet(sourceOwner, addr, user, req, ss.deadline)
 	}
 	if err != nil {
 		return types.Replica{}, err
@@ -651,15 +671,12 @@ func (s *Server) handleReplicate(user string, ss *session, a wire.ReplicateArgs)
 	if !ok {
 		return types.Replica{}, types.E("replicate", targetOwner, types.ErrOffline)
 	}
-	s.mu.RLock()
-	secret := s.peers[targetOwner].secret
-	s.mu.RUnlock()
-	pc, err := dialPeer(addr, s.name, secret)
-	if err != nil {
-		return types.Replica{}, err
-	}
-	defer pc.close()
-	body, err := pc.roundTripIngest(req, data)
+	var body json.RawMessage
+	err = s.peerDo(targetOwner, addr, ss.deadline, req, func(pc *peerConn) error {
+		b, err := pc.roundTripIngest(req, data)
+		body = b
+		return err
+	})
 	if err != nil {
 		return types.Replica{}, err
 	}
@@ -681,23 +698,24 @@ func (s *Server) sqlOwner(path string) string {
 }
 
 // proxyIngest relays an ingest request (with its data) to the owning
-// peer.
-func (s *Server) proxyIngest(peerName, user string, req *wire.Request, data []byte) ([]byte, error) {
+// peer. Ingest mutates, so there is exactly one attempt.
+func (s *Server) proxyIngest(peerName, user string, req *wire.Request, data []byte, deadline time.Time) ([]byte, error) {
 	addr, ok := s.PeerAddr(peerName)
 	if !ok {
 		return nil, types.E(req.Op, peerName, types.ErrOffline)
 	}
-	s.mu.RLock()
-	secret := s.peers[peerName].secret
-	s.mu.RUnlock()
-	pc, err := dialPeer(addr, s.name, secret)
-	if err != nil {
-		return nil, types.E(req.Op, peerName, err)
-	}
-	defer pc.close()
 	fwd := *req
 	fwd.OnBehalf = user
-	return pc.roundTripIngest(&fwd, data)
+	var body []byte
+	err := s.peerDo(peerName, addr, deadline, &fwd, func(pc *peerConn) error {
+		b, err := pc.roundTripIngest(&fwd, data)
+		body = b
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
 }
 
 // jsonMarshal / jsonUnmarshal keep the handler bodies terse.

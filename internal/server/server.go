@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"gosrb/internal/auth"
 	"gosrb/internal/core"
 	"gosrb/internal/obs"
+	"gosrb/internal/resilience"
 	"gosrb/internal/types"
 	"gosrb/internal/wire"
 )
@@ -50,6 +52,16 @@ type Server struct {
 
 	tickets *auth.TicketStore
 
+	// dialTimeout bounds peer connection establishment. It defaults to
+	// resilience.DialTimeout, the one tunable the client shares.
+	dialTimeout time.Duration
+	// peerDial, when set, replaces the TCP dialer for peer connections
+	// (fault injection wraps it to script peer crashes).
+	peerDial func(addr string) (net.Conn, error)
+	// retry shapes federation retries for idempotent proxied ops.
+	retry resilience.Policy
+	sleep func(time.Duration)
+
 	ln        net.Listener
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -71,14 +83,38 @@ type peer struct {
 // server name so resource ownership resolves consistently.
 func New(b *core.Broker, a *auth.Authenticator, mode FederationMode) *Server {
 	return &Server{
-		broker:  b,
-		authn:   a,
-		name:    b.ServerName(),
-		mode:    mode,
-		peers:   make(map[string]peer),
-		tickets: auth.NewTicketStore(),
-		closed:  make(chan struct{}),
-		Logger:  obs.NewLogger(os.Stderr, b.ServerName(), obs.LevelError),
+		broker:      b,
+		authn:       a,
+		name:        b.ServerName(),
+		mode:        mode,
+		peers:       make(map[string]peer),
+		tickets:     auth.NewTicketStore(),
+		closed:      make(chan struct{}),
+		dialTimeout: resilience.DialTimeout,
+		retry:       resilience.DefaultPolicy,
+		sleep:       time.Sleep,
+		Logger:      obs.NewLogger(os.Stderr, b.ServerName(), obs.LevelError),
+	}
+}
+
+// SetDialTimeout tunes how long peer dials may take (srbd's
+// -dial-timeout flag).
+func (s *Server) SetDialTimeout(d time.Duration) {
+	if d > 0 {
+		s.dialTimeout = d
+	}
+}
+
+// SetPeerDialer replaces the transport used to reach peers (tests and
+// fault injection). nil restores plain TCP.
+func (s *Server) SetPeerDialer(dial func(addr string) (net.Conn, error)) {
+	s.peerDial = dial
+}
+
+// SetRetryPolicy tunes federation retries for idempotent proxied ops.
+func (s *Server) SetRetryPolicy(p resilience.Policy) {
+	if p.MaxAttempts > 0 {
+		s.retry = p
 	}
 }
 
@@ -169,6 +205,15 @@ type session struct {
 	// the dispatch shim reads it to attribute errors to the op's
 	// metrics, span record and log line.
 	opErr error
+	// deadline is the current request's time budget (zero = unbounded),
+	// started at dispatch from wire.Request.TimeoutMillis; federation
+	// hops forward only what remains of it.
+	deadline time.Time
+}
+
+// expired reports whether the request's budget has run out.
+func (ss *session) expired() bool {
+	return !ss.deadline.IsZero() && !time.Now().Before(ss.deadline)
 }
 
 // fail reports a handler failure to the client and records it for the
@@ -299,7 +344,13 @@ func (s *Server) localityOf(path string) string {
 			continue
 		}
 		if res.Server == s.name || res.Server == "" {
-			return "" // a local clean replica exists
+			// A local clean replica counts only while its resource
+			// breaker passes traffic; a tripped local resource sends
+			// the read to a surviving remote replica instead.
+			if s.broker.Breakers().For("resource." + r.Resource).Allow() {
+				return ""
+			}
+			continue
 		}
 		remote = res.Server
 	}
@@ -333,56 +384,162 @@ func (s *Server) federate(c *wire.Conn, ss *session, peerName, user string, req 
 	if s.mode == Redirect {
 		return c.WriteJSON(wire.MsgRedirect, wire.Redirect{Server: peerName, Addr: addr})
 	}
-	data, err := s.proxyGet(peerName, addr, user, req)
+	data, err := s.proxyGet(peerName, addr, user, req, ss.deadline)
 	if err != nil {
 		return ss.fail(c, err)
 	}
 	return replyData(c, data)
 }
 
-// proxyGet relays a data-returning request to a peer over a
-// peer-authenticated connection.
-func (s *Server) proxyGet(peerName, addr, user string, req *wire.Request) ([]byte, error) {
+// peerBreaker returns the circuit breaker guarding one federated peer.
+func (s *Server) peerBreaker(name string) *resilience.Breaker {
+	return s.broker.Breakers().For("peer." + name)
+}
+
+// peerDo runs one attempt against a peer: breaker gate, remaining-
+// budget rewrite, dial, and outcome recording. Only conn-level
+// failures (dial refused, conn dropped, I/O deadline) count against the
+// breaker — a peer answering with an application error is alive.
+func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Request, fn func(*peerConn) error) error {
+	br := s.peerBreaker(peerName)
+	if !br.Allow() {
+		s.broker.Metrics().Counter("federation.fastfail").Inc()
+		return types.E(req.Op, peerName, fmt.Errorf("peer breaker open: %w", types.ErrOffline))
+	}
+	if err := shrinkBudget(req, deadline); err != nil {
+		return err
+	}
 	s.mu.RLock()
 	secret := s.peers[peerName].secret
 	s.mu.RUnlock()
-	pc, err := dialPeer(addr, s.name, secret)
+	pc, err := s.dialPeer(addr, secret)
 	if err != nil {
-		return nil, types.E(req.Op, peerName, err)
+		br.Failure()
+		return types.E(req.Op, peerName, err)
 	}
 	defer pc.close()
-	fwd := *req
-	fwd.OnBehalf = user
-	return pc.roundTripData(&fwd)
+	pc.deadline = deadline
+	err = fn(pc)
+	if err != nil && resilience.Transport(err) {
+		br.Failure()
+	} else {
+		br.Success()
+	}
+	if err != nil {
+		return types.E(req.Op, peerName, err)
+	}
+	return nil
+}
+
+// retrier builds the federation retry loop for one idempotent request.
+func (s *Server) retrier(deadline time.Time) resilience.Retrier {
+	return resilience.Retrier{
+		Policy:   s.retry,
+		Sleep:    s.sleep,
+		Deadline: deadline,
+		OnRetry: func(int, error) {
+			s.broker.Metrics().Counter("federation.retries").Inc()
+		},
+	}
+}
+
+// shrinkBudget rewrites req's time budget to what remains before
+// deadline — the budget shrinks on every federation hop, so a slow
+// peer cannot stall the whole chain. An exhausted budget fails here,
+// before any bytes cross the wire.
+func shrinkBudget(req *wire.Request, deadline time.Time) error {
+	if deadline.IsZero() {
+		return nil
+	}
+	left := time.Until(deadline)
+	if left <= 0 {
+		return types.E(req.Op, "", types.ErrTimeout)
+	}
+	ms := left.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	req.TimeoutMillis = ms
+	return nil
+}
+
+// proxyGet relays a data-returning request to a peer over a
+// peer-authenticated connection, retrying idempotent ops under the
+// server's backoff policy.
+func (s *Server) proxyGet(peerName, addr, user string, req *wire.Request, deadline time.Time) ([]byte, error) {
+	var data []byte
+	do := func() error {
+		fwd := *req
+		fwd.OnBehalf = user
+		return s.peerDo(peerName, addr, deadline, &fwd, func(pc *peerConn) error {
+			d, err := pc.roundTripData(&fwd)
+			data = d
+			return err
+		})
+	}
+	if !wire.Idempotent(req.Op) {
+		if err := do(); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	r := s.retrier(deadline)
+	if err := r.Do(do); err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
 // proxyCall relays a non-data request to a peer.
-func (s *Server) proxyCall(peerName, user string, req *wire.Request) (json.RawMessage, error) {
+func (s *Server) proxyCall(peerName, user string, req *wire.Request, deadline time.Time) (json.RawMessage, error) {
 	addr, ok := s.PeerAddr(peerName)
 	if !ok {
 		return nil, types.E(req.Op, peerName, types.ErrOffline)
 	}
-	s.mu.RLock()
-	secret := s.peers[peerName].secret
-	s.mu.RUnlock()
-	pc, err := dialPeer(addr, s.name, secret)
-	if err != nil {
-		return nil, types.E(req.Op, peerName, err)
+	var body json.RawMessage
+	do := func() error {
+		fwd := *req
+		fwd.OnBehalf = user
+		return s.peerDo(peerName, addr, deadline, &fwd, func(pc *peerConn) error {
+			b, err := pc.roundTrip(&fwd)
+			body = b
+			return err
+		})
 	}
-	defer pc.close()
-	fwd := *req
-	fwd.OnBehalf = user
-	return pc.roundTrip(&fwd)
+	if !wire.Idempotent(req.Op) {
+		if err := do(); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	r := s.retrier(deadline)
+	if err := r.Do(do); err != nil {
+		return nil, err
+	}
+	return body, nil
 }
 
 // peerConn is a minimal peer-authenticated client used for proxying.
+// A non-zero deadline is enforced as a conn I/O deadline on every
+// round trip, so a peer that stops answering mid-exchange fails the
+// request instead of hanging it.
 type peerConn struct {
-	nc net.Conn
-	c  *wire.Conn
+	nc       net.Conn
+	c        *wire.Conn
+	deadline time.Time
 }
 
-func dialPeer(addr, selfName, secret string) (*peerConn, error) {
-	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// dialPeer connects and peer-authenticates to addr. The dial timeout is
+// s.dialTimeout (shared default resilience.DialTimeout); tests inject
+// transports via SetPeerDialer.
+func (s *Server) dialPeer(addr, secret string) (*peerConn, error) {
+	dial := s.peerDial
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, s.dialTimeout)
+		}
+	}
+	nc, err := dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -392,8 +549,8 @@ func dialPeer(addr, selfName, secret string) (*peerConn, error) {
 		nc.Close()
 		return nil, err
 	}
-	resp := auth.Respond(auth.DeriveKey("peer:"+selfName, secret), ch.Nonce)
-	if err := c.WriteJSON(wire.MsgAuth, wire.Auth{Peer: selfName, Response: resp}); err != nil {
+	resp := auth.Respond(auth.DeriveKey("peer:"+s.name, secret), ch.Nonce)
+	if err := c.WriteJSON(wire.MsgAuth, wire.Auth{Peer: s.name, Response: resp}); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -407,7 +564,15 @@ func dialPeer(addr, selfName, secret string) (*peerConn, error) {
 
 func (p *peerConn) close() { p.nc.Close() }
 
+// arm applies the request deadline to the conn before a round trip.
+func (p *peerConn) arm() {
+	if !p.deadline.IsZero() {
+		p.nc.SetDeadline(p.deadline)
+	}
+}
+
 func (p *peerConn) roundTrip(req *wire.Request) (json.RawMessage, error) {
+	p.arm()
 	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
 		return nil, err
 	}
@@ -422,6 +587,7 @@ func (p *peerConn) roundTrip(req *wire.Request) (json.RawMessage, error) {
 }
 
 func (p *peerConn) roundTripData(req *wire.Request) ([]byte, error) {
+	p.arm()
 	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
 		return nil, err
 	}
@@ -444,6 +610,7 @@ func (p *peerConn) roundTripData(req *wire.Request) ([]byte, error) {
 
 // roundTripIngest relays an ingest (request, then data, then response).
 func (p *peerConn) roundTripIngest(req *wire.Request, data []byte) (json.RawMessage, error) {
+	p.arm()
 	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
 		return nil, err
 	}
@@ -488,5 +655,6 @@ func (s *Server) stats() wire.StatsReply {
 func (s *Server) Telemetry() wire.OpStatsReply {
 	reg := s.broker.Metrics()
 	reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
+	s.broker.Breakers().Publish()
 	return wire.OpStatsReply{Server: s.name, Snapshot: reg.Snapshot()}
 }

@@ -31,6 +31,10 @@ var (
 	// ErrMandatoryMeta reports ingestion missing a mandatory structural
 	// attribute required by the target collection.
 	ErrMandatoryMeta = errors.New("mandatory metadata missing")
+	// ErrTimeout reports a request that exceeded its deadline — the
+	// budget carried in wire.Request and enforced at dispatch and on
+	// federation hops.
+	ErrTimeout = errors.New("deadline exceeded")
 )
 
 // OpError carries the failing operation and logical path along with the

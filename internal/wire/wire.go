@@ -76,7 +76,12 @@ type Request struct {
 	// absent and copies it onto every proxied request, so one user action
 	// carries the same ID on every federation hop it touches.
 	Trace string `json:",omitempty"`
-	Args  json.RawMessage
+	// TimeoutMillis is the request's remaining time budget. Zero means
+	// unbounded. The receiving server starts the clock at dispatch; a
+	// federation hop forwards only what is left, so the budget shrinks
+	// across the grid and a slow peer cannot stall the whole chain.
+	TimeoutMillis int64 `json:",omitempty"`
+	Args          json.RawMessage
 }
 
 // Response answers a Request. Body is op-specific JSON. ErrKind names a
@@ -111,6 +116,24 @@ var errKinds = []struct {
 	{"unsupported", types.ErrUnsupported},
 	{"auth", types.ErrAuth},
 	{"mandatorymeta", types.ErrMandatoryMeta},
+	{"timeout", types.ErrTimeout},
+}
+
+// Idempotent reports whether op is safe to retry: read-only operations
+// whose re-execution cannot change grid state. Mutating ops (ingest,
+// write, delete, move, locks, tickets, ...) must never be retried
+// blindly — a lost response does not prove the mutation was lost.
+// OpGet is listed even though ticket redemption decrements a use count;
+// a retry after a transport failure may burn an extra use, which is the
+// accepted cost of delegated reads staying available.
+func Idempotent(op string) bool {
+	switch op {
+	case OpList, OpStat, OpGet, OpGetObject, OpReadRange, OpGetMeta,
+		OpAnnotations, OpQuery, OpQueryAttrs, OpResources, OpServerStats,
+		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit:
+		return true
+	}
+	return false
 }
 
 // KindOf names err's sentinel for the wire; "" if unclassified.
