@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race test-faults bench bench-obs clean
+.PHONY: all check vet build test race test-faults bench bench-obs bench-obs-gate clean
 
 all: check
 
-check: vet build race test-faults
+check: vet build race test-faults bench-obs-gate
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,12 @@ bench:
 # overhead is tracked from this PR onward.
 bench-obs:
 	BENCH_OBS=1 $(GO) test -run TestObsOverheadReport -v .
+
+# Regression fence on the committed baseline: fails when the measured
+# instrumentation overhead exceeds BENCH_obs.json's overhead_pct by
+# more than 5 percentage points.
+bench-obs-gate:
+	BENCH_OBS_GATE=1 $(GO) test -run TestObsOverheadGate -v .
 
 clean:
 	rm -f BENCH_obs.json

@@ -643,3 +643,68 @@ func TestObsOverheadReport(t *testing.T) {
 	t.Logf("put: %.0f ns instrumented vs %.0f ns baseline (%.2f%% overhead)",
 		report.Put.InstrumentedNsPerOp, report.Put.BaselineNsPerOp, report.Put.OverheadPct)
 }
+
+// TestObsOverheadGate re-measures the instrumentation overhead and
+// fails when it regressed more than 5 percentage points past the
+// committed BENCH_obs.json baseline — the `make bench-obs-gate`
+// regression fence. Gated behind BENCH_OBS_GATE=1; skips when no
+// baseline has been recorded yet.
+func TestObsOverheadGate(t *testing.T) {
+	if os.Getenv("BENCH_OBS_GATE") == "" {
+		t.Skip("set BENCH_OBS_GATE=1 to check against BENCH_obs.json")
+	}
+	raw, err := os.ReadFile("BENCH_obs.json")
+	if err != nil {
+		t.Skipf("no baseline: %v (run `make bench-obs` first)", err)
+	}
+	var baseline struct {
+		Get struct {
+			OverheadPct float64 `json:"overhead_pct"`
+		} `json:"get"`
+		Put struct {
+			OverheadPct float64 `json:"overhead_pct"`
+		} `json:"put"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("unreadable BENCH_obs.json: %v", err)
+	}
+	payload := workload.NewGen(21).Bytes(4 << 10)
+	const objects = 64
+	// Best-of-5 per cell (vs the report's best-of-3): the gate compares
+	// two noisy minima, so it takes the extra rounds to keep scheduler
+	// noise from tripping the fence on an untouched path.
+	measure := func(instr, put bool) float64 {
+		br := obsBenchBroker(t, instr, objects, payload)
+		best := 0.0
+		for round := 0; round < 5; round++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := obsBenchOp(br, put, i, objects, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if v := float64(res.NsPerOp()); round == 0 || v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	const slackPct = 5.0
+	for _, op := range []struct {
+		name     string
+		put      bool
+		baseline float64
+	}{{"get", false, baseline.Get.OverheadPct}, {"put", true, baseline.Put.OverheadPct}} {
+		instr, base := measure(true, op.put), measure(false, op.put)
+		overhead := 0.0
+		if base > 0 {
+			overhead = (instr - base) / base * 100
+		}
+		t.Logf("%s: %.2f%% overhead now vs %.2f%% at baseline", op.name, overhead, op.baseline)
+		if overhead > op.baseline+slackPct {
+			t.Errorf("%s instrumentation overhead %.2f%% exceeds baseline %.2f%% + %.1f points",
+				op.name, overhead, op.baseline, slackPct)
+		}
+	}
+}

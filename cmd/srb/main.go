@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"gosrb/internal/client"
 	"gosrb/internal/mcat"
+	"gosrb/internal/obs"
 	"gosrb/internal/types"
 )
 
@@ -56,10 +58,14 @@ func usage() {
 
 commands:
   ls <coll>                          list a collection
-  stat [path]                        describe a path; without a path,
+  stat [-json] [path]                describe a path; without a path,
                                      show server telemetry (op counts,
-                                     latency quantiles, byte totals)
+                                     latency quantiles, byte totals);
+                                     -json emits the raw snapshot
   opstats                            server telemetry (alias of bare stat)
+  trace <id>                         span tree of a recent operation,
+                                     gathered from every zone server
+  usage [user [collection]]          per-user/collection usage accounting
   mkdir <coll>                       create a collection
   rmdir <coll>                       remove an empty collection
   put <local> <path> [-resource r | -container c] [-type t]
@@ -111,7 +117,17 @@ func run(cl *client.Client, cmd string, args []string) error {
 		return nil
 
 	case "stat":
-		// With a path: describe it. Without: the server's telemetry.
+		// With a path: describe it. Without: the server's telemetry
+		// (-json dumps the snapshot for scripting).
+		if len(args) > 0 && args[0] == "-json" {
+			st, err := cl.OpStats()
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(st)
+		}
 		if len(args) == 0 {
 			return printOpStats(cl)
 		}
@@ -125,6 +141,47 @@ func run(cl *client.Client, cmd string, args []string) error {
 
 	case "opstats":
 		return printOpStats(cl)
+
+	case "trace":
+		rep, err := cl.Trace(need(args, 0, "trace id"))
+		if err != nil {
+			return err
+		}
+		if len(rep.Spans) == 0 {
+			return fmt.Errorf("trace %s not found (rings may have wrapped)", args[0])
+		}
+		servers := map[string]bool{}
+		for _, r := range rep.Spans {
+			servers[r.Server] = true
+		}
+		fmt.Printf("trace %s: %d spans across %d server(s)\n", args[0], len(rep.Spans), len(servers))
+		obs.WriteTree(os.Stdout, obs.AssembleTree(rep.Spans))
+		return nil
+
+	case "usage":
+		filterUser, filterColl := "", ""
+		if len(args) > 0 {
+			filterUser = args[0]
+		}
+		if len(args) > 1 {
+			filterColl = args[1]
+		}
+		rep, err := cl.Usage(filterUser, filterColl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server: %s\n", rep.Server)
+		fmt.Printf("%-12s %-24s %8s %6s %12s %12s %10s\n",
+			"USER", "COLLECTION", "OPS", "ERRS", "BYTES_IN", "BYTES_OUT", "AVG_MS")
+		for _, e := range rep.Entries {
+			avgMS := float64(0)
+			if e.Ops > 0 {
+				avgMS = float64(e.TotalMicros) / float64(e.Ops) / 1000
+			}
+			fmt.Printf("%-12s %-24s %8d %6d %12d %12d %10.2f\n",
+				e.User, e.Collection, e.Ops, e.Errors, e.BytesIn, e.BytesOut, avgMS)
+		}
+		return nil
 
 	case "mkdir":
 		return cl.Mkdir(need(args, 0, "collection"))

@@ -16,6 +16,7 @@ import (
 	"gosrb/internal/core"
 	"gosrb/internal/faultnet"
 	"gosrb/internal/mcat"
+	"gosrb/internal/obs"
 	"gosrb/internal/resilience"
 	"gosrb/internal/server"
 	"gosrb/internal/storage/memfs"
@@ -180,10 +181,10 @@ func TestChaosFederatedFailover(t *testing.T) {
 	}
 }
 
-// scrape fetches the admin /metrics page.
+// scrape fetches the admin /metrics page (legacy dotted-name dump).
 func scrape(t *testing.T, addr string) string {
 	t.Helper()
-	resp, err := http.Get("http://" + addr + "/metrics")
+	resp, err := http.Get("http://" + addr + "/metrics?format=text")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,6 +194,176 @@ func scrape(t *testing.T, addr string) string {
 		t.Fatal(err)
 	}
 	return string(body)
+}
+
+// TestChaosTraceSpanTree is the observability end-to-end: the same
+// two-server zone with an injected resource failure, but the assertion
+// target is the trace. One client Get rides out the outage (local
+// attempts fail, the resource breaker trips, the read fails over to the
+// peer's replica); fetching that call's trace afterwards must return a
+// span tree spanning both servers, carrying the retry and breaker-trip
+// events and the failover child span, and the usage table must charge
+// the read to the right user and collection.
+func TestChaosTraceSpanTree(t *testing.T) {
+	inj := faultnet.New(chaosSeed)
+
+	cat := mcat.New("admin", "sdsc")
+	cat.AddUser(types.User{Name: "alice", Domain: "sdsc"})
+	cat.MkColl("/home", "admin")
+	cat.SetACL("/home", "alice", acl.Write)
+
+	b1 := core.New(cat, "srb1")
+	b2 := core.New(cat, "srb2")
+	if err := b1.AddPhysicalResource("admin", "disk1", types.ClassFileSystem, "memfs",
+		inj.WrapDriver("disk1", memfs.New())); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AddPhysicalResource("admin", "disk2", types.ClassFileSystem, "memfs",
+		inj.WrapDriver("disk2", memfs.New())); err != nil {
+		t.Fatal(err)
+	}
+
+	authn := auth.New()
+	authn.Register("alice", "alicepw")
+	authn.Register("admin", "adminpw")
+
+	s1 := server.New(b1, authn, server.Proxy)
+	s2 := server.New(b2, authn, server.Proxy)
+	t.Cleanup(func() { s1.Close(); s2.Close() })
+	addr1, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.AddPeer("srb2", addr2, "zone-secret")
+	s2.AddPeer("srb1", addr1, "zone-secret")
+	b1.Breakers().SetConfig(resilience.BreakerConfig{Threshold: 2, Cooldown: time.Minute})
+
+	adminAddr, err := s1.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := client.Dial(addr1, "alice", "alicepw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRetryPolicy(resilience.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+
+	payload := []byte("survives chaos")
+	if _, err := cl.Put("/home/chaos.txt", payload, client.PutOpts{Resource: "disk1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Replicate("/home/chaos.txt", "disk2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readiness flips once the resource dies and its breaker opens.
+	if code := probe(t, adminAddr, "/healthz"); code != http.StatusOK {
+		t.Fatalf("pre-outage /healthz = %d, want 200", code)
+	}
+
+	inj.Target("disk1").Kill()
+	data, err := cl.Get("/home/chaos.txt")
+	if err != nil || string(data) != string(payload) {
+		t.Fatalf("failover get = %q, %v", data, err)
+	}
+	if cl.Retries() == 0 {
+		t.Fatal("get succeeded without retrying — outage not exercised")
+	}
+	id := cl.LastTrace()
+	if id == "" {
+		t.Fatal("client recorded no trace ID")
+	}
+
+	// The trace op fans out to srb2, so the reply holds both hops.
+	rep, err := cl.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := map[string]bool{}
+	events := map[string]bool{}
+	for _, r := range rep.Spans {
+		if r.Trace != id {
+			t.Errorf("span %s belongs to trace %s, want %s", r.Span, r.Trace, id)
+		}
+		servers[r.Server] = true
+		for _, ev := range r.Events {
+			events[ev.Kind] = true
+		}
+	}
+	if len(servers) < 2 || !servers["srb1"] || !servers["srb2"] {
+		t.Errorf("trace covers servers %v, want srb1 and srb2", servers)
+	}
+	for _, want := range []string{obs.EventRetry, obs.EventBreakerTrip, obs.EventFailover} {
+		if !events[want] {
+			t.Errorf("trace is missing a %q event (have %v)", want, events)
+		}
+	}
+
+	// The srb2 hop must be a child of an srb1 span — the failover is a
+	// subtree, not a disconnected record.
+	roots := obs.AssembleTree(rep.Spans)
+	foundChild := false
+	for _, root := range roots {
+		if root.Server != "srb1" {
+			continue
+		}
+		for _, c := range root.Children {
+			if c.Server == "srb2" && c.Op == "get" {
+				foundChild = true
+			}
+		}
+	}
+	if !foundChild {
+		var tree strings.Builder
+		obs.WriteTree(&tree, roots)
+		t.Errorf("no srb2 get child under an srb1 root:\n%s", tree.String())
+	}
+
+	// Usage accounting: the put and the failed-over get are charged to
+	// alice under /home, with the payload counted both directions.
+	urep, err := cl.Usage("alice", "/home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urep.Entries) != 1 {
+		t.Fatalf("usage entries = %+v, want exactly alice@/home", urep.Entries)
+	}
+	u := urep.Entries[0]
+	if u.User != "alice" || u.Collection != "/home" {
+		t.Fatalf("usage key = %s@%s", u.User, u.Collection)
+	}
+	if u.Ops < 2 {
+		t.Errorf("usage ops = %d, want at least put+get", u.Ops)
+	}
+	if u.BytesIn < int64(len(payload)) || u.BytesOut < int64(len(payload)) {
+		t.Errorf("usage bytes in/out = %d/%d, want >= %d each", u.BytesIn, u.BytesOut, len(payload))
+	}
+	if u.LastTrace == "" {
+		t.Error("usage entry carries no trace join key")
+	}
+
+	// The open disk1 breaker degrades readiness to 503.
+	if code := probe(t, adminAddr, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("post-outage /healthz = %d, want 503", code)
+	}
+}
+
+// probe fetches an admin path and returns just the status code.
+func probe(t *testing.T, addr, path string) int {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
 }
 
 // grepLines keeps only lines containing pat, for focused failure output.

@@ -59,6 +59,7 @@ func main() {
 		dialTO    = flag.Duration("dial-timeout", resilience.DialTimeout, "TCP dial timeout for federation peers")
 		brkTrip   = flag.Int("breaker-threshold", resilience.DefaultBreakerConfig.Threshold, "consecutive failures before a peer/resource circuit breaker opens")
 		brkCool   = flag.Duration("breaker-cooldown", resilience.DefaultBreakerConfig.Cooldown, "how long an open circuit breaker waits before a half-open probe")
+		slowOp    = flag.Duration("slow-op", 0, "log the full span tree of any operation slower than this (0 disables)")
 	)
 	var resources, users, peers, logicals repeated
 	flag.Var(&resources, "resource", "physical resource: name=driver:arg (driver: posixfs|memfs|archivefs|dbfs); repeatable")
@@ -185,6 +186,7 @@ func main() {
 	}
 	srv := server.New(broker, authn, fedMode)
 	srv.SetDialTimeout(*dialTO)
+	srv.SetSlowOpThreshold(*slowOp)
 	broker.Breakers().SetConfig(resilience.BreakerConfig{Threshold: *brkTrip, Cooldown: *brkCool})
 	srv.Logger = obs.NewLogger(os.Stderr, *name, obs.LevelInfo)
 	if *quiet {

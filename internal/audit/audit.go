@@ -60,6 +60,12 @@ func (l *Log) Op(user, op, target string, ok bool, detail string) {
 	l.Record(types.AuditRecord{User: user, Op: op, Target: target, OK: ok, Detail: detail})
 }
 
+// OpTraced records one operation outcome stamped with the request
+// trace ID, joining the audit trail to the trace stream.
+func (l *Log) OpTraced(trace, user, op, target string, ok bool, detail string) {
+	l.Record(types.AuditRecord{User: user, Op: op, Target: target, OK: ok, Detail: detail, Trace: trace})
+}
+
 // Len reports how many records are held.
 func (l *Log) Len() int {
 	l.mu.Lock()
@@ -81,12 +87,16 @@ type Filter struct {
 	User   string
 	Op     string
 	Target string
+	Trace  string
 	Since  time.Time
 	Until  time.Time
 }
 
 func (f Filter) matches(r types.AuditRecord) bool {
 	if f.User != "" && r.User != f.User {
+		return false
+	}
+	if f.Trace != "" && r.Trace != f.Trace {
 		return false
 	}
 	if f.Op != "" && r.Op != f.Op {

@@ -55,6 +55,9 @@ type Client struct {
 	// retries counts retry attempts actually performed (tests and the
 	// Scommand -v output read it via Retries).
 	retries int64
+	// lastTrace remembers the trace ID minted for the most recent
+	// logical call, so callers can fetch its span tree afterwards.
+	lastTrace string
 }
 
 // Dial connects and authenticates to the server at addr.
@@ -181,6 +184,7 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	trace := obs.NewTraceID()
+	cl.lastTrace = trace
 	var deadline time.Time
 	if cl.timeout > 0 {
 		deadline = time.Now().Add(cl.timeout)
@@ -189,13 +193,17 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 	if !wire.Idempotent(op) {
 		policy.MaxAttempts = 1
 	}
+	// attempt rides in wire.Request.Attempt so the serving server can
+	// record a retry event on the span of each re-attempt — client-side
+	// retries become visible in the trace without a client-side ring.
+	attempt := 0
 	r := resilience.Retrier{
 		Policy: policy, Sleep: cl.sleep, Rand: cl.randf, Deadline: deadline,
-		OnRetry: func(int, error) { cl.retries++ },
+		OnRetry: func(int, error) { cl.retries++; attempt++ },
 	}
 	var result []byte
 	err := r.Do(func() error {
-		data, err := cl.callRedirect(op, args, sendData, out, ticket, trace, deadline)
+		data, err := cl.callRedirect(op, args, sendData, out, ticket, trace, attempt, deadline)
 		if err != nil {
 			if resilience.Transport(err) {
 				// The conn died mid-protocol: re-establish it so the
@@ -211,9 +219,9 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 }
 
 // callRedirect performs one attempt, following federation redirects.
-func (cl *Client) callRedirect(op string, args any, sendData []byte, out any, ticket, trace string, deadline time.Time) ([]byte, error) {
+func (cl *Client) callRedirect(op string, args any, sendData []byte, out any, ticket, trace string, attempt int, deadline time.Time) ([]byte, error) {
 	for redirects := 0; ; redirects++ {
-		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket, trace, deadline)
+		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket, trace, attempt, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -231,12 +239,12 @@ func (cl *Client) callRedirect(op string, args any, sendData []byte, out any, ti
 	}
 }
 
-func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket, trace string, deadline time.Time) ([]byte, *wire.Redirect, error) {
+func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket, trace string, attempt int, deadline time.Time) ([]byte, *wire.Redirect, error) {
 	raw, err := json.Marshal(args)
 	if err != nil {
 		return nil, nil, err
 	}
-	req := wire.Request{Op: op, Args: raw, Ticket: ticket, Trace: trace}
+	req := wire.Request{Op: op, Args: raw, Ticket: ticket, Trace: trace, Attempt: attempt}
 	if !deadline.IsZero() {
 		// The wire budget tells the server chain how long this call may
 		// take; the conn deadline enforces it locally so a stalled
@@ -666,5 +674,30 @@ func (cl *Client) ServerStats() (wire.StatsReply, error) {
 func (cl *Client) OpStats() (wire.OpStatsReply, error) {
 	var out wire.OpStatsReply
 	_, err := cl.call(wire.OpOpStats, struct{}{}, nil, &out)
+	return out, err
+}
+
+// LastTrace returns the trace ID of the most recent logical call, the
+// handle to pass to Trace for its span tree.
+func (cl *Client) LastTrace() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.lastTrace
+}
+
+// Trace fetches every recorded span of a trace. The connected server
+// answers from its own ring and fans the query out to its zone peers,
+// so federated hops are included.
+func (cl *Client) Trace(id string) (wire.TraceReply, error) {
+	var out wire.TraceReply
+	_, err := cl.call(wire.OpTrace, wire.TraceArgs{ID: id}, nil, &out)
+	return out, err
+}
+
+// Usage fetches the connected server's per-user/collection usage
+// accounting, optionally filtered by user and/or collection ("" = all).
+func (cl *Client) Usage(user, collection string) (wire.UsageReply, error) {
+	var out wire.UsageReply
+	_, err := cl.call(wire.OpUsage, wire.UsageArgs{User: user, Collection: collection}, nil, &out)
 	return out, err
 }

@@ -285,6 +285,13 @@ func (b *Broker) audit(user, op, target string, ok bool, detail string) {
 	b.Cat.Audit.Op(user, op, target, ok, detail)
 }
 
+// auditTraced records one operation outcome stamped with the trace ID
+// of the span the operation ran under (nil span = plain record), so
+// the audit trail joins to the span-tree and usage-accounting streams.
+func (b *Broker) auditTraced(sp *obs.Span, user, op, target string, ok bool, detail string) {
+	b.Cat.Audit.OpTraced(sp.TraceID(), user, op, target, ok, detail)
+}
+
 // ---- permission and lock helpers ----
 
 // need verifies the user's effective level on path.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gosrb/internal/acl"
+	"gosrb/internal/obs"
 	"gosrb/internal/replica"
 	"gosrb/internal/storage"
 	"gosrb/internal/types"
@@ -239,29 +240,37 @@ func (b *Broker) reingest(user, path string, data []byte) error {
 // in place, SQL objects execute, URLs fetch, method objects run, and
 // links resolve to their target.
 func (b *Broker) Get(user, path string) ([]byte, error) {
+	return b.GetTraced(user, path, nil)
+}
+
+// GetTraced is Get under a trace span: replica failovers, breaker
+// decisions and cache/container hits along the read are annotated onto
+// sp, and the audit record carries the trace ID (nil sp = plain Get).
+func (b *Broker) GetTraced(user, path string, sp *obs.Span) ([]byte, error) {
 	start := time.Now()
-	data, err := b.get(user, path)
+	data, err := b.get(user, path, sp)
 	b.ops.get.Done(start, err)
 	return data, err
 }
 
-func (b *Broker) get(user, path string) ([]byte, error) {
+func (b *Broker) get(user, path string, sp *obs.Span) ([]byte, error) {
 	o, err := b.checkRead(user, path, "get")
 	if err != nil {
 		return nil, err
 	}
-	data, err := b.getObject(user, &o)
-	b.audit(user, "get", path, err == nil, "")
+	data, err := b.getObject(user, &o, sp)
+	b.auditTraced(sp, user, "get", path, err == nil, "")
 	return data, err
 }
 
-func (b *Broker) getObject(user string, o *types.DataObject) ([]byte, error) {
+func (b *Broker) getObject(user string, o *types.DataObject, sp *obs.Span) ([]byte, error) {
 	switch o.Kind {
 	case types.KindFile:
 		if o.Container != "" {
+			sp.Event(obs.EventContainerHit, o.Container)
 			return b.readContainerMember(o)
 		}
-		data, _, err := b.rm.ReadAll(o.Path(), "")
+		data, _, err := b.rm.ReadAllEv(o.Path(), "", sp)
 		return data, err
 	case types.KindRegisteredFile:
 		return b.readRegistered(o)
@@ -280,7 +289,7 @@ func (b *Broker) getObject(user string, o *types.DataObject) ([]byte, error) {
 		if err != nil {
 			return nil, types.E("get", o.LinkTarget, types.ErrNotFound)
 		}
-		return b.getObject(user, &target)
+		return b.getObject(user, &target, sp)
 	case types.KindShadowDir:
 		// Getting a shadow directory renders its cone listing.
 		infos, err := b.shadowList(o, ".")
@@ -387,7 +396,7 @@ func (b *Broker) OpenRead(user, path string) (storage.ReadFile, int64, error) {
 		fi, _ := d.Stat(rep.PhysicalPath)
 		return f, fi.Size, nil
 	default:
-		data, err := b.getObject(user, &o)
+		data, err := b.getObject(user, &o, nil)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -490,7 +499,7 @@ func (b *Broker) Copy(user, src, dst, resource string) error {
 	case types.KindURL, types.KindSQL, types.KindMethod:
 		return types.E("copy", src, types.ErrUnsupported)
 	}
-	data, err := b.getObject(user, &o)
+	data, err := b.getObject(user, &o, nil)
 	if err != nil {
 		return err
 	}

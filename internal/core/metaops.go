@@ -88,7 +88,7 @@ func (b *Broker) fileMeta(user, path string) ([]types.AVU, error) {
 		if err != nil {
 			continue
 		}
-		raw, err := b.getObject(user, &o)
+		raw, err := b.getObject(user, &o, nil)
 		if err != nil {
 			continue
 		}
@@ -172,7 +172,7 @@ func (b *Broker) ExtractMeta(user, path, method, fromPath string) (int, error) {
 			return 0, err
 		}
 	}
-	raw, err := b.getObject(user, &src)
+	raw, err := b.getObject(user, &src, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -241,7 +241,7 @@ func (b *Broker) renderResult(o *types.DataObject, res *sqlengine.Result) ([]byt
 	if err != nil {
 		return nil, types.E("template", name, types.ErrNotFound)
 	}
-	raw, err := b.getObject(o.Owner, &sheet)
+	raw, err := b.getObject(o.Owner, &sheet, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -67,6 +67,7 @@ func (a *App) routes() {
 	a.mux.HandleFunc("/register", a.withSession(a.handleRegister))
 	a.mux.HandleFunc("/help", a.withSession(a.handleHelp))
 	a.mux.HandleFunc("/status", a.withSession(a.handleStatus))
+	a.mux.HandleFunc("/usage", a.withSession(a.handleUsage))
 }
 
 // withSession performs the paper's "security checks on the session keys

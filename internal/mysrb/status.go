@@ -19,7 +19,7 @@ func (a *App) handleStatus(w http.ResponseWriter, r *http.Request, user string) 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, `<html><head><title>mySRB server status</title></head><body>
 <h2>Server status — %s</h2>
-<p>uptime: %.0fs &middot; <a href="/browse">back to browsing</a></p>`,
+<p>uptime: %.0fs &middot; <a href="/usage">usage accounting</a> &middot; <a href="/browse">back to browsing</a></p>`,
 		template.HTMLEscapeString(a.broker.ServerName()), s.UptimeSeconds)
 
 	var ops []string
@@ -77,4 +77,35 @@ func (a *App) handleStatus(w http.ResponseWriter, r *http.Request, user string) 
 		fmt.Fprint(w, "</table>")
 	}
 	fmt.Fprint(w, "</body></html>")
+}
+
+// handleUsage renders the per-user/collection usage accounting table —
+// the browser view of what `srb usage` and the admin /usage endpoint
+// report: ops, errors, bytes moved and mean latency per (user,
+// collection) pair, with the last trace ID as a drill-down handle.
+func (a *App) handleUsage(w http.ResponseWriter, r *http.Request, user string) {
+	entries := a.broker.Metrics().Usage().Snapshot()
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>mySRB usage accounting</title></head><body>
+<h2>Usage accounting — %s</h2>
+<p><a href="/status">server status</a> &middot; <a href="/browse">back to browsing</a></p>`,
+		template.HTMLEscapeString(a.broker.ServerName()))
+	if len(entries) == 0 {
+		fmt.Fprint(w, "<p>No accounted operations yet.</p></body></html>")
+		return
+	}
+	fmt.Fprint(w, `<table border="1" cellpadding="3">
+<tr><th>user</th><th>collection</th><th>ops</th><th>errors</th><th>bytes in</th><th>bytes out</th><th>avg ms</th><th>last op</th><th>last trace</th></tr>`)
+	for _, e := range entries {
+		avgMS := float64(0)
+		if e.Ops > 0 {
+			avgMS = float64(e.TotalMicros) / float64(e.Ops) / 1000
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.2f</td><td>%s</td><td>%s</td></tr>",
+			template.HTMLEscapeString(e.User), template.HTMLEscapeString(e.Collection),
+			e.Ops, e.Errors, e.BytesIn, e.BytesOut, avgMS,
+			template.HTMLEscapeString(e.LastOp), template.HTMLEscapeString(e.LastTrace))
+	}
+	fmt.Fprint(w, "</table></body></html>")
 }

@@ -238,6 +238,7 @@ type Registry struct {
 	ops      map[string]*Op
 	start    time.Time
 	traces   *TraceRing
+	usage    *UsageTable
 }
 
 // NewRegistry returns an empty registry.
@@ -248,6 +249,7 @@ func NewRegistry() *Registry {
 		ops:      make(map[string]*Op),
 		start:    time.Now(),
 		traces:   NewTraceRing(256),
+		usage:    NewUsageTable(),
 	}
 }
 
@@ -320,6 +322,14 @@ func (r *Registry) Traces() *TraceRing {
 		return nil
 	}
 	return r.traces
+}
+
+// Usage returns the registry's per-user/collection accounting table.
+func (r *Registry) Usage() *UsageTable {
+	if r == nil {
+		return nil
+	}
+	return r.usage
 }
 
 // Snapshot is a point-in-time view of a whole registry, JSON-ready for

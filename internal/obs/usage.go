@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// UsageStat is the accumulated account for one (user, collection)
+// pair: how many operations that principal ran against that part of
+// the namespace, how many failed, how many bytes moved each way, and
+// the total time spent. LastTrace joins the account back to the trace
+// stream (and, through the trace-stamped audit records, to the audit
+// log) — the paper's "audit usage of the collections/datasets"
+// requirement answered with queryable numbers.
+type UsageStat struct {
+	User        string
+	Collection  string
+	Ops         int64
+	Errors      int64
+	BytesIn     int64
+	BytesOut    int64
+	TotalMicros int64
+	LastTrace   string `json:",omitempty"`
+	LastOp      string `json:",omitempty"`
+}
+
+// usageKey identifies one accounting bucket.
+type usageKey struct {
+	user string
+	coll string
+}
+
+// maxUsageKeys bounds the table; once full, new (user, collection)
+// pairs fold into a catch-all "(other)" collection per user so the
+// table cannot grow without limit under adversarial path churn.
+const maxUsageKeys = 1024
+
+// UsageTable accumulates per-user, per-collection usage. Safe for
+// concurrent use; all methods tolerate a nil receiver.
+type UsageTable struct {
+	mu sync.Mutex
+	m  map[usageKey]*UsageStat
+}
+
+// NewUsageTable returns an empty table.
+func NewUsageTable() *UsageTable {
+	return &UsageTable{m: make(map[usageKey]*UsageStat)}
+}
+
+// Record accounts one completed operation to (user, collection).
+func (u *UsageTable) Record(user, coll, trace, op string, failed bool, bytesIn, bytesOut int64, d time.Duration) {
+	if u == nil || user == "" {
+		return
+	}
+	if coll == "" {
+		coll = "-"
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	key := usageKey{user: user, coll: coll}
+	st, ok := u.m[key]
+	if !ok {
+		if len(u.m) >= maxUsageKeys {
+			key = usageKey{user: user, coll: "(other)"}
+			if st, ok = u.m[key]; !ok && len(u.m) >= maxUsageKeys+64 {
+				return // even the overflow rows are full; drop
+			}
+		}
+		if st == nil {
+			st = &UsageStat{User: key.user, Collection: key.coll}
+			u.m[key] = st
+		}
+	}
+	st.Ops++
+	if failed {
+		st.Errors++
+	}
+	st.BytesIn += bytesIn
+	st.BytesOut += bytesOut
+	st.TotalMicros += d.Microseconds()
+	if trace != "" {
+		st.LastTrace = trace
+	}
+	if op != "" {
+		st.LastOp = op
+	}
+}
+
+// Snapshot returns every accounting row, sorted by user then
+// collection for stable output.
+func (u *UsageTable) Snapshot() []UsageStat {
+	if u == nil {
+		return nil
+	}
+	u.mu.Lock()
+	out := make([]UsageStat, 0, len(u.m))
+	for _, st := range u.m {
+		out = append(out, *st)
+	}
+	u.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Collection < out[j].Collection
+	})
+	return out
+}

@@ -98,8 +98,9 @@ func Checksum(data []byte) string {
 }
 
 // candidates returns the clean replicas on online resources in replica
-// order, rotated when the policy is RoundRobin.
-func (m *Manager) candidates(o *types.DataObject, prefer string) []types.Replica {
+// order, rotated when the policy is RoundRobin. Breaker decisions are
+// annotated onto sp when the read is traced.
+func (m *Manager) candidates(o *types.DataObject, prefer string, sp *obs.Span) []types.Replica {
 	var clean []types.Replica
 	for _, r := range o.Replicas {
 		if r.Status != types.ReplicaClean {
@@ -111,8 +112,12 @@ func (m *Manager) candidates(o *types.DataObject, prefer string) []types.Replica
 		}
 		// An open breaker means the resource's driver has been failing:
 		// route around it until a half-open probe proves it back.
-		if !m.breaker(r.Resource).Allow() {
+		switch m.breaker(r.Resource).State() {
+		case resilience.Open:
+			sp.Event(obs.EventBreakerFast, "resource."+r.Resource)
 			continue
+		case resilience.HalfOpen:
+			sp.Event(obs.EventBreakerProbe, "resource."+r.Resource)
 		}
 		clean = append(clean, r)
 	}
@@ -142,11 +147,18 @@ func (m *Manager) candidates(o *types.DataObject, prefer string) []types.Replica
 // per the policy and failing over past unavailable resources. It
 // returns the replica served.
 func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types.Replica, error) {
+	return m.OpenReadEv(path, preferResource, nil)
+}
+
+// OpenReadEv is OpenRead with trace-span annotation: breaker trips,
+// fast-fails, half-open probes, failovers and cache hits along the
+// replica selection land as events on sp (nil sp = untraced).
+func (m *Manager) OpenReadEv(path, preferResource string, sp *obs.Span) (storage.ReadFile, types.Replica, error) {
 	o, err := m.cat.GetObject(path)
 	if err != nil {
 		return nil, types.Replica{}, err
 	}
-	cands := m.candidates(&o, preferResource)
+	cands := m.candidates(&o, preferResource, sp)
 	if len(cands) == 0 {
 		return nil, types.Replica{}, types.E("open", path, types.ErrOffline)
 	}
@@ -166,7 +178,9 @@ func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types
 		f, err := d.Open(r.PhysicalPath)
 		if err != nil {
 			if resilience.Retryable(err) {
-				m.breaker(r.Resource).Failure()
+				if m.breaker(r.Resource).Failure() {
+					sp.Event(obs.EventBreakerTrip, "resource."+r.Resource)
+				}
 			}
 			lastErr = err
 			continue
@@ -174,6 +188,12 @@ func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types
 		m.breaker(r.Resource).Success()
 		if i > 0 {
 			m.failover.Inc()
+			sp.Event(obs.EventFailover, fmt.Sprintf("replica %d on %s", r.Number, r.Resource))
+		}
+		if sp != nil {
+			if res, err := m.cat.GetResource(r.Resource); err == nil && res.Class == types.ClassCache {
+				sp.Event(obs.EventCacheHit, r.Resource)
+			}
 		}
 		return f, r, nil
 	}
@@ -185,7 +205,12 @@ func (m *Manager) OpenRead(path, preferResource string) (storage.ReadFile, types
 
 // ReadAll retrieves the full contents via OpenRead.
 func (m *Manager) ReadAll(path, preferResource string) ([]byte, types.Replica, error) {
-	f, r, err := m.OpenRead(path, preferResource)
+	return m.ReadAllEv(path, preferResource, nil)
+}
+
+// ReadAllEv is ReadAll with trace-span annotation (see OpenReadEv).
+func (m *Manager) ReadAllEv(path, preferResource string, sp *obs.Span) ([]byte, types.Replica, error) {
+	f, r, err := m.OpenReadEv(path, preferResource, sp)
 	if err != nil {
 		return nil, r, err
 	}

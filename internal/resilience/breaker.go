@@ -218,12 +218,13 @@ func (b *Breaker) Allow() bool {
 	return b.State() != Open
 }
 
-// Failure records one failed request. Threshold consecutive failures
-// trip the breaker; a failed half-open probe re-opens it for a full
-// cooldown.
-func (b *Breaker) Failure() {
+// Failure records one failed request and reports whether this failure
+// tripped the breaker open (callers annotate trace spans on that
+// edge). Threshold consecutive failures trip the breaker; a failed
+// half-open probe re-opens it for a full cooldown.
+func (b *Breaker) Failure() bool {
 	if b == nil {
-		return
+		return false
 	}
 	cfg, now := b.set.config()
 	b.mu.Lock()
@@ -232,7 +233,7 @@ func (b *Breaker) Failure() {
 		b.openedAt = now()
 		b.mu.Unlock()
 		b.state.Set(int64(Open))
-		return
+		return false
 	}
 	b.fails++
 	tripped := b.fails >= cfg.Threshold
@@ -247,6 +248,7 @@ func (b *Breaker) Failure() {
 		b.trips.Inc()
 		b.set.trips.Inc()
 	}
+	return tripped
 }
 
 // Success records one successful request, closing the breaker and

@@ -1,11 +1,15 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
+
+	"gosrb/internal/obs"
 )
 
 // adminServer is the operator-facing HTTP endpoint riding alongside the
@@ -20,9 +24,15 @@ type adminServer struct {
 // ServeAdmin starts the admin endpoint on addr ("host:0" picks a port)
 // and returns the bound address. Routes:
 //
-//	/metrics       plain-text "name value" lines from the telemetry
-//	               registry (audit drops refreshed per scrape)
-//	/healthz       liveness probe, reports server name and uptime
+//	/metrics       Prometheus text exposition format; append
+//	               ?format=text for the legacy "name value" dump
+//	               (audit drops refreshed per scrape)
+//	/healthz       readiness probe: 200 when healthy, 503 with one
+//	               detail line per open breaker / offline resource
+//	/trace/{id}    rendered span tree for a trace (?format=json for
+//	               the raw records)
+//	/usage         per-user/collection usage accounting (text table,
+//	               ?format=json for machine consumption)
 //	/debug/pprof/  the Go runtime profiler
 //
 // The endpoint stops when the server closes.
@@ -37,11 +47,64 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 		reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
 		s.broker.Breakers().Publish()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reg.WriteText(w)
+		if r.URL.Query().Get("format") == "text" {
+			reg.WriteText(w)
+			return
+		}
+		obs.WritePrometheus(w, reg.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ok %s uptime=%.0fs\n", s.name, s.broker.Metrics().Snapshot().UptimeSeconds)
+		s.broker.Breakers().Publish()
+		uptime := s.broker.Metrics().Snapshot().UptimeSeconds
+		if ok, degraded := s.Readiness(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded %s uptime=%.0fs\n", s.name, uptime)
+			for _, d := range degraded {
+				fmt.Fprintf(w, "%s\n", d)
+			}
+			return
+		}
+		fmt.Fprintf(w, "ok %s uptime=%.0fs\n", s.name, uptime)
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/trace/")
+		if id == "" {
+			http.Error(w, "missing trace id", http.StatusBadRequest)
+			return
+		}
+		recs := s.broker.Metrics().Traces().ForTrace(id)
+		if len(recs) == 0 {
+			http.Error(w, "trace not found (ring may have wrapped)", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(recs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %s on %s (%d spans)\n", id, s.name, len(recs))
+		obs.WriteTree(w, obs.AssembleTree(recs))
+	})
+	mux.HandleFunc("/usage", func(w http.ResponseWriter, r *http.Request) {
+		entries := s.broker.Metrics().Usage().Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(entries)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%-12s %-24s %8s %6s %12s %12s %10s\n",
+			"USER", "COLLECTION", "OPS", "ERRS", "BYTES_IN", "BYTES_OUT", "AVG_MS")
+		for _, e := range entries {
+			avgMS := float64(0)
+			if e.Ops > 0 {
+				avgMS = float64(e.TotalMicros) / float64(e.Ops) / 1000
+			}
+			fmt.Fprintf(w, "%-12s %-24s %8d %6d %12d %12d %10.2f\n",
+				e.User, e.Collection, e.Ops, e.Errors, e.BytesIn, e.BytesOut, avgMS)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"strings"
 	"time"
 
 	"gosrb/internal/audit"
@@ -26,13 +28,23 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 		req.Trace = obs.NewTraceID()
 	}
 	ss.opErr = nil
+	ss.acctUser = ""
+	ss.bytesIn, ss.bytesOut = 0, 0
 	// The request's time budget starts counting here; federation hops
 	// forward only what remains of it.
 	ss.deadline = time.Time{}
 	if req.TimeoutMillis > 0 {
 		ss.deadline = time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond)
 	}
-	sp := obs.StartSpan(req.Trace, req.Op)
+	// The caller's span ID (set by a federating server, never by a plain
+	// client) becomes this span's parent, so every hop's record
+	// reassembles into one tree. A positive Attempt marks a client-side
+	// retry of the same logical call.
+	sp := obs.StartSpanFrom(req.Trace, req.Span, req.Op)
+	ss.span = sp
+	if req.Attempt > 0 {
+		sp.Event(obs.EventRetry, fmt.Sprintf("client attempt %d", req.Attempt+1))
+	}
 	err := s.dispatchOp(c, ss, req)
 	opErr := ss.opErr
 	if opErr == nil {
@@ -41,9 +53,26 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 	reg := s.broker.Metrics()
 	if ss.expired() {
 		reg.Counter("server.deadline.exceeded").Inc()
+		sp.Event(obs.EventDeadline, "budget exhausted")
 	}
-	reg.Op("server."+req.Op).Observe(sp.Elapsed(), opErr)
+	elapsed := sp.Elapsed()
+	reg.Op("server."+req.Op).Observe(elapsed, opErr)
 	sp.End(reg.Traces(), s.name, ss.remote, opErr)
+	ss.span = nil
+	if ss.acctUser != "" {
+		reg.Usage().Record(ss.acctUser, collectionOf(req.Args), req.Trace, req.Op,
+			opErr != nil, ss.bytesIn, ss.bytesOut, elapsed)
+	}
+	if thr := time.Duration(s.slowOp.Load()); thr > 0 && elapsed >= thr {
+		// Outlier: log the whole local span tree while the ring still
+		// holds it, so the slow hop's causes (retries, breaker trips,
+		// failovers) are in the log even if nobody fetches the trace.
+		reg.Counter("server.slowops").Inc()
+		var tree strings.Builder
+		obs.WriteTree(&tree, obs.AssembleTree(reg.Traces().ForTrace(req.Trace)))
+		s.Logger.Infof("slow op %s took %s (threshold %s) trace=%s\n%s",
+			req.Op, elapsed, thr, req.Trace, tree.String())
+	}
 	if opErr != nil {
 		s.Logger.Infof("op %s user=%s remote=%s trace=%s: %v",
 			req.Op, ss.user+ss.peer, ss.remote, req.Trace, opErr)
@@ -62,6 +91,9 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 	if err != nil {
 		return ss.fail(c, err)
 	}
+	// Every resolved request is accounted to its effective user (the
+	// asserted end user on peer hops), keyed by the op's collection.
+	ss.acctUser = user
 	// A request whose budget already ran out (it sat queued behind a
 	// slow one, or a hop forwarded a sliver) fails before any work.
 	// Ops that stream inbound data are exempt here: the data frames
@@ -135,13 +167,15 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
-		if _, err := c.RecvData(&buf); err != nil {
+		n, err := c.RecvData(&buf)
+		if err != nil {
 			return err // transport failure
 		}
+		ss.bytesIn += n
 		// A remote target resource federates by proxy: the owning
 		// server performs the ingest.
 		if owner := s.resourceOwner(a.Resource); owner != "" && !ss.isPeer {
-			body, err := s.proxyIngest(owner, user, req, buf.Bytes(), ss.deadline)
+			body, err := s.proxyIngest(owner, user, req, buf.Bytes(), ss.deadline, ss.span)
 			if err != nil {
 				return ss.fail(c, err)
 			}
@@ -159,9 +193,11 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
-		if _, err := c.RecvData(&buf); err != nil {
+		n, err := c.RecvData(&buf)
+		if err != nil {
 			return err
 		}
+		ss.bytesIn += n
 		if err := b.Reingest(user, a.Path, buf.Bytes()); err != nil {
 			return ss.fail(c, err)
 		}
@@ -186,11 +222,11 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		if owner := s.localityOf(a.Path); owner != "" && !ss.isPeer {
 			return s.federate(c, ss, owner, user, req)
 		}
-		data, err := b.Get(user, a.Path)
+		data, err := b.GetTraced(user, a.Path, ss.span)
 		if err != nil {
 			return ss.fail(c, err)
 		}
-		return replyData(c, data)
+		return ss.replyData(c, data)
 
 	case wire.OpIssueTicket:
 		a, err := decode[wire.TicketArgs](req)
@@ -226,7 +262,7 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		if err != nil {
 			return ss.fail(c, err)
 		}
-		return replyData(c, data)
+		return ss.replyData(c, data)
 
 	case wire.OpReplicate:
 		a, err := decode[wire.ReplicateArgs](req)
@@ -245,9 +281,11 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
-		if _, err := c.RecvData(&buf); err != nil {
+		n, err := c.RecvData(&buf)
+		if err != nil {
 			return err
 		}
+		ss.bytesIn += n
 		rep, err := b.IngestReplica(user, a.Path, a.Resource, buf.Bytes())
 		if err != nil {
 			return ss.fail(c, err)
@@ -438,9 +476,11 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 			return ss.fail(c, err)
 		}
 		var buf bytes.Buffer
-		if _, err := c.RecvData(&buf); err != nil {
+		n, err := c.RecvData(&buf)
+		if err != nil {
 			return err
 		}
+		ss.bytesIn += n
 		if err := b.Checkin(user, a.Path, buf.Bytes(), a.Comment); err != nil {
 			return ss.fail(c, err)
 		}
@@ -480,7 +520,7 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		if err != nil {
 			return ss.fail(c, err)
 		}
-		return replyData(c, data)
+		return ss.replyData(c, data)
 
 	case wire.OpInvoke:
 		a, err := decode[wire.InvokeArgs](req)
@@ -491,7 +531,7 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		if err != nil {
 			return ss.fail(c, err)
 		}
-		return replyData(c, data)
+		return ss.replyData(c, data)
 
 	case wire.OpMkContainer:
 		a, err := decode[wire.ContainerArgs](req)
@@ -546,7 +586,7 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		if err != nil {
 			return ss.fail(c, err)
 		}
-		return replyData(c, data)
+		return ss.replyData(c, data)
 
 	case wire.OpAddUser:
 		a, err := decode[wire.AddUserArgs](req)
@@ -578,11 +618,45 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		if !b.Cat.IsAdmin(user) {
 			return ss.fail(c, types.E("audit", "", types.ErrPermission))
 		}
-		recs := b.Cat.Audit.Query(audit.Filter{User: a.User, Op: a.Op, Target: a.Target})
+		recs := b.Cat.Audit.Query(audit.Filter{User: a.User, Op: a.Op, Target: a.Target, Trace: a.Trace})
 		if a.Limit > 0 && len(recs) > a.Limit {
 			recs = recs[len(recs)-a.Limit:]
 		}
 		return reply(c, recs)
+
+	case wire.OpTrace:
+		a, err := decode[wire.TraceArgs](req)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		if a.ID == "" {
+			return ss.fail(c, types.E("trace", "", types.ErrInvalid))
+		}
+		// Client-facing requests fan out to every peer so the reply
+		// covers all hops of a federated operation; peer-forwarded
+		// requests answer from the local ring only.
+		return reply(c, s.gatherTrace(user, a.ID, !ss.isPeer))
+
+	case wire.OpUsage:
+		a, err := decode[wire.UsageArgs](req)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		entries := s.broker.Metrics().Usage().Snapshot()
+		if a.User != "" || a.Collection != "" {
+			kept := entries[:0]
+			for _, e := range entries {
+				if a.User != "" && e.User != a.User {
+					continue
+				}
+				if a.Collection != "" && e.Collection != a.Collection {
+					continue
+				}
+				kept = append(kept, e)
+			}
+			entries = kept
+		}
+		return reply(c, wire.UsageReply{Server: s.name, Entries: entries})
 
 	case wire.OpResources:
 		return reply(c, b.Cat.Resources())
@@ -655,7 +729,7 @@ func (s *Server) handleReplicate(user string, ss *session, a wire.ReplicateArgs)
 		if !ok {
 			return types.Replica{}, types.E("replicate", sourceOwner, types.ErrOffline)
 		}
-		data, err = s.proxyGet(sourceOwner, addr, user, req, ss.deadline)
+		data, err = s.proxyGet(sourceOwner, addr, user, req, ss.deadline, ss.span)
 	}
 	if err != nil {
 		return types.Replica{}, err
@@ -672,7 +746,7 @@ func (s *Server) handleReplicate(user string, ss *session, a wire.ReplicateArgs)
 		return types.Replica{}, types.E("replicate", targetOwner, types.ErrOffline)
 	}
 	var body json.RawMessage
-	err = s.peerDo(targetOwner, addr, ss.deadline, req, func(pc *peerConn) error {
+	err = s.peerDo(targetOwner, addr, ss.deadline, req, ss.span, func(pc *peerConn) error {
 		b, err := pc.roundTripIngest(req, data)
 		body = b
 		return err
@@ -699,7 +773,7 @@ func (s *Server) sqlOwner(path string) string {
 
 // proxyIngest relays an ingest request (with its data) to the owning
 // peer. Ingest mutates, so there is exactly one attempt.
-func (s *Server) proxyIngest(peerName, user string, req *wire.Request, data []byte, deadline time.Time) ([]byte, error) {
+func (s *Server) proxyIngest(peerName, user string, req *wire.Request, data []byte, deadline time.Time, sp *obs.Span) ([]byte, error) {
 	addr, ok := s.PeerAddr(peerName)
 	if !ok {
 		return nil, types.E(req.Op, peerName, types.ErrOffline)
@@ -707,7 +781,7 @@ func (s *Server) proxyIngest(peerName, user string, req *wire.Request, data []by
 	fwd := *req
 	fwd.OnBehalf = user
 	var body []byte
-	err := s.peerDo(peerName, addr, deadline, &fwd, func(pc *peerConn) error {
+	err := s.peerDo(peerName, addr, deadline, &fwd, sp, func(pc *peerConn) error {
 		b, err := pc.roundTripIngest(&fwd, data)
 		body = b
 		return err
@@ -716,6 +790,24 @@ func (s *Server) proxyIngest(peerName, user string, req *wire.Request, data []by
 		return nil, err
 	}
 	return body, nil
+}
+
+// collectionOf derives the usage-accounting key from a request's args:
+// the parent collection of the op's primary path (Src for two-path
+// ops). Ops that carry no grid path account under "-".
+func collectionOf(args json.RawMessage) string {
+	var a struct{ Path, Src string }
+	if len(args) > 0 {
+		_ = json.Unmarshal(args, &a)
+	}
+	p := a.Path
+	if p == "" {
+		p = a.Src
+	}
+	if p == "" || !strings.HasPrefix(p, "/") {
+		return "-"
+	}
+	return types.Parent(p)
 }
 
 // jsonMarshal / jsonUnmarshal keep the handler bodies terse.

@@ -160,10 +160,22 @@ func TestAdminEndpoint(t *testing.T) {
 		}
 		return string(body)
 	}
-	metrics := get("/metrics")
+	metrics := get("/metrics?format=text")
 	for _, want := range []string{"broker.ingest.count", "server.ingest.p50_us", "storage.disk1.bytes_in", "audit.dropped", "uptime_seconds"} {
 		if !strings.Contains(metrics, want) {
-			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+			t.Errorf("/metrics?format=text missing %q:\n%s", want, metrics)
+		}
+	}
+	// The default exposition is Prometheus text format.
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE srb_uptime_seconds gauge",
+		"# TYPE srb_server_ingest_duration_seconds histogram",
+		"srb_server_ingest_ops_total 1",
+		`_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q:\n%.800s", want, prom)
 		}
 	}
 	if hz := get("/healthz"); !strings.Contains(hz, "ok srb1") {

@@ -18,8 +18,10 @@ import (
 	"io"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosrb/internal/auth"
@@ -61,6 +63,11 @@ type Server struct {
 	// retry shapes federation retries for idempotent proxied ops.
 	retry resilience.Policy
 	sleep func(time.Duration)
+
+	// slowOp holds the slow-operation threshold in nanoseconds (0 =
+	// disabled). Requests whose dispatch span exceeds it get their full
+	// local span tree written to the log (srbd's -slow-op flag).
+	slowOp atomic.Int64
 
 	ln        net.Listener
 	wg        sync.WaitGroup
@@ -116,6 +123,15 @@ func (s *Server) SetRetryPolicy(p resilience.Policy) {
 	if p.MaxAttempts > 0 {
 		s.retry = p
 	}
+}
+
+// SetSlowOpThreshold enables the slow-op log: any request taking at
+// least d gets its full local span tree logged (0 disables).
+func (s *Server) SetSlowOpThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.slowOp.Store(int64(d))
 }
 
 // Name returns the server's federation name.
@@ -209,6 +225,17 @@ type session struct {
 	// started at dispatch from wire.Request.TimeoutMillis; federation
 	// hops forward only what remains of it.
 	deadline time.Time
+	// span is the current request's trace span; handlers and the layers
+	// beneath them annotate it with retry/breaker/failover events. Like
+	// opErr it is per-request, single-goroutine state.
+	span *obs.Span
+	// acctUser is the resolved effective user of the current request,
+	// recorded by dispatchOp for usage accounting ("" = unresolved).
+	acctUser string
+	// bytesIn / bytesOut count bulk-data bytes received and sent while
+	// serving the current request, for the usage accounting ledger.
+	bytesIn  int64
+	bytesOut int64
 }
 
 // expired reports whether the request's budget has run out.
@@ -297,8 +324,9 @@ func replyErr(c *wire.Conn, err error) error {
 	return c.WriteJSON(wire.MsgResponse, wire.ErrResponse(err))
 }
 
-// replyData sends a success response announcing size, then the data.
-func replyData(c *wire.Conn, data []byte) error {
+// replyData sends a success response announcing size, then the data,
+// and accounts the sent bytes to the session's usage ledger.
+func (ss *session) replyData(c *wire.Conn, data []byte) error {
 	resp, err := wire.OkResponse(wire.SizeReply{Size: int64(len(data))}, true)
 	if err != nil {
 		return err
@@ -306,6 +334,7 @@ func replyData(c *wire.Conn, data []byte) error {
 	if err := c.WriteJSON(wire.MsgResponse, resp); err != nil {
 		return err
 	}
+	ss.bytesOut += int64(len(data))
 	return c.SendData(bytes.NewReader(data))
 }
 
@@ -384,11 +413,15 @@ func (s *Server) federate(c *wire.Conn, ss *session, peerName, user string, req 
 	if s.mode == Redirect {
 		return c.WriteJSON(wire.MsgRedirect, wire.Redirect{Server: peerName, Addr: addr})
 	}
-	data, err := s.proxyGet(peerName, addr, user, req, ss.deadline)
+	// Serving a read through a peer is the federation-level failover:
+	// either the data only lives there, or the local replica's resource
+	// breaker routed around a failing driver.
+	ss.span.Event(obs.EventFailover, "read via peer "+peerName)
+	data, err := s.proxyGet(peerName, addr, user, req, ss.deadline, ss.span)
 	if err != nil {
 		return ss.fail(c, err)
 	}
-	return replyData(c, data)
+	return ss.replyData(c, data)
 }
 
 // peerBreaker returns the circuit breaker guarding one federated peer.
@@ -400,28 +433,39 @@ func (s *Server) peerBreaker(name string) *resilience.Breaker {
 // budget rewrite, dial, and outcome recording. Only conn-level
 // failures (dial refused, conn dropped, I/O deadline) count against the
 // breaker — a peer answering with an application error is alive.
-func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Request, fn func(*peerConn) error) error {
+func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Request, sp *obs.Span, fn func(*peerConn) error) error {
 	br := s.peerBreaker(peerName)
-	if !br.Allow() {
+	switch br.State() {
+	case resilience.Open:
 		s.broker.Metrics().Counter("federation.fastfail").Inc()
+		sp.Event(obs.EventBreakerFast, "peer."+peerName)
 		return types.E(req.Op, peerName, fmt.Errorf("peer breaker open: %w", types.ErrOffline))
+	case resilience.HalfOpen:
+		sp.Event(obs.EventBreakerProbe, "peer."+peerName)
 	}
 	if err := shrinkBudget(req, deadline); err != nil {
 		return err
 	}
+	// The span the peer opens for this request becomes a child of ours,
+	// so the federated hop shows up as a subtree when reassembled.
+	req.Span = sp.SpanID()
 	s.mu.RLock()
 	secret := s.peers[peerName].secret
 	s.mu.RUnlock()
 	pc, err := s.dialPeer(addr, secret)
 	if err != nil {
-		br.Failure()
+		if br.Failure() {
+			sp.Event(obs.EventBreakerTrip, "peer."+peerName)
+		}
 		return types.E(req.Op, peerName, err)
 	}
 	defer pc.close()
 	pc.deadline = deadline
 	err = fn(pc)
 	if err != nil && resilience.Transport(err) {
-		br.Failure()
+		if br.Failure() {
+			sp.Event(obs.EventBreakerTrip, "peer."+peerName)
+		}
 	} else {
 		br.Success()
 	}
@@ -432,13 +476,15 @@ func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Req
 }
 
 // retrier builds the federation retry loop for one idempotent request.
-func (s *Server) retrier(deadline time.Time) resilience.Retrier {
+// Each retry lands as both a counter tick and an event on sp.
+func (s *Server) retrier(deadline time.Time, sp *obs.Span) resilience.Retrier {
 	return resilience.Retrier{
 		Policy:   s.retry,
 		Sleep:    s.sleep,
 		Deadline: deadline,
-		OnRetry: func(int, error) {
+		OnRetry: func(attempt int, err error) {
 			s.broker.Metrics().Counter("federation.retries").Inc()
+			sp.Event(obs.EventRetry, fmt.Sprintf("federation attempt %d: %v", attempt+1, err))
 		},
 	}
 }
@@ -466,12 +512,12 @@ func shrinkBudget(req *wire.Request, deadline time.Time) error {
 // proxyGet relays a data-returning request to a peer over a
 // peer-authenticated connection, retrying idempotent ops under the
 // server's backoff policy.
-func (s *Server) proxyGet(peerName, addr, user string, req *wire.Request, deadline time.Time) ([]byte, error) {
+func (s *Server) proxyGet(peerName, addr, user string, req *wire.Request, deadline time.Time, sp *obs.Span) ([]byte, error) {
 	var data []byte
 	do := func() error {
 		fwd := *req
 		fwd.OnBehalf = user
-		return s.peerDo(peerName, addr, deadline, &fwd, func(pc *peerConn) error {
+		return s.peerDo(peerName, addr, deadline, &fwd, sp, func(pc *peerConn) error {
 			d, err := pc.roundTripData(&fwd)
 			data = d
 			return err
@@ -483,7 +529,7 @@ func (s *Server) proxyGet(peerName, addr, user string, req *wire.Request, deadli
 		}
 		return data, nil
 	}
-	r := s.retrier(deadline)
+	r := s.retrier(deadline, sp)
 	if err := r.Do(do); err != nil {
 		return nil, err
 	}
@@ -491,7 +537,7 @@ func (s *Server) proxyGet(peerName, addr, user string, req *wire.Request, deadli
 }
 
 // proxyCall relays a non-data request to a peer.
-func (s *Server) proxyCall(peerName, user string, req *wire.Request, deadline time.Time) (json.RawMessage, error) {
+func (s *Server) proxyCall(peerName, user string, req *wire.Request, deadline time.Time, sp *obs.Span) (json.RawMessage, error) {
 	addr, ok := s.PeerAddr(peerName)
 	if !ok {
 		return nil, types.E(req.Op, peerName, types.ErrOffline)
@@ -500,7 +546,7 @@ func (s *Server) proxyCall(peerName, user string, req *wire.Request, deadline ti
 	do := func() error {
 		fwd := *req
 		fwd.OnBehalf = user
-		return s.peerDo(peerName, addr, deadline, &fwd, func(pc *peerConn) error {
+		return s.peerDo(peerName, addr, deadline, &fwd, sp, func(pc *peerConn) error {
 			b, err := pc.roundTrip(&fwd)
 			body = b
 			return err
@@ -512,7 +558,7 @@ func (s *Server) proxyCall(peerName, user string, req *wire.Request, deadline ti
 		}
 		return body, nil
 	}
-	r := s.retrier(deadline)
+	r := s.retrier(deadline, sp)
 	if err := r.Do(do); err != nil {
 		return nil, err
 	}
@@ -657,4 +703,63 @@ func (s *Server) Telemetry() wire.OpStatsReply {
 	reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
 	s.broker.Breakers().Publish()
 	return wire.OpStatsReply{Server: s.name, Snapshot: reg.Snapshot()}
+}
+
+// gatherTrace collects every retained span of one trace: this server's
+// ring, and — when fanout is set — each zone peer's ring via OpTrace.
+// Peer queries are best-effort (an unreachable peer just contributes
+// nothing) and are sent without a trace ID of their own, so fetching a
+// trace never pollutes the trace being fetched. Requests arriving from
+// a peer answer locally only (fanout=false), which bounds the fan-out
+// to one hop.
+func (s *Server) gatherTrace(user, id string, fanout bool) wire.TraceReply {
+	spans := s.broker.Metrics().Traces().ForTrace(id)
+	if fanout {
+		s.mu.RLock()
+		names := make([]string, 0, len(s.peers))
+		for n := range s.peers {
+			names = append(names, n)
+		}
+		s.mu.RUnlock()
+		sort.Strings(names)
+		for _, pn := range names {
+			args, err := json.Marshal(wire.TraceArgs{ID: id})
+			if err != nil {
+				continue
+			}
+			req := &wire.Request{Op: wire.OpTrace, Args: args}
+			body, err := s.proxyCall(pn, user, req, time.Time{}, nil)
+			if err != nil {
+				continue
+			}
+			var rep wire.TraceReply
+			if json.Unmarshal(body, &rep) == nil {
+				spans = append(spans, rep.Spans...)
+			}
+		}
+	}
+	return wire.TraceReply{Server: s.name, Spans: spans}
+}
+
+// Readiness reports whether the server is fully serviceable and, when
+// degraded, why: any open circuit breaker (a peer or storage resource
+// being routed around) or an offline local resource marks the server
+// degraded. The admin /healthz endpoint turns this into HTTP 503.
+func (s *Server) Readiness() (bool, []string) {
+	var degraded []string
+	for key, st := range s.broker.Breakers().States() {
+		if st == resilience.Open {
+			degraded = append(degraded, "breaker "+key+" open")
+		}
+	}
+	for _, r := range s.broker.Cat.Resources() {
+		if r.Kind != types.ResourcePhysical || r.Online {
+			continue
+		}
+		if r.Server == "" || r.Server == s.name {
+			degraded = append(degraded, "resource "+r.Name+" offline")
+		}
+	}
+	sort.Strings(degraded)
+	return len(degraded) == 0, degraded
 }

@@ -476,6 +476,10 @@ type AuditRecord struct {
 	Target string // logical path or resource/user name acted upon
 	Detail string
 	OK     bool
+	// Trace is the request trace ID that caused this record, when the
+	// operation ran under one — the join key between the audit trail
+	// and the span-tree trace/usage accounting streams.
+	Trace string `json:",omitempty"`
 }
 
 // Session is an authenticated session key with a bounded lifetime.

@@ -64,6 +64,12 @@ const (
 	// counts/errors/latency, per-driver byte totals, replica fan-out
 	// counters, audit drops and recent trace records.
 	OpOpStats = "opstats"
+	// OpTrace fetches every retained span of one trace ID. The first
+	// server asked also polls its zone peers, so the reply reassembles
+	// the full federated span tree.
+	OpTrace = "trace"
+	// OpUsage returns the per-user/collection usage accounting table.
+	OpUsage = "usage"
 )
 
 // PathArgs addresses one logical path.
@@ -245,6 +251,7 @@ type AuditArgs struct {
 	User   string
 	Op     string
 	Target string
+	Trace  string
 	Limit  int
 }
 
@@ -261,4 +268,30 @@ type StatsReply struct {
 type OpStatsReply struct {
 	Server   string
 	Snapshot obs.Snapshot
+}
+
+// TraceArgs asks for every retained span of one trace.
+type TraceArgs struct {
+	ID string
+}
+
+// TraceReply carries the collected spans. Server names the responder;
+// when the responder fanned out to its peers, Spans is the union of
+// every ring that still held records for the trace.
+type TraceReply struct {
+	Server string
+	Spans  []obs.SpanRecord
+}
+
+// UsageArgs filters the usage accounting table; zero fields match
+// everything.
+type UsageArgs struct {
+	User       string
+	Collection string
+}
+
+// UsageReply carries one server's usage accounting rows.
+type UsageReply struct {
+	Server  string
+	Entries []obs.UsageStat
 }

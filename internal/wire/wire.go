@@ -76,6 +76,15 @@ type Request struct {
 	// absent and copies it onto every proxied request, so one user action
 	// carries the same ID on every federation hop it touches.
 	Trace string `json:",omitempty"`
+	// Span is the caller's span ID. The span the receiving server opens
+	// for this request becomes its child, so the per-hop records
+	// reassemble into one tree instead of a flat list. Empty on
+	// client-originated requests (the server opens a root span).
+	Span string `json:",omitempty"`
+	// Attempt is the caller's 0-based retry attempt for this logical
+	// call. When positive, the receiving server annotates its span with
+	// a retry event, making client-side retries visible in the trace.
+	Attempt int `json:",omitempty"`
 	// TimeoutMillis is the request's remaining time budget. Zero means
 	// unbounded. The receiving server starts the clock at dispatch; a
 	// federation hop forwards only what is left, so the budget shrinks
@@ -130,7 +139,8 @@ func Idempotent(op string) bool {
 	switch op {
 	case OpList, OpStat, OpGet, OpGetObject, OpReadRange, OpGetMeta,
 		OpAnnotations, OpQuery, OpQueryAttrs, OpResources, OpServerStats,
-		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit:
+		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit,
+		OpTrace, OpUsage:
 		return true
 	}
 	return false
