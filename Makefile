@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race test-faults bench bench-obs bench-obs-gate clean
+.PHONY: all check vet build test race test-faults test-repair bench bench-obs bench-obs-gate bench-repair clean
 
 all: check
 
-check: vet build race test-faults bench-obs-gate
+check: vet build race test-faults test-repair bench-obs-gate
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,13 @@ test-faults:
 	$(GO) test -race -count=1 ./internal/resilience/ ./internal/faultnet/
 	$(GO) test -race -count=10 -run 'TestChaos' ./cmd/srbd/
 
+# Repair-engine sweep: the engine unit suite, the journaled queue and
+# replication-policy catalog tests, and the restart-recovery end-to-end
+# (the async chaos e2e rides test-faults' 10x TestChaos loop).
+test-repair:
+	$(GO) test -race -count=1 ./internal/repair/ ./internal/mcat/
+	$(GO) test -race -count=1 -run 'TestRepairQueueRestartRecovery|TestHealthzWedgedRepair' ./cmd/srbd/
+
 # Full benchmark sweep (experiments E1–E10 plus the wire and broker
 # concurrency benches).
 bench:
@@ -47,6 +54,12 @@ bench-obs:
 bench-obs-gate:
 	BENCH_OBS_GATE=1 $(GO) test -run TestObsOverheadGate -v .
 
+# Async-replication report: measures sync vs async:1 ingest onto a
+# 3-member logical resource and writes BENCH_repair.json (the async
+# write path must clear 1.5x over the synchronous fan-out).
+bench-repair:
+	BENCH_REPAIR=1 $(GO) test -run TestRepairBenchReport -v .
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_repair.json
 	$(GO) clean -testcache

@@ -21,7 +21,9 @@ import (
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
 	"gosrb/internal/metadata"
+	"gosrb/internal/repair"
 	"gosrb/internal/replica"
+	"gosrb/internal/resilience"
 	"gosrb/internal/server"
 	"gosrb/internal/simnet"
 	"gosrb/internal/sqlengine"
@@ -706,5 +708,150 @@ func TestObsOverheadGate(t *testing.T) {
 			t.Errorf("%s instrumentation overhead %.2f%% exceeds baseline %.2f%% + %.1f points",
 				op.name, overhead, op.baseline, slackPct)
 		}
+	}
+}
+
+// replBenchRig builds a one-broker rig with a 3-member logical
+// resource whose members sit behind a simulated 2ms-RTT link (the
+// regime where synchronous fan-out hurts), plus a running repair
+// engine draining the deferred fan-out. policy "" is the sync default.
+func replBenchRig(tb testing.TB, policy string) (*core.Broker, *mcat.Catalog, func()) {
+	tb.Helper()
+	cat := mcat.New("admin", "sdsc")
+	br := core.New(cat, "srb1")
+	profile := simnet.LinkProfile{RTT: 2 * time.Millisecond}
+	names := []string{"w1", "w2", "w3"}
+	for _, n := range names {
+		if err := br.AddPhysicalResource("admin", n, types.ClassFileSystem, "memfs",
+			simnet.WrapDriver(memfs.New(), profile, nil)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := br.AddLogicalResourcePolicy("admin", "lr", names, policy); err != nil {
+		tb.Fatal(err)
+	}
+	cat.MkColl("/d", "admin")
+	eng := repair.New(repair.Config{
+		Workers: 4,
+		Queue:   cat,
+		Exec:    br.RunRepairTask,
+		Metrics: br.Metrics(),
+		Backoff: resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+		Poll:    time.Millisecond,
+		Server:  "srb1",
+		Seed:    1,
+	})
+	br.SetRepair(eng)
+	eng.Start()
+	return br, cat, eng.Stop
+}
+
+// BenchmarkRepairAsyncIngest compares client-visible ingest latency
+// onto a 3-member logical resource under the sync default (the write
+// path pays every member's RTT) against async:1 (one replica lands
+// synchronously, the repair engine fans out the rest off the clock).
+func BenchmarkRepairAsyncIngest(b *testing.B) {
+	payload := workload.NewGen(23).Bytes(8 << 10)
+	for _, tc := range []struct{ name, policy string }{
+		{"sync", ""},
+		{"async-1", "async:1"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			br, _, stop := replBenchRig(b, tc.policy)
+			defer stop()
+			n := 0
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n++
+				if _, err := br.Ingest("admin", core.IngestOpts{
+					Path: fmt.Sprintf("/d/f%09d", n), Data: payload, Resource: "lr",
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairBenchReport measures the sync-vs-async ingest cells with
+// testing.Benchmark and writes BENCH_repair.json (the Makefile's
+// bench-repair target, gated behind BENCH_REPAIR=1). The async write
+// path must be at least 1.5x faster than the synchronous 3-way
+// fan-out, and the report also records how long the repair engine took
+// to drain the deferred replicas afterwards — the cost did not vanish,
+// it moved off the client's clock.
+func TestRepairBenchReport(t *testing.T) {
+	if os.Getenv("BENCH_REPAIR") == "" {
+		t.Skip("set BENCH_REPAIR=1 to emit BENCH_repair.json")
+	}
+	payload := workload.NewGen(23).Bytes(8 << 10)
+	var drainMS float64
+	measure := func(policy string) float64 {
+		best := 0.0
+		for round := 0; round < 3; round++ {
+			br, cat, stop := replBenchRig(t, policy)
+			n := 0
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					n++
+					if _, err := br.Ingest("admin", core.IngestOpts{
+						Path: fmt.Sprintf("/d/f%09d", n), Data: payload, Resource: "lr",
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if policy != "" {
+				drainStart := time.Now()
+				for {
+					if n, _ := cat.RepairBacklog(); n == 0 {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				drainMS = float64(time.Since(drainStart).Microseconds()) / 1000
+			}
+			stop()
+			if v := float64(res.NsPerOp()); round == 0 || v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	syncNs := measure("")
+	asyncNs := measure("async:1")
+	speedup := 0.0
+	if asyncNs > 0 {
+		speedup = syncNs / asyncNs
+	}
+	report := struct {
+		Benchmark    string  `json:"benchmark"`
+		PayloadBytes int     `json:"payload_bytes"`
+		Members      int     `json:"members"`
+		SyncNsPerOp  float64 `json:"sync_ns_per_op"`
+		AsyncNsPerOp float64 `json:"async_ns_per_op"`
+		Speedup      float64 `json:"speedup"`
+		AsyncDrainMS float64 `json:"async_drain_ms"`
+	}{
+		Benchmark:    "async-replication-ingest",
+		PayloadBytes: len(payload),
+		Members:      3,
+		SyncNsPerOp:  syncNs,
+		AsyncNsPerOp: asyncNs,
+		Speedup:      speedup,
+		AsyncDrainMS: drainMS,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_repair.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sync %.0f ns/op vs async %.0f ns/op: %.2fx speedup (drain %.1f ms)",
+		syncNs, asyncNs, speedup, drainMS)
+	if speedup < 1.5 {
+		t.Errorf("async ingest speedup %.2fx, want >= 1.5x over sync fan-out", speedup)
 	}
 }

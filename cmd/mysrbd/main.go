@@ -21,6 +21,8 @@ import (
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
 	"gosrb/internal/mysrb"
+	"gosrb/internal/obs"
+	"gosrb/internal/repair"
 	"gosrb/internal/storage/archivefs"
 	"gosrb/internal/storage/dbfs"
 	"gosrb/internal/storage/memfs"
@@ -39,6 +41,9 @@ func main() {
 		adminUser = flag.String("admin", "admin", "administrator user name")
 		adminPw   = flag.String("admin-pw", os.Getenv("SRB_ADMIN_PW"), "administrator password (or $SRB_ADMIN_PW)")
 		catalog   = flag.String("catalog", "", "MCAT snapshot to load/save")
+
+		repairWorkers = flag.Int("repair-workers", 2, "background repair worker goroutines draining the async-replication/scrub queue (0 leaves the queue undrained)")
+		scrubEvery    = flag.Duration("scrub-interval", 0, "anti-entropy scrub interval: re-hash every replica against the catalog checksum and repair divergence (0 disables)")
 	)
 	var resources, users repeated
 	flag.Var(&resources, "resource", "resource: name=driver:arg; repeatable")
@@ -82,6 +87,30 @@ func main() {
 		}
 		logger.Printf("no -resource given; using in-memory resource disk1")
 	}
+
+	// Background maintenance mirrors srbd: the engine drains the async
+	// replication queue and (when enabled) runs the anti-entropy
+	// scrubber, so the /status page's repair section is live here too.
+	eng := repair.New(repair.Config{
+		Workers:  *repairWorkers,
+		Queue:    cat,
+		Exec:     broker.RunRepairTask,
+		Metrics:  broker.Metrics(),
+		Breakers: broker.Breakers(),
+		Server:   "mysrb",
+	})
+	if *scrubEvery > 0 {
+		eng.AddJob("scrub", *scrubEvery, 0.2, func(sp *obs.Span) error {
+			rpt := broker.ScrubSubtree("/", sp)
+			if rpt.Corrupt+rpt.Repaired+rpt.Replicated+rpt.Enqueued > 0 {
+				logger.Printf("scrub: %d corrupt, %d repaired, %d replicated, %d enqueued (%d objects)",
+					rpt.Corrupt, rpt.Repaired, rpt.Replicated, rpt.Enqueued, rpt.Objects)
+			}
+			return nil
+		})
+	}
+	broker.SetRepair(eng)
+	eng.Start()
 
 	app := mysrb.New(broker, authn)
 	logger.Printf("MySRB at http://%s/mySRB.html", *addr)

@@ -66,6 +66,13 @@ commands:
   trace <id>                         span tree of a recent operation,
                                      gathered from every zone server
   usage [user [collection]]          per-user/collection usage accounting
+  repair status                      background repair engine: queue
+                                     backlog, worker health, job runs
+  scrub <path>                       re-hash replicas against the catalog
+                                     checksum and repair divergence
+                                     (object: write perm; subtree: admin)
+  checksum <path>                    verify every replica of one object,
+                                     per-resource verdicts (read-only)
   mkdir <coll>                       create a collection
   rmdir <coll>                       remove an empty collection
   put <local> <path> [-resource r | -container c] [-type t]
@@ -180,6 +187,75 @@ func run(cl *client.Client, cmd string, args []string) error {
 			}
 			fmt.Printf("%-12s %-24s %8d %6d %12d %12d %10.2f\n",
 				e.User, e.Collection, e.Ops, e.Errors, e.BytesIn, e.BytesOut, avgMS)
+		}
+		return nil
+
+	case "repair":
+		if need(args, 0, "subcommand (status)") != "status" {
+			return fmt.Errorf("unknown repair subcommand %q (want: status)", args[0])
+		}
+		rep, err := cl.RepairStatus()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server: %s\n", rep.Server)
+		if !rep.Enabled {
+			fmt.Println("repair engine: not running")
+			return nil
+		}
+		st := rep.Status
+		state := "running"
+		switch {
+		case st.Wedged:
+			state = "WEDGED"
+		case st.Paused:
+			state = "paused"
+		}
+		fmt.Printf("state: %s (%d/%d workers alive)\n", state, st.WorkersAlive, st.Workers)
+		fmt.Printf("backlog: %d task(s), oldest %s\n", st.Backlog, st.OldestAge.Truncate(time.Second))
+		fmt.Printf("lifetime: %d done, %d failed, %d retries\n", st.Done, st.Failed, st.Retries)
+		for _, j := range st.Jobs {
+			line := fmt.Sprintf("job %-12s every %-8s runs=%d errors=%d", j.Name, j.Interval, j.Runs, j.Errors)
+			if !j.LastRun.IsZero() {
+				line += " last=" + j.LastRun.Format(time.RFC3339)
+			}
+			if j.LastErr != "" {
+				line += " lasterr=" + j.LastErr
+			}
+			fmt.Println(line)
+		}
+		return nil
+
+	case "scrub":
+		rep, err := cl.Scrub(need(args, 0, "path"))
+		if err != nil {
+			return err
+		}
+		r := rep.Report
+		fmt.Printf("scrub on %s: %d object(s), %d replica(s) scanned\n", rep.Server, r.Objects, r.Scanned)
+		fmt.Printf("corrupt=%d repaired=%d replicated=%d enqueued=%d skipped=%d\n",
+			r.Corrupt, r.Repaired, r.Replicated, r.Enqueued, r.Skipped)
+		return nil
+
+	case "checksum":
+		rep, err := cl.Checksum(need(args, 0, "path"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s catalog=%s\n", rep.Path, rep.Checksum)
+		bad := 0
+		for _, v := range rep.Verdicts {
+			line := fmt.Sprintf("replica %d on %-12s %-8s %s", v.Number, v.Resource, v.Status, v.Verdict)
+			if v.Detail != "" {
+				line += " (" + v.Detail + ")"
+			}
+			fmt.Println(line)
+			if v.Verdict == "corrupt" || v.Verdict == "unreadable" {
+				bad++
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d replica(s) failed verification", bad)
 		}
 		return nil
 

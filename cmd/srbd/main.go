@@ -27,6 +27,7 @@ import (
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
+	"gosrb/internal/repair"
 	"gosrb/internal/resilience"
 	"gosrb/internal/server"
 	"gosrb/internal/storage"
@@ -60,10 +61,14 @@ func main() {
 		brkTrip   = flag.Int("breaker-threshold", resilience.DefaultBreakerConfig.Threshold, "consecutive failures before a peer/resource circuit breaker opens")
 		brkCool   = flag.Duration("breaker-cooldown", resilience.DefaultBreakerConfig.Cooldown, "how long an open circuit breaker waits before a half-open probe")
 		slowOp    = flag.Duration("slow-op", 0, "log the full span tree of any operation slower than this (0 disables)")
+
+		repairWorkers = flag.Int("repair-workers", 2, "background repair worker goroutines draining the async-replication/scrub queue (0 leaves the queue undrained)")
+		scrubEvery    = flag.Duration("scrub-interval", 0, "anti-entropy scrub interval: re-hash every replica against the catalog checksum and repair divergence (0 disables)")
 	)
-	var resources, users, peers, logicals repeated
+	var resources, users, peers, logicals, asyncRepl repeated
 	flag.Var(&resources, "resource", "physical resource: name=driver:arg (driver: posixfs|memfs|archivefs|dbfs); repeatable")
 	flag.Var(&logicals, "logical", "logical resource: name=member1,member2; repeatable")
+	flag.Var(&asyncRepl, "async-repl", "async replication policy for a logical resource: name=k (k replicas written synchronously, the rest via the repair queue); repeatable")
 	flag.Var(&users, "user", "user account: name=password; repeatable")
 	flag.Var(&peers, "peer", "federation peer: name=addr=secret; repeatable")
 	flag.Parse()
@@ -179,6 +184,16 @@ func main() {
 			logger.Fatalf("logical %s: %v", parts[0], err)
 		}
 	}
+	for _, spec := range asyncRepl {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			logger.Fatalf("bad -async-repl %q (want name=k)", spec)
+		}
+		if err := cat.SetResourcePolicy(parts[0], "async:"+parts[1]); err != nil {
+			logger.Fatalf("async-repl %s: %v", parts[0], err)
+		}
+		logger.Printf("resource %s replication policy async:%s", parts[0], parts[1])
+	}
 
 	fedMode := server.Proxy
 	if *mode == "redirect" {
@@ -198,6 +213,33 @@ func main() {
 			logger.Fatalf("bad -peer %q (want name=addr=secret)", p)
 		}
 		srv.AddPeer(parts[0], parts[1], parts[2])
+	}
+
+	// Background maintenance: the repair engine drains the journaled
+	// async-replication queue and, when enabled, runs the anti-entropy
+	// scrubber on a jittered schedule.
+	eng := repair.New(repair.Config{
+		Workers:  *repairWorkers,
+		Queue:    cat,
+		Exec:     broker.RunRepairTask,
+		Metrics:  broker.Metrics(),
+		Breakers: broker.Breakers(),
+		Server:   *name,
+	})
+	if *scrubEvery > 0 {
+		eng.AddJob("scrub", *scrubEvery, 0.2, func(sp *obs.Span) error {
+			rpt := broker.ScrubSubtree("/", sp)
+			if rpt.Corrupt+rpt.Repaired+rpt.Replicated+rpt.Enqueued > 0 {
+				logger.Printf("scrub: %d corrupt, %d repaired, %d replicated, %d enqueued (%d objects)",
+					rpt.Corrupt, rpt.Repaired, rpt.Replicated, rpt.Enqueued, rpt.Objects)
+			}
+			return nil
+		})
+	}
+	broker.SetRepair(eng)
+	eng.Start()
+	if n, _ := cat.RepairBacklog(); n > 0 {
+		logger.Printf("repair queue restored with %d pending task(s)", n)
 	}
 
 	bound, err := srv.Listen(*addr)
@@ -234,6 +276,10 @@ func main() {
 	<-stop
 	logger.Printf("shutting down")
 	srv.Close()
+	eng.Stop()
+	if n, _ := cat.RepairBacklog(); n > 0 {
+		logger.Printf("repair queue holds %d task(s); journal preserves them for the next start", n)
+	}
 	// One final stats line so the run's totals survive in the log even
 	// when no scraper ever hit the admin endpoint.
 	snap := broker.Metrics().Snapshot()

@@ -701,3 +701,28 @@ func (cl *Client) Usage(user, collection string) (wire.UsageReply, error) {
 	_, err := cl.call(wire.OpUsage, wire.UsageArgs{User: user, Collection: collection}, nil, &out)
 	return out, err
 }
+
+// RepairStatus fetches the connected server's background repair engine
+// snapshot: queue backlog, worker health and per-job run counts.
+func (cl *Client) RepairStatus() (wire.RepairStatusReply, error) {
+	var out wire.RepairStatusReply
+	_, err := cl.call(wire.OpRepairStatus, wire.RepairStatusArgs{}, nil, &out)
+	return out, err
+}
+
+// Scrub runs the anti-entropy scrubber over one object (write
+// permission) or a collection subtree (admin only) and returns what it
+// found and fixed.
+func (cl *Client) Scrub(path string) (wire.ScrubReply, error) {
+	var out wire.ScrubReply
+	_, err := cl.call(wire.OpScrub, wire.PathArgs{Path: path}, nil, &out)
+	return out, err
+}
+
+// Checksum verifies every replica of one object against the catalog
+// checksum, returning a per-resource verdict without repairing.
+func (cl *Client) Checksum(path string) (wire.ChecksumReply, error) {
+	var out wire.ChecksumReply
+	_, err := cl.call(wire.OpChecksum, wire.PathArgs{Path: path}, nil, &out)
+	return out, err
+}

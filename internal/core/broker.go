@@ -16,6 +16,7 @@ import (
 	"gosrb/internal/mcat"
 	"gosrb/internal/metadata"
 	"gosrb/internal/obs"
+	"gosrb/internal/repair"
 	"gosrb/internal/replica"
 	"gosrb/internal/resilience"
 	"gosrb/internal/sqlengine"
@@ -62,6 +63,12 @@ type Broker struct {
 	// peer, one per storage resource) shared by the replica manager and
 	// the server's federation paths.
 	breakers *resilience.Set
+
+	// repairEng, when attached, is the background maintenance engine
+	// (async-replication queue drain + anti-entropy scrubbing). The
+	// ingest path kicks it after enqueueing deferred fan-out; the
+	// server's readiness, admin /repair and status surfaces read it.
+	repairEng *repair.Engine
 }
 
 // brokerOps caches the per-operation metric handles. All fields may be
@@ -114,6 +121,29 @@ func New(cat *mcat.Catalog, serverName string) *Broker {
 	b.rm.SetMetrics(b.metrics)
 	b.rm.SetBreakers(b.breakers)
 	return b
+}
+
+// SetRepair attaches the background maintenance engine. Call once at
+// daemon startup, after SetMetrics, before serving traffic.
+func (b *Broker) SetRepair(e *repair.Engine) {
+	b.mu.Lock()
+	b.repairEng = e
+	b.mu.Unlock()
+}
+
+// Repair returns the attached maintenance engine (nil when the daemon
+// runs without one, e.g. bare in-process brokers in tests).
+func (b *Broker) Repair() *repair.Engine {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.repairEng
+}
+
+// repairKick wakes the engine's dispatcher after an enqueue.
+func (b *Broker) repairKick() {
+	if e := b.Repair(); e != nil {
+		e.Kick()
+	}
 }
 
 // Breakers returns the broker's circuit-breaker set. The server
@@ -223,16 +253,28 @@ func (b *Broker) mount(name string, d storage.Driver) {
 // AddLogicalResource groups physical resources; storing into it
 // replicates synchronously into every member (paper §5).
 func (b *Broker) AddLogicalResource(user, name string, members []string) error {
+	return b.AddLogicalResourcePolicy(user, name, members, "")
+}
+
+// AddLogicalResourcePolicy registers a logical resource with an
+// explicit replication policy: "" or "sync" fans out on the write
+// path, "async:k" lands k replicas synchronously and queues the rest
+// for the repair engine.
+func (b *Broker) AddLogicalResourcePolicy(user, name string, members []string, policy string) error {
 	if !b.Cat.IsAdmin(user) {
 		return types.E("addresource", name, types.ErrPermission)
 	}
 	err := b.Cat.AddResource(types.Resource{
-		Name: name, Kind: types.ResourceLogical, Server: b.serverName, Members: members,
+		Name: name, Kind: types.ResourceLogical, Server: b.serverName, Members: members, ReplPolicy: policy,
 	})
 	if err != nil {
 		return err
 	}
-	b.audit(user, "addresource", name, true, "logical")
+	detail := "logical"
+	if policy != "" {
+		detail += " policy=" + policy
+	}
+	b.audit(user, "addresource", name, true, detail)
 	return nil
 }
 

@@ -154,10 +154,19 @@ func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) 
 	// path may differ from the requested one.
 	path = obj.Path()
 	sum := replica.Checksum(opts.Data)
+	// Replication policy: the sync default lands the file on every
+	// member on the write path; an async:k policy stops the synchronous
+	// fan-out after k successful writes and defers the rest (plus any
+	// members that failed) to the repair queue as dirty placeholders.
+	syncTarget := len(members)
+	async := false
+	if res, rerr := b.Cat.GetResource(opts.Resource); rerr == nil {
+		if k, a, perr := types.ParseReplPolicy(res.ReplPolicy); perr == nil && a {
+			syncTarget, async = k, true
+		}
+	}
 	var reps []types.Replica
 	wrote := 0
-	// Synchronous replication: the file lands on every member; offline
-	// members get a dirty placeholder to be synchronised later.
 	for i, m := range members {
 		rep := types.Replica{
 			Number:       types.ReplicaNumber(i),
@@ -166,19 +175,21 @@ func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) 
 			Status:       types.ReplicaDirty,
 			CreatedAt:    b.now(),
 		}
-		d, derr := b.Driver(m.Name)
-		if derr == nil && m.Online {
-			if werr := storage.WriteAll(d, rep.PhysicalPath, opts.Data); werr == nil {
-				rep.Status = types.ReplicaClean
-				rep.Size = int64(len(opts.Data))
-				rep.Checksum = sum
-				wrote++
+		if wrote < syncTarget {
+			d, derr := b.Driver(m.Name)
+			if derr == nil && m.Online {
+				if werr := storage.WriteAll(d, rep.PhysicalPath, opts.Data); werr == nil {
+					rep.Status = types.ReplicaClean
+					rep.Size = int64(len(opts.Data))
+					rep.Checksum = sum
+					wrote++
+				}
 			}
-		}
-		if rep.Status == types.ReplicaClean {
-			b.ops.fanoutOK.Inc()
-		} else {
-			b.ops.fanoutFail.Inc()
+			if rep.Status == types.ReplicaClean {
+				b.ops.fanoutOK.Inc()
+			} else {
+				b.ops.fanoutFail.Inc()
+			}
 		}
 		reps = append(reps, rep)
 	}
@@ -195,6 +206,26 @@ func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) 
 	})
 	if err != nil {
 		return types.DataObject{}, err
+	}
+	if async {
+		// Deferred fan-out: every replica the write path did not land
+		// becomes a journaled repair task; the dirty rows written above
+		// make the work visible to the scrubber even if the enqueue is
+		// lost.
+		queued := false
+		for _, rep := range reps {
+			if rep.Status != types.ReplicaClean {
+				if b.Cat.EnqueueRepair(types.RepairTask{
+					Path: path, Resource: rep.Resource,
+					Kind: "replicate", Reason: "async fan-out of " + opts.Resource,
+				}) {
+					queued = true
+				}
+			}
+		}
+		if queued {
+			b.repairKick()
+		}
 	}
 	for _, avu := range opts.Meta {
 		if err := b.Cat.AddMeta(path, types.MetaUser, avu); err != nil {

@@ -102,6 +102,11 @@ type Target struct {
 	spike       time.Duration
 	spikeProb   float64
 	ops         int64
+
+	// inner is the storage driver this target wraps (set by
+	// WrapDriver), kept so CorruptAtRest can reach the stored bytes
+	// without passing through the fault gates.
+	inner storage.Driver
 }
 
 // Kill flips the kill switch: every operation — including I/O on
@@ -270,7 +275,38 @@ func (t *Target) connGate() error {
 // WrapDriver returns a driver whose every operation consults the named
 // target's fault script before reaching inner.
 func (in *Injector) WrapDriver(target string, inner storage.Driver) storage.Driver {
-	return &faultDriver{inner: inner, t: in.Target(target)}
+	t := in.Target(target)
+	t.mu.Lock()
+	t.inner = inner
+	t.mu.Unlock()
+	return &faultDriver{inner: inner, t: t}
+}
+
+// CorruptAtRest silently flips one byte of the stored file at path on
+// the wrapped driver: the write goes straight to the inner driver
+// (bypassing kill switches and budgets) and no catalog row changes, so
+// only a byte-level re-hash — the scrubber, `srb checksum` — can
+// notice. offset is taken modulo the file length.
+func (t *Target) CorruptAtRest(path string, offset int64) error {
+	t.mu.Lock()
+	inner := t.inner
+	t.mu.Unlock()
+	if inner == nil {
+		return types.E("corrupt", t.name, types.ErrUnsupported)
+	}
+	data, err := storage.ReadAll(inner, path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return types.E("corrupt", path, types.ErrInvalid)
+	}
+	off := offset % int64(len(data))
+	if off < 0 {
+		off += int64(len(data))
+	}
+	data[off] ^= 0xFF
+	return storage.WriteAll(inner, path, data)
 }
 
 type faultDriver struct {

@@ -215,3 +215,69 @@ func TestOpsCounterAndTargetIdentity(t *testing.T) {
 		t.Error("Target must return one instance per name")
 	}
 }
+
+func TestCorruptAtRest(t *testing.T) {
+	in := New(1)
+	mem := memfs.New()
+	d := in.WrapDriver("resource.disk1", mem)
+	want := []byte("precious replica bytes")
+	if err := storage.WriteAll(d, "/f", want); err != nil {
+		t.Fatal(err)
+	}
+
+	tgt := in.Target("resource.disk1")
+	if err := tgt.CorruptAtRest("/f", 3); err != nil {
+		t.Fatalf("CorruptAtRest: %v", err)
+	}
+	got, err := storage.ReadAll(mem, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length changed: %d -> %d", len(want), len(got))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+			if i != 3 {
+				t.Errorf("byte %d corrupted, expected only offset 3", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+
+	// The flip is silent: reads still succeed and the target is usable.
+	if _, err := storage.ReadAll(d, "/f"); err != nil {
+		t.Errorf("read after corruption failed: %v", err)
+	}
+
+	// Offsets wrap (positive and negative) instead of erroring.
+	if err := tgt.CorruptAtRest("/f", int64(len(want))+3); err != nil {
+		t.Errorf("wrapping offset: %v", err)
+	}
+	if err := tgt.CorruptAtRest("/f", -1); err != nil {
+		t.Errorf("negative offset: %v", err)
+	}
+
+	// Corruption bypasses the kill switch — the fault is at rest, not
+	// in the data path.
+	tgt.Kill()
+	if err := tgt.CorruptAtRest("/f", 0); err != nil {
+		t.Errorf("CorruptAtRest on killed target: %v", err)
+	}
+	tgt.Revive()
+
+	// Empty files and unwrapped targets are rejected.
+	if err := storage.WriteAll(d, "/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.CorruptAtRest("/empty", 0); !errors.Is(err, types.ErrInvalid) {
+		t.Errorf("empty file: %v, want ErrInvalid", err)
+	}
+	if err := in.Target("resource.bare").CorruptAtRest("/f", 0); !errors.Is(err, types.ErrUnsupported) {
+		t.Errorf("unwrapped target: %v, want ErrUnsupported", err)
+	}
+}

@@ -69,6 +69,11 @@ type Catalog struct {
 	// entry (see journal.go).
 	journal *Journal
 
+	// repairs is the pending background-repair queue, keyed by
+	// RepairTask.Key. Enqueue/complete are journaled so the queue
+	// survives a daemon restart (see repair.go).
+	repairs map[string]*types.RepairTask
+
 	now func() time.Time
 }
 
@@ -91,6 +96,7 @@ func New(adminUser, adminDomain string) *Catalog {
 		annots:     make(map[string][]types.Annotation),
 		fileMeta:   make(map[string][]string),
 		attrIndex:  make(map[string]map[string]map[string]bool),
+		repairs:    make(map[string]*types.RepairTask),
 		Audit:      audit.New(0),
 		now:        time.Now,
 	}
@@ -273,6 +279,11 @@ func (c *Catalog) AddResource(r types.Resource) error {
 		if len(r.Members) < 2 {
 			return types.E("addresource", r.Name, types.ErrInvalid)
 		}
+		if k, _, err := types.ParseReplPolicy(r.ReplPolicy); err != nil {
+			return err
+		} else if k > len(r.Members) {
+			return types.E("addresource", r.ReplPolicy, types.ErrInvalid)
+		}
 		for _, m := range r.Members {
 			mr, ok := c.resources[m]
 			if !ok {
@@ -330,6 +341,30 @@ func (c *Catalog) SetResourceOnline(name string, online bool) error {
 	}
 	r.Online = online
 	c.log(journalEntry{Op: "setonline", Name: name, Online: online})
+	return nil
+}
+
+// SetResourcePolicy changes the replication policy of a logical
+// resource ("sync", "" or "async:k" with k <= len(members)).
+func (c *Catalog) SetResourcePolicy(name, policy string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.resources[name]
+	if !ok {
+		return types.E("setpolicy", name, types.ErrNotFound)
+	}
+	if r.Kind != types.ResourceLogical {
+		return types.E("setpolicy", name, types.ErrInvalid)
+	}
+	k, _, err := types.ParseReplPolicy(policy)
+	if err != nil {
+		return err
+	}
+	if k > len(r.Members) {
+		return types.E("setpolicy", policy, types.ErrInvalid)
+	}
+	r.ReplPolicy = policy
+	c.log(journalEntry{Op: "replpolicy", Name: name, Value: policy})
 	return nil
 }
 

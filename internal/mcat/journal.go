@@ -40,6 +40,7 @@ type journalEntry struct {
 	Ann      *types.Annotation     `json:",omitempty"`
 	Online   bool                  `json:",omitempty"`
 	Value    string                `json:",omitempty"`
+	Repair   *types.RepairTask     `json:",omitempty"`
 }
 
 // Journal receives catalog mutations. Safe for concurrent use.
@@ -178,6 +179,13 @@ func (c *Catalog) apply(e *journalEntry) bool {
 		return c.DeleteResource(e.Name) == nil
 	case "setonline":
 		return c.SetResourceOnline(e.Name, e.Online) == nil
+	case "replpolicy":
+		return c.SetResourcePolicy(e.Name, e.Value) == nil
+	case "repairenq":
+		return e.Repair != nil && c.restoreRepair(e.Repair)
+	case "repairdone":
+		c.CompleteRepair(e.Name)
+		return true
 	case "mkcoll":
 		return e.Coll != nil && c.restoreColl(e.Coll)
 	case "rmcoll":

@@ -24,6 +24,7 @@ type snapshot struct {
 	Structural map[string][]types.StructuralAttr
 	Annots     map[string][]types.Annotation
 	FileMeta   map[string][]string
+	Repairs    map[string]*types.RepairTask `json:",omitempty"`
 }
 
 // snapshotVersion guards format evolution.
@@ -46,6 +47,7 @@ func (c *Catalog) Save(w io.Writer) error {
 		Structural: c.structural,
 		Annots:     c.annots,
 		FileMeta:   c.fileMeta,
+		Repairs:    c.repairs,
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&s)
@@ -88,6 +90,10 @@ func (c *Catalog) Load(r io.Reader) error {
 	c.fileMeta = s.FileMeta
 	if c.fileMeta == nil {
 		c.fileMeta = make(map[string][]string)
+	}
+	c.repairs = s.Repairs
+	if c.repairs == nil {
+		c.repairs = make(map[string]*types.RepairTask)
 	}
 	if _, ok := c.colls["/"]; !ok {
 		c.colls["/"] = &types.Collection{Path: "/"}

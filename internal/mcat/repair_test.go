@@ -1,0 +1,155 @@
+package mcat
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"gosrb/internal/types"
+)
+
+func TestRepairQueueBasics(t *testing.T) {
+	c := New("admin", "sdsc")
+	if n, oldest := c.RepairBacklog(); n != 0 || !oldest.IsZero() {
+		t.Fatalf("fresh backlog = %d, %v", n, oldest)
+	}
+	if !c.EnqueueRepair(types.RepairTask{Path: "/d/f", Resource: "r1", Kind: "replicate"}) {
+		t.Fatal("first enqueue rejected")
+	}
+	// Same path+resource dedups, regardless of kind or reason.
+	if c.EnqueueRepair(types.RepairTask{Path: "/d/f", Resource: "r1", Kind: "repair", Reason: "again"}) {
+		t.Fatal("duplicate enqueue accepted")
+	}
+	if !c.EnqueueRepair(types.RepairTask{Path: "/d/f", Resource: "r2", Kind: "replicate"}) {
+		t.Fatal("distinct resource treated as duplicate")
+	}
+	pending := c.PendingRepairs()
+	if len(pending) != 2 {
+		t.Fatalf("pending = %d tasks, want 2", len(pending))
+	}
+	for _, p := range pending {
+		if p.Key == "" || p.Enqueued.IsZero() {
+			t.Errorf("task missing key or enqueue time: %+v", p)
+		}
+	}
+
+	key := types.RepairKey("/d/f", "r1")
+	if got := c.NoteRepairAttempt(key); got != 1 {
+		t.Errorf("attempt count = %d, want 1", got)
+	}
+	if got := c.NoteRepairAttempt("no|such"); got != 0 {
+		t.Errorf("attempt on unknown key = %d, want 0", got)
+	}
+	if !c.CompleteRepair(key) {
+		t.Fatal("complete of pending key failed")
+	}
+	if c.CompleteRepair(key) {
+		t.Fatal("double complete reported success")
+	}
+	if n, _ := c.RepairBacklog(); n != 1 {
+		t.Fatalf("backlog after complete = %d, want 1", n)
+	}
+}
+
+func TestRepairQueuePendingOrder(t *testing.T) {
+	c := New("admin", "sdsc")
+	base := time.Now()
+	c.EnqueueRepair(types.RepairTask{Path: "/b", Resource: "r", Enqueued: base.Add(time.Second)})
+	c.EnqueueRepair(types.RepairTask{Path: "/a", Resource: "r", Enqueued: base.Add(2 * time.Second)})
+	c.EnqueueRepair(types.RepairTask{Path: "/c", Resource: "r", Enqueued: base})
+	got := c.PendingRepairs()
+	want := []string{"/c", "/b", "/a"} // oldest first
+	for i, p := range got {
+		if p.Path != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if n, oldest := c.RepairBacklog(); n != 3 || !oldest.Equal(base) {
+		t.Errorf("backlog = %d oldest=%v, want 3 oldest=%v", n, oldest, base)
+	}
+}
+
+func TestJournalReplaysRepairQueue(t *testing.T) {
+	c1, c2 := journalRoundTrip(t, func(c *Catalog) {
+		c.EnqueueRepair(types.RepairTask{Path: "/d/keep", Resource: "r1", Kind: "replicate", Reason: "async fan-out"})
+		c.EnqueueRepair(types.RepairTask{Path: "/d/done", Resource: "r1", Kind: "repair"})
+		c.NoteRepairAttempt(types.RepairKey("/d/keep", "r1"))
+		c.NoteRepairAttempt(types.RepairKey("/d/keep", "r1"))
+		c.CompleteRepair(types.RepairKey("/d/done", "r1"))
+	})
+	p1, p2 := c1.PendingRepairs(), c2.PendingRepairs()
+	if len(p1) != 1 || len(p2) != 1 {
+		t.Fatalf("pending after replay: orig %d, replayed %d, want 1 each", len(p1), len(p2))
+	}
+	if p2[0].Key != p1[0].Key || p2[0].Kind != "replicate" || p2[0].Reason != "async fan-out" {
+		t.Errorf("replayed task = %+v, want %+v", p2[0], p1[0])
+	}
+	// The attempt-count re-log overwrote the original entry on replay.
+	if p2[0].Attempts != 2 {
+		t.Errorf("replayed attempts = %d, want 2", p2[0].Attempts)
+	}
+}
+
+func TestSnapshotCarriesRepairQueue(t *testing.T) {
+	c1 := New("admin", "sdsc")
+	c1.EnqueueRepair(types.RepairTask{Path: "/d/f", Resource: "r1", Kind: "replicate"})
+	c1.NoteRepairAttempt(types.RepairKey("/d/f", "r1"))
+	var snap bytes.Buffer
+	if err := c1.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New("admin", "sdsc")
+	if err := c2.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	p := c2.PendingRepairs()
+	if len(p) != 1 || p[0].Key != types.RepairKey("/d/f", "r1") || p[0].Attempts != 1 {
+		t.Fatalf("queue after snapshot round-trip = %+v", p)
+	}
+}
+
+func TestResourcePolicy(t *testing.T) {
+	c := New("admin", "sdsc")
+	for _, r := range []string{"p1", "p2", "p3"} {
+		if err := c.AddResource(types.Resource{Name: r, Kind: types.ResourcePhysical, Driver: "memfs"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddResource(types.Resource{
+		Name: "lr", Kind: types.ResourceLogical, Members: []string{"p1", "p2", "p3"}, ReplPolicy: "async:2",
+	}); err != nil {
+		t.Fatalf("logical with policy: %v", err)
+	}
+	// k must not exceed the member count.
+	if err := c.AddResource(types.Resource{
+		Name: "bad", Kind: types.ResourceLogical, Members: []string{"p1", "p2"}, ReplPolicy: "async:3",
+	}); !errors.Is(err, types.ErrInvalid) {
+		t.Fatalf("oversized k accepted: %v", err)
+	}
+	if err := c.SetResourcePolicy("lr", "garbage"); !errors.Is(err, types.ErrInvalid) {
+		t.Fatalf("garbage policy accepted: %v", err)
+	}
+	if err := c.SetResourcePolicy("p1", "sync"); !errors.Is(err, types.ErrInvalid) {
+		t.Fatalf("policy on physical resource accepted: %v", err)
+	}
+	if err := c.SetResourcePolicy("lr", "async:1"); err != nil {
+		t.Fatalf("SetResourcePolicy: %v", err)
+	}
+	if r, _ := c.GetResource("lr"); r.ReplPolicy != "async:1" {
+		t.Errorf("policy = %q, want async:1", r.ReplPolicy)
+	}
+}
+
+func TestJournalReplaysReplPolicy(t *testing.T) {
+	_, c2 := journalRoundTrip(t, func(c *Catalog) {
+		c.AddResource(types.Resource{Name: "p1", Kind: types.ResourcePhysical, Driver: "memfs"})
+		c.AddResource(types.Resource{Name: "p2", Kind: types.ResourcePhysical, Driver: "memfs"})
+		c.AddResource(types.Resource{Name: "lr", Kind: types.ResourceLogical, Members: []string{"p1", "p2"}})
+		c.SetResourcePolicy("lr", "async:1")
+	})
+	r, err := c2.GetResource("lr")
+	if err != nil || r.ReplPolicy != "async:1" {
+		t.Fatalf("replayed policy = %q, %v, want async:1", r.ReplPolicy, err)
+	}
+}

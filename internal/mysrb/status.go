@@ -5,6 +5,7 @@ import (
 	"html/template"
 	"net/http"
 	"sort"
+	"time"
 )
 
 // handleStatus renders the server status page from the same telemetry
@@ -38,6 +39,34 @@ func (a *App) handleStatus(w http.ResponseWriter, r *http.Request, user string) 
 				template.HTMLEscapeString(name), o.Count, o.Errors, o.P50Micros, o.P90Micros, o.P99Micros)
 		}
 		fmt.Fprint(w, "</table>")
+	}
+
+	if eng := a.broker.Repair(); eng != nil {
+		st := eng.Status()
+		state := "running"
+		switch {
+		case st.Wedged:
+			state = "WEDGED"
+		case st.Paused:
+			state = "paused"
+		case !st.Running:
+			state = "stopped"
+		}
+		fmt.Fprintf(w, `<h3>Background repair</h3><p>state: %s &middot; workers alive: %d/%d &middot; backlog: %d`,
+			template.HTMLEscapeString(state), st.WorkersAlive, st.Workers, st.Backlog)
+		if st.Backlog > 0 {
+			fmt.Fprintf(w, " (oldest %s)", st.OldestAge.Truncate(time.Second))
+		}
+		fmt.Fprintf(w, " &middot; done: %d &middot; failed: %d &middot; retries: %d</p>", st.Done, st.Failed, st.Retries)
+		if len(st.Jobs) > 0 {
+			fmt.Fprint(w, `<table border="1" cellpadding="3"><tr><th>job</th><th>interval</th><th>runs</th><th>errors</th><th>last error</th></tr>`)
+			for _, j := range st.Jobs {
+				fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%s</td></tr>",
+					template.HTMLEscapeString(j.Name), j.Interval, j.Runs, j.Errors,
+					template.HTMLEscapeString(j.LastErr))
+			}
+			fmt.Fprint(w, "</table>")
+		}
 	}
 
 	var counters []string

@@ -41,6 +41,8 @@ const (
 	EventCacheHit     = "cache.hit"        // served from a cache-class resource
 	EventContainerHit = "container.hit"    // served out of a container member read
 	EventDeadline     = "deadline"         // the request deadline expired mid-op
+	EventRepair       = "repair"           // a background repair task ran (detail: key + outcome)
+	EventScrub        = "scrub"            // the scrubber flagged a divergent/missing replica
 )
 
 // Span is one timed, trace-scoped unit of work. Spans form a tree: the

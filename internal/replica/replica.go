@@ -436,6 +436,64 @@ func (m *Manager) SyncDirty(path string) (int, error) {
 	return len(fixed), err
 }
 
+// SyncResource rewrites the non-clean replica(s) of path held on one
+// resource from a clean sibling — the targeted variant of SyncDirty the
+// repair engine uses to execute one queued task. Unlike SyncDirty it
+// returns an error whenever the replica could not be brought clean
+// (offline resource, missing driver, no clean source, write failure) so
+// the engine can reschedule the task with backoff.
+func (m *Manager) SyncResource(path, resource string) error {
+	o, err := m.cat.GetObject(path)
+	if err != nil {
+		return err
+	}
+	var targets []types.Replica
+	for _, r := range o.Replicas {
+		if r.Resource == resource && r.Status != types.ReplicaClean {
+			targets = append(targets, r)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	res, err := m.cat.GetResource(resource)
+	if err != nil {
+		return err
+	}
+	if !res.Online {
+		return types.E("syncres", resource, types.ErrOffline)
+	}
+	d, err := m.drivers.Driver(resource)
+	if err != nil {
+		return err
+	}
+	data, _, err := m.ReadAll(path, "")
+	if err != nil {
+		return err
+	}
+	sum := Checksum(data)
+	fixed := make(map[types.ReplicaNumber]bool)
+	for _, r := range targets {
+		if err := storage.WriteAll(d, r.PhysicalPath, data); err != nil {
+			m.fanoutFail.Inc()
+			return types.E("syncres", path, err)
+		}
+		m.fanoutOK.Inc()
+		fixed[r.Number] = true
+	}
+	return m.cat.UpdateObject(path, func(o *types.DataObject) error {
+		for i := range o.Replicas {
+			r := &o.Replicas[i]
+			if fixed[r.Number] {
+				r.Status = types.ReplicaClean
+				r.Size = int64(len(data))
+				r.Checksum = sum
+			}
+		}
+		return nil
+	})
+}
+
 // PhysicalMove relocates one replica to a new resource, preserving its
 // replica number — the paper's "physical move of the object".
 func (m *Manager) PhysicalMove(path string, number types.ReplicaNumber, toResource string) error {

@@ -28,7 +28,11 @@ type adminServer struct {
 //	               ?format=text for the legacy "name value" dump
 //	               (audit drops refreshed per scrape)
 //	/healthz       readiness probe: 200 when healthy, 503 with one
-//	               detail line per open breaker / offline resource
+//	               detail line per open breaker / offline resource /
+//	               wedged repair engine; the repair backlog line is
+//	               informational and present in both cases
+//	/repair        repair engine status (JSON); ?action=pause|resume
+//	               via POST suspends/resumes background maintenance
 //	/trace/{id}    rendered span tree for a trace (?format=json for
 //	               the raw records)
 //	/usage         per-user/collection usage accounting (text table,
@@ -57,15 +61,41 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s.broker.Breakers().Publish()
 		uptime := s.broker.Metrics().Snapshot().UptimeSeconds
-		if ok, degraded := s.Readiness(); !ok {
+		ok, detail := s.Readiness()
+		if !ok {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "degraded %s uptime=%.0fs\n", s.name, uptime)
-			for _, d := range degraded {
-				fmt.Fprintf(w, "%s\n", d)
+		} else {
+			fmt.Fprintf(w, "ok %s uptime=%.0fs\n", s.name, uptime)
+		}
+		for _, d := range detail {
+			fmt.Fprintf(w, "%s\n", d)
+		}
+	})
+	mux.HandleFunc("/repair", func(w http.ResponseWriter, r *http.Request) {
+		switch action := r.URL.Query().Get("action"); action {
+		case "":
+		case "pause", "resume":
+			eng := s.broker.Repair()
+			if eng == nil {
+				http.Error(w, "no repair engine", http.StatusNotFound)
+				return
 			}
+			if r.Method != http.MethodPost {
+				http.Error(w, "pause/resume require POST", http.StatusMethodNotAllowed)
+				return
+			}
+			if action == "pause" {
+				eng.Pause()
+			} else {
+				eng.Resume()
+			}
+		default:
+			http.Error(w, "unknown action (want pause or resume)", http.StatusBadRequest)
 			return
 		}
-		fmt.Fprintf(w, "ok %s uptime=%.0fs\n", s.name, uptime)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.repairStatus())
 	})
 	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/trace/")

@@ -667,6 +667,31 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 	case wire.OpOpStats:
 		return reply(c, s.Telemetry())
 
+	case wire.OpRepairStatus:
+		return reply(c, s.repairStatus())
+
+	case wire.OpScrub:
+		a, err := decode[wire.PathArgs](req)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		rpt, err := s.broker.Scrub(user, a.Path, ss.span)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		return reply(c, wire.ScrubReply{Server: s.name, Report: rpt})
+
+	case wire.OpChecksum:
+		a, err := decode[wire.PathArgs](req)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		o, verdicts, err := s.broker.VerifyChecksums(user, a.Path)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		return reply(c, wire.ChecksumReply{Path: o.Path(), Checksum: o.Checksum, Verdicts: verdicts})
+
 	default:
 		return ss.fail(c, types.E(req.Op, "", types.ErrUnsupported))
 	}

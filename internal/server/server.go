@@ -741,10 +741,14 @@ func (s *Server) gatherTrace(user, id string, fanout bool) wire.TraceReply {
 	return wire.TraceReply{Server: s.name, Spans: spans}
 }
 
-// Readiness reports whether the server is fully serviceable and, when
-// degraded, why: any open circuit breaker (a peer or storage resource
-// being routed around) or an offline local resource marks the server
-// degraded. The admin /healthz endpoint turns this into HTTP 503.
+// Readiness reports whether the server is fully serviceable and a set
+// of detail lines. Degrading conditions: any open circuit breaker (a
+// peer or storage resource being routed around), an offline local
+// resource, or a wedged repair engine (tasks pending with no worker
+// alive to drain them). When a repair engine is attached, the detail
+// always carries one informational line with the queue backlog and the
+// oldest task's age — a backlog alone is normal operation, not a
+// degradation. The admin /healthz endpoint turns !ok into HTTP 503.
 func (s *Server) Readiness() (bool, []string) {
 	var degraded []string
 	for key, st := range s.broker.Breakers().States() {
@@ -760,6 +764,54 @@ func (s *Server) Readiness() (bool, []string) {
 			degraded = append(degraded, "resource "+r.Name+" offline")
 		}
 	}
+	eng := s.broker.Repair()
+	if eng != nil && eng.Wedged() {
+		degraded = append(degraded, "repair engine wedged (non-empty queue, no workers alive)")
+	}
 	sort.Strings(degraded)
-	return len(degraded) == 0, degraded
+	detail := degraded
+	if eng != nil {
+		st := eng.Status()
+		line := fmt.Sprintf("repair backlog=%d oldest_age=%s", st.Backlog, st.OldestAge.Truncate(time.Second))
+		if st.Paused {
+			line += " paused"
+		}
+		detail = append(detail, line)
+	}
+	return len(degraded) == 0, detail
+}
+
+// repairStatus snapshots the repair engine for the repairstatus wire op
+// and the admin /repair endpoint.
+func (s *Server) repairStatus() wire.RepairStatusReply {
+	rep := wire.RepairStatusReply{Server: s.name}
+	eng := s.broker.Repair()
+	if eng == nil {
+		return rep
+	}
+	st := eng.Status()
+	rep.Enabled = true
+	rep.Status = wire.RepairStatus{
+		Running:      st.Running,
+		Paused:       st.Paused,
+		Wedged:       st.Wedged,
+		Workers:      st.Workers,
+		WorkersAlive: st.WorkersAlive,
+		Backlog:      st.Backlog,
+		OldestAge:    st.OldestAge,
+		Done:         st.Done,
+		Failed:       st.Failed,
+		Retries:      st.Retries,
+	}
+	for _, j := range st.Jobs {
+		rep.Status.Jobs = append(rep.Status.Jobs, wire.RepairJobStatus{
+			Name:     j.Name,
+			Interval: j.Interval,
+			Runs:     j.Runs,
+			Errors:   j.Errors,
+			LastRun:  j.LastRun,
+			LastErr:  j.LastErr,
+		})
+	}
+	return rep
 }

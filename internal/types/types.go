@@ -11,6 +11,8 @@ package types
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -374,8 +376,106 @@ type Resource struct {
 	Members []string
 	// Online is false while the resource is unavailable; reads fail over.
 	Online bool
+	// ReplPolicy is the replication policy of a logical resource:
+	// "" or "sync" writes every member synchronously; "async:k" lands k
+	// replicas on the write path and queues the remaining fan-out as
+	// background repair tasks. Ignored for physical resources.
+	ReplPolicy string `json:",omitempty"`
 	// CreatedAt records registration time.
 	CreatedAt time.Time
+}
+
+// ParseReplPolicy validates a replication policy string and returns the
+// synchronous replica count k for "async:k" (async=true) or k=0 for
+// the synchronous default ("" or "sync", async=false).
+func ParseReplPolicy(p string) (k int, async bool, err error) {
+	switch {
+	case p == "" || p == "sync":
+		return 0, false, nil
+	case strings.HasPrefix(p, "async:"):
+		n, convErr := strconv.Atoi(strings.TrimPrefix(p, "async:"))
+		if convErr != nil || n < 1 {
+			return 0, false, E("replpolicy", p, ErrInvalid)
+		}
+		return n, true, nil
+	default:
+		return 0, false, E("replpolicy", p, ErrInvalid)
+	}
+}
+
+// RepairTask is one unit of background maintenance work: bring the
+// replica of Path on Resource back in line with the catalog (write the
+// missing bytes of an async fan-out, or rewrite a divergent replica
+// found by the scrubber). Tasks are deduplicated by Key and persisted
+// through the MCAT journal so the queue survives a daemon restart.
+type RepairTask struct {
+	// Key deduplicates the queue: Path + "|" + Resource.
+	Key      string
+	Path     string
+	Resource string
+	// Kind is "replicate" (async fan-out completion) or "repair"
+	// (scrub-detected divergence).
+	Kind string
+	// Reason records what enqueued the task, for operators.
+	Reason string `json:",omitempty"`
+	// Enqueued is when the task first entered the queue.
+	Enqueued time.Time
+	// Attempts counts executions so far (in-memory progress; persisted
+	// attempts restart at the journaled value after a crash).
+	Attempts int `json:",omitempty"`
+}
+
+// RepairKey builds the canonical dedup key for a (path, resource) pair.
+func RepairKey(path, resource string) string { return CleanPath(path) + "|" + resource }
+
+// ScrubReport summarises one anti-entropy pass: how many objects were
+// examined, how many replicas were re-hashed, what diverged and what
+// was done about it.
+type ScrubReport struct {
+	// Objects is the number of file objects examined.
+	Objects int
+	// Scanned is the number of replicas whose bytes were re-hashed.
+	Scanned int
+	// Corrupt is the number of replicas whose bytes diverged from the
+	// catalog checksum (or could not be read) and were marked dirty.
+	Corrupt int
+	// Repaired is the number of replicas rewritten clean from a
+	// verified source during this pass.
+	Repaired int
+	// Replicated is the number of missing replicas recreated for
+	// under-replicated objects.
+	Replicated int
+	// Enqueued is the number of repair tasks deferred to the queue
+	// (target offline, breaker open, write failed).
+	Enqueued int
+	// Skipped is the number of replicas not examined (offline resource,
+	// open breaker, unmounted driver, registered bytes).
+	Skipped int
+}
+
+// Add accumulates another report into r.
+func (r *ScrubReport) Add(o ScrubReport) {
+	r.Objects += o.Objects
+	r.Scanned += o.Scanned
+	r.Corrupt += o.Corrupt
+	r.Repaired += o.Repaired
+	r.Replicated += o.Replicated
+	r.Enqueued += o.Enqueued
+	r.Skipped += o.Skipped
+}
+
+// ReplicaVerdict is one replica's result from an on-demand checksum
+// verification (`srb checksum`): the catalog's view of the replica and
+// whether its stored bytes actually hash to the catalog checksum.
+type ReplicaVerdict struct {
+	Number   int
+	Resource string
+	// Status is the catalog replica status ("clean", "dirty", "offline").
+	Status string
+	// Verdict is the byte-level result: "ok", "corrupt", "unreadable",
+	// "offline" (resource unavailable) or "unchecked" (registered bytes).
+	Verdict string
+	Detail  string `json:",omitempty"`
 }
 
 // User is a registered SRB user within a domain.

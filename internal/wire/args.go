@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"time"
+
 	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
 	"gosrb/internal/types"
@@ -70,6 +72,15 @@ const (
 	OpTrace = "trace"
 	// OpUsage returns the per-user/collection usage accounting table.
 	OpUsage = "usage"
+	// OpRepairStatus reports the background repair engine's state:
+	// queue backlog, worker health and per-job run counts.
+	OpRepairStatus = "repairstatus"
+	// OpScrub runs the anti-entropy scrubber over one object or (admin
+	// only) a collection subtree, repairing divergence it finds.
+	OpScrub = "scrub"
+	// OpChecksum verifies every replica of one object against the
+	// catalog checksum without repairing anything.
+	OpChecksum = "checksum"
 )
 
 // PathArgs addresses one logical path.
@@ -294,4 +305,57 @@ type UsageArgs struct {
 type UsageReply struct {
 	Server  string
 	Entries []obs.UsageStat
+}
+
+// RepairStatusArgs selects the repair engine to report on (local only
+// for now; the struct leaves room for zone-wide fan-out later).
+type RepairStatusArgs struct{}
+
+// RepairJobStatus is the wire shape of one periodic maintenance job —
+// a protocol-level mirror of the engine's job snapshot, so the wire
+// layer does not depend on the repair package.
+type RepairJobStatus struct {
+	Name     string
+	Interval time.Duration
+	Runs     int64
+	Errors   int64
+	LastRun  time.Time `json:",omitempty"`
+	LastErr  string    `json:",omitempty"`
+}
+
+// RepairStatus is the wire shape of the repair engine snapshot.
+type RepairStatus struct {
+	Running      bool
+	Paused       bool
+	Wedged       bool
+	Workers      int
+	WorkersAlive int
+	Backlog      int
+	OldestAge    time.Duration
+	Done         int64
+	Failed       int64
+	Retries      int64
+	Jobs         []RepairJobStatus `json:",omitempty"`
+}
+
+// RepairStatusReply carries the repair engine's snapshot.
+type RepairStatusReply struct {
+	Server string
+	// Enabled is false when the daemon runs without a repair engine.
+	Enabled bool
+	Status  RepairStatus
+}
+
+// ScrubReply carries the scrub pass report.
+type ScrubReply struct {
+	Server string
+	Report types.ScrubReport
+}
+
+// ChecksumReply carries the per-replica verification verdicts for one
+// object.
+type ChecksumReply struct {
+	Path     string
+	Checksum string
+	Verdicts []types.ReplicaVerdict
 }

@@ -140,7 +140,9 @@ func Idempotent(op string) bool {
 	case OpList, OpStat, OpGet, OpGetObject, OpReadRange, OpGetMeta,
 		OpAnnotations, OpQuery, OpQueryAttrs, OpResources, OpServerStats,
 		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit,
-		OpTrace, OpUsage:
+		OpTrace, OpUsage, OpRepairStatus, OpChecksum, OpScrub:
+		// OpScrub mutates replicas, but only toward the catalog
+		// checksum — re-running a scrub is always safe.
 		return true
 	}
 	return false
