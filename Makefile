@@ -5,17 +5,22 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race test-faults test-repair bench bench-obs bench-obs-gate bench-repair clean
+# Build stamp: surfaces on /healthz, `srb stat` and the srb_build_info
+# Prometheus gauge. Override with `make VERSION=v1.2.3 build`.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X gosrb/internal/obs.Version=$(VERSION)"
+
+.PHONY: all check vet build test race test-faults test-repair bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate clean
 
 all: check
 
-check: vet build race test-faults test-repair bench-obs-gate
+check: vet build race test-faults test-repair bench-obs-gate bench-grid-gate
 
 vet:
 	$(GO) vet ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -60,6 +65,18 @@ bench-obs-gate:
 bench-repair:
 	BENCH_REPAIR=1 $(GO) test -run TestRepairBenchReport -v .
 
+# Grid-console report: measures broker Get latency under an aggressive
+# rollup-capture/window-query polling loop vs idle telemetry and writes
+# BENCH_grid.json — the cost ceiling of windowed stats on the hot path.
+bench-grid:
+	BENCH_GRID=1 $(GO) test -run TestGridBenchReport -v .
+
+# Regression fence on the committed baseline: fails when the measured
+# console-polling overhead exceeds BENCH_grid.json's overhead_pct by
+# more than 5 percentage points.
+bench-grid-gate:
+	BENCH_GRID_GATE=1 $(GO) test -run TestGridBenchGate -v .
+
 clean:
-	rm -f BENCH_obs.json BENCH_repair.json
+	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json
 	$(GO) clean -testcache

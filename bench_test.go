@@ -21,6 +21,7 @@ import (
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
 	"gosrb/internal/metadata"
+	"gosrb/internal/obs"
 	"gosrb/internal/repair"
 	"gosrb/internal/replica"
 	"gosrb/internal/resilience"
@@ -672,25 +673,21 @@ func TestObsOverheadGate(t *testing.T) {
 	}
 	payload := workload.NewGen(21).Bytes(4 << 10)
 	const objects = 64
-	// Best-of-5 per cell (vs the report's best-of-3): the gate compares
-	// two noisy minima, so it takes the extra rounds to keep scheduler
-	// noise from tripping the fence on an untouched path.
-	measure := func(instr, put bool) float64 {
-		br := obsBenchBroker(t, instr, objects, payload)
-		best := 0.0
-		for round := 0; round < 5; round++ {
-			res := testing.Benchmark(func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					if err := obsBenchOp(br, put, i, objects, payload); err != nil {
-						b.Fatal(err)
-					}
+	// Pairwise rounds: each round times the instrumented and the bare
+	// broker back to back and the gate keeps the *lowest* overhead seen.
+	// Measuring the two cells in separate phases lets one background
+	// load burst inflate a whole phase and fake a regression; a paired
+	// round exposes both cells to the same interference, and the min
+	// over rounds is the run least distorted by the scheduler.
+	run := func(br *core.Broker, put bool) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := obsBenchOp(br, put, i, objects, payload); err != nil {
+					b.Fatal(err)
 				}
-			})
-			if v := float64(res.NsPerOp()); round == 0 || v < best {
-				best = v
 			}
-		}
-		return best
+		})
+		return float64(res.NsPerOp())
 	}
 	const slackPct = 5.0
 	for _, op := range []struct {
@@ -698,15 +695,30 @@ func TestObsOverheadGate(t *testing.T) {
 		put      bool
 		baseline float64
 	}{{"get", false, baseline.Get.OverheadPct}, {"put", true, baseline.Put.OverheadPct}} {
-		instr, base := measure(true, op.put), measure(false, op.put)
+		instrBr := obsBenchBroker(t, true, objects, payload)
+		baseBr := obsBenchBroker(t, false, objects, payload)
 		overhead := 0.0
-		if base > 0 {
-			overhead = (instr - base) / base * 100
+		for round := 0; round < 5; round++ {
+			instr, base := run(instrBr, op.put), run(baseBr, op.put)
+			v := 0.0
+			if base > 0 {
+				v = (instr - base) / base * 100
+			}
+			if round == 0 || v < overhead {
+				overhead = v
+			}
+		}
+		// A negative recorded baseline is scheduler luck at report time,
+		// not a real speedup; clamping to 0 keeps the fence at "no more
+		// than slack over free" instead of demanding negative overhead.
+		allowed := op.baseline
+		if allowed < 0 {
+			allowed = 0
 		}
 		t.Logf("%s: %.2f%% overhead now vs %.2f%% at baseline", op.name, overhead, op.baseline)
-		if overhead > op.baseline+slackPct {
+		if overhead > allowed+slackPct {
 			t.Errorf("%s instrumentation overhead %.2f%% exceeds baseline %.2f%% + %.1f points",
-				op.name, overhead, op.baseline, slackPct)
+				op.name, overhead, allowed, slackPct)
 		}
 	}
 }
@@ -853,5 +865,197 @@ func TestRepairBenchReport(t *testing.T) {
 		syncNs, asyncNs, speedup, drainMS)
 	if speedup < 1.5 {
 		t.Errorf("async ingest speedup %.2fx, want >= 1.5x over sync fan-out", speedup)
+	}
+}
+
+// gridBenchCaptures polls the registry the way the grid console does —
+// a rollup capture plus a 1m window query per tick — at an interval far
+// more aggressive than the 10s production default, so the measured
+// overhead is a ceiling on what the console costs a busy broker.
+func gridBenchCaptures(reg *obs.Registry, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				reg.CaptureRollup(time.Now())
+				reg.Window(time.Minute)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// BenchmarkGridRollup isolates the windowed-telemetry primitives on a
+// warm registry: one periodic capture, and one 5m window query (the
+// /metrics?window= and `srb top` read path).
+func BenchmarkGridRollup(b *testing.B) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 32; i++ {
+		reg.Op(fmt.Sprintf("server.op%02d", i)).Observe(time.Millisecond, nil)
+		reg.Counter(fmt.Sprintf("c%02d", i)).Inc()
+	}
+	b.Run("capture", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.CaptureRollup(time.Now())
+		}
+	})
+	b.Run("window", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.Window(5 * time.Minute)
+		}
+	})
+}
+
+// gridBenchMeasure times broker gets bare vs with the console polling
+// loop running, best-of-rounds.
+func gridBenchMeasure(tb testing.TB, rounds int, polling bool, payload []byte) float64 {
+	tb.Helper()
+	const objects = 64
+	br := obsBenchBroker(tb, true, objects, payload)
+	if polling {
+		defer gridBenchCaptures(br.Metrics(), 2*time.Millisecond)()
+	}
+	best := 0.0
+	for round := 0; round < rounds; round++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := obsBenchOp(br, false, i, objects, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if v := float64(res.NsPerOp()); round == 0 || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// TestGridBenchReport measures what the grid console costs the hot
+// path: broker Get latency with a 2ms capture+window polling loop (vs
+// idle telemetry), plus the raw capture and window-query costs. Writes
+// BENCH_grid.json (the Makefile's bench-grid target, BENCH_GRID=1).
+func TestGridBenchReport(t *testing.T) {
+	if os.Getenv("BENCH_GRID") == "" {
+		t.Skip("set BENCH_GRID=1 to emit BENCH_grid.json")
+	}
+	payload := workload.NewGen(29).Bytes(4 << 10)
+	plain := gridBenchMeasure(t, 3, false, payload)
+	polled := gridBenchMeasure(t, 3, true, payload)
+	overhead := 0.0
+	if plain > 0 {
+		overhead = (polled - plain) / plain * 100
+	}
+	reg := obs.NewRegistry()
+	for i := 0; i < 32; i++ {
+		reg.Op(fmt.Sprintf("server.op%02d", i)).Observe(time.Millisecond, nil)
+	}
+	capRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.CaptureRollup(time.Now())
+		}
+	})
+	winRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.Window(5 * time.Minute)
+		}
+	})
+	report := struct {
+		Benchmark      string  `json:"benchmark"`
+		PayloadBytes   int     `json:"payload_bytes"`
+		PollEveryMS    float64 `json:"poll_every_ms"`
+		PlainNsPerOp   float64 `json:"plain_ns_per_op"`
+		PolledNsPerOp  float64 `json:"polled_ns_per_op"`
+		OverheadPct    float64 `json:"overhead_pct"`
+		CaptureNsPerOp float64 `json:"capture_ns_per_op"`
+		WindowNsPerOp  float64 `json:"window_ns_per_op"`
+	}{
+		Benchmark:      "grid-rollup-overhead",
+		PayloadBytes:   len(payload),
+		PollEveryMS:    2,
+		PlainNsPerOp:   plain,
+		PolledNsPerOp:  polled,
+		OverheadPct:    overhead,
+		CaptureNsPerOp: float64(capRes.NsPerOp()),
+		WindowNsPerOp:  float64(winRes.NsPerOp()),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_grid.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("get: %.0f ns idle vs %.0f ns under 2ms console polling (%.2f%% overhead); capture %.0f ns, window %.0f ns",
+		plain, polled, overhead, report.CaptureNsPerOp, report.WindowNsPerOp)
+}
+
+// TestGridBenchGate re-measures the console-polling overhead and fails
+// when it regressed more than 5 percentage points past the committed
+// BENCH_grid.json baseline — the `make bench-grid-gate` fence riding
+// `make check`. Gated behind BENCH_GRID_GATE=1; skips with no baseline.
+func TestGridBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_GRID_GATE") == "" {
+		t.Skip("set BENCH_GRID_GATE=1 to check against BENCH_grid.json")
+	}
+	raw, err := os.ReadFile("BENCH_grid.json")
+	if err != nil {
+		t.Skipf("no baseline: %v (run `make bench-grid` first)", err)
+	}
+	var baseline struct {
+		OverheadPct float64 `json:"overhead_pct"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("unreadable BENCH_grid.json: %v", err)
+	}
+	payload := workload.NewGen(29).Bytes(4 << 10)
+	// Pairwise rounds, same reasoning as the obs gate: time the idle and
+	// the polled broker back to back each round so one background load
+	// burst cannot inflate a whole phase, and keep the round with the
+	// lowest overhead — the one least distorted by the scheduler.
+	const objects = 64
+	plainBr := obsBenchBroker(t, true, objects, payload)
+	polledBr := obsBenchBroker(t, true, objects, payload)
+	defer gridBenchCaptures(polledBr.Metrics(), 2*time.Millisecond)()
+	run := func(br *core.Broker) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := obsBenchOp(br, false, i, objects, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	overhead := 0.0
+	for round := 0; round < 5; round++ {
+		plain, polled := run(plainBr), run(polledBr)
+		v := 0.0
+		if plain > 0 {
+			v = (polled - plain) / plain * 100
+		}
+		if round == 0 || v < overhead {
+			overhead = v
+		}
+	}
+	const slackPct = 5.0
+	// A sub-zero baseline is measurement noise (polling happened to win
+	// a round); the fence floor is "no overhead", not "negative".
+	allowed := baseline.OverheadPct
+	if allowed < 0 {
+		allowed = 0
+	}
+	t.Logf("console-polling overhead %.2f%% now vs %.2f%% at baseline", overhead, baseline.OverheadPct)
+	if overhead > allowed+slackPct {
+		t.Errorf("rollup overhead %.2f%% exceeds baseline %.2f%% + %.1f points",
+			overhead, allowed, slackPct)
 	}
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"gosrb/internal/mysrb"
 	"gosrb/internal/obs"
 	"gosrb/internal/repair"
+	"gosrb/internal/server"
 	"gosrb/internal/storage/archivefs"
 	"gosrb/internal/storage/dbfs"
 	"gosrb/internal/storage/memfs"
@@ -38,12 +40,18 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		adminAddr = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /grid and /debug/pprof (empty disables)")
 		adminUser = flag.String("admin", "admin", "administrator user name")
 		adminPw   = flag.String("admin-pw", os.Getenv("SRB_ADMIN_PW"), "administrator password (or $SRB_ADMIN_PW)")
 		catalog   = flag.String("catalog", "", "MCAT snapshot to load/save")
+		slowOp    = flag.Duration("slow-op", 0, "log the full span tree of any web request slower than this (0 disables)")
 
 		repairWorkers = flag.Int("repair-workers", 2, "background repair worker goroutines draining the async-replication/scrub queue (0 leaves the queue undrained)")
 		scrubEvery    = flag.Duration("scrub-interval", 0, "anti-entropy scrub interval: re-hash every replica against the catalog checksum and repair divergence (0 disables)")
+
+		rollupEvery = flag.Duration("rollup-interval", obs.DefaultRollupInterval, "telemetry rollup capture interval feeding /metrics?window=, /grid and the dashboard (0 disables windowed stats)")
+		sloRules    = flag.String("slo-rules", "", "SLO rules file, one rule per line (e.g. 'get p99 < 50ms over 5m'); empty disables SLO evaluation")
+		sloEvery    = flag.Duration("slo-interval", 30*time.Second, "how often declared SLO rules are evaluated against the rollup ring")
 	)
 	var resources, users repeated
 	flag.Var(&resources, "resource", "resource: name=driver:arg; repeatable")
@@ -109,11 +117,55 @@ func main() {
 			return nil
 		})
 	}
+	// Windowed telemetry mirrors srbd: rollup captures and SLO
+	// evaluation ride the repair scheduler.
+	if *rollupEvery > 0 {
+		eng.AddJob("rollup", *rollupEvery, 0.1, func(sp *obs.Span) error {
+			broker.Metrics().CaptureRollup(time.Now())
+			return nil
+		})
+	}
+	if *sloRules != "" {
+		src, err := os.ReadFile(*sloRules)
+		if err != nil {
+			logger.Fatalf("slo rules: %v", err)
+		}
+		rules, err := obs.ParseSLORules(string(src))
+		if err != nil {
+			logger.Fatalf("slo rules: %v", err)
+		}
+		ev := obs.NewSLOEvaluator(broker.Metrics(), rules)
+		broker.SetSLO(ev)
+		eng.AddJob("slo", *sloEvery, 0.1, func(sp *obs.Span) error {
+			ev.Evaluate(time.Now())
+			return nil
+		})
+		logger.Printf("%d SLO rule(s) from %s, evaluated every %s", len(rules), *sloRules, *sloEvery)
+	}
 	broker.SetRepair(eng)
 	eng.Start()
 
 	app := mysrb.New(broker, authn)
-	logger.Printf("MySRB at http://%s/mySRB.html", *addr)
+	app.SetSlowOpThreshold(*slowOp)
+	if *adminAddr != "" {
+		// mysrbd has no wire server, so it mounts the same admin mux
+		// srbd serves, minus the federated /grid fan-out (local-only).
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			logger.Fatalf("admin listen: %v", err)
+		}
+		admin := &http.Server{
+			Handler:           server.NewAdminHandler(server.AdminEnv{Name: broker.ServerName(), Broker: broker}),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := admin.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("admin: %v", err)
+			}
+		}()
+		logger.Printf("admin endpoint on http://%s (/metrics /healthz /grid /debug/pprof)", ln.Addr())
+	}
+	logger.Printf("MySRB version %s at http://%s/mySRB.html", obs.Version, *addr)
 	if *catalog != "" {
 		go func() {
 			for range time.Tick(time.Minute) {

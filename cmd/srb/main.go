@@ -23,6 +23,7 @@ import (
 	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
 	"gosrb/internal/types"
+	"gosrb/internal/wire"
 )
 
 func main() {
@@ -63,10 +64,16 @@ commands:
                                      latency quantiles, byte totals);
                                      -json emits the raw snapshot
   opstats                            server telemetry (alias of bare stat)
+  top [-grid] [-window 5m] [-json]   windowed rates and p50/p95/p99 from
+                                     the rollup ring; -grid merges every
+                                     zone member (dead peers flagged
+                                     unreachable, not fatal)
+  alerts [-json]                     SLO rule standings and the bounded
+                                     fire/resolve alert log
   trace <id>                         span tree of a recent operation,
                                      gathered from every zone server
-  usage [user [collection]]          per-user/collection usage accounting
-  repair status                      background repair engine: queue
+  usage [-json] [user [collection]]  per-user/collection usage accounting
+  repair status [-json]              background repair engine: queue
                                      backlog, worker health, job runs
   scrub <path>                       re-hash replicas against the catalog
                                      checksum and repair divergence
@@ -165,7 +172,83 @@ func run(cl *client.Client, cmd string, args []string) error {
 		obs.WriteTree(os.Stdout, obs.AssembleTree(rep.Spans))
 		return nil
 
+	case "top":
+		window := 5 * time.Minute
+		grid, jsonOut := false, false
+		for i := 0; i < len(args); i++ {
+			switch args[i] {
+			case "-grid":
+				grid = true
+			case "-json":
+				jsonOut = true
+			case "-window":
+				i++
+				if i >= len(args) {
+					return fmt.Errorf("-window needs a duration (like 5m)")
+				}
+				d, err := time.ParseDuration(args[i])
+				if err != nil || d <= 0 {
+					return fmt.Errorf("bad -window %q (want a duration like 5m)", args[i])
+				}
+				window = d
+			default:
+				return fmt.Errorf("unknown top flag %q (want -grid, -window, -json)", args[i])
+			}
+		}
+		rep, err := cl.GridStat(window, grid)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		return printGrid(rep)
+
+	case "alerts":
+		jsonOut := len(args) > 0 && args[0] == "-json"
+		rep, err := cl.Alerts()
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		fmt.Printf("server: %s\n", rep.Server)
+		if !rep.Enabled {
+			fmt.Println("slo: no rules declared (start the daemon with -slo-rules)")
+			return nil
+		}
+		for _, r := range rep.Rules {
+			state := "ok"
+			if r.Violating {
+				state = "VIOLATING"
+			}
+			fmt.Printf("rule %-24s %-10s burn=%3.0f%%  (%s)\n", r.Rule, state, r.BurnPct, r.Raw)
+		}
+		if len(rep.Alerts) == 0 {
+			fmt.Println("alert log: empty")
+			return nil
+		}
+		fmt.Printf("\nalert log (%d transition(s)):\n", len(rep.Alerts))
+		for _, a := range rep.Alerts {
+			kind := "RESOLVED"
+			if a.Firing {
+				kind = "FIRED"
+			}
+			fmt.Printf("  %s %-8s %-24s %s\n", a.At.Format("15:04:05"), kind, a.Rule, a.Detail)
+		}
+		return nil
+
 	case "usage":
+		jsonOut := false
+		if len(args) > 0 && args[0] == "-json" {
+			jsonOut = true
+			args = args[1:]
+		}
 		filterUser, filterColl := "", ""
 		if len(args) > 0 {
 			filterUser = args[0]
@@ -176,6 +259,11 @@ func run(cl *client.Client, cmd string, args []string) error {
 		rep, err := cl.Usage(filterUser, filterColl)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
 		}
 		fmt.Printf("server: %s\n", rep.Server)
 		fmt.Printf("%-12s %-24s %8s %6s %12s %12s %10s\n",
@@ -197,6 +285,11 @@ func run(cl *client.Client, cmd string, args []string) error {
 		rep, err := cl.RepairStatus()
 		if err != nil {
 			return err
+		}
+		if len(args) > 1 && args[1] == "-json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
 		}
 		fmt.Printf("server: %s\n", rep.Server)
 		if !rep.Enabled {
@@ -531,7 +624,11 @@ func printOpStats(cl *client.Client) error {
 		return err
 	}
 	s := st.Snapshot
-	fmt.Printf("server: %s  uptime: %.0fs\n", st.Server, s.UptimeSeconds)
+	if s.Version != "" {
+		fmt.Printf("server: %s  version: %s  uptime: %.0fs\n", st.Server, s.Version, s.UptimeSeconds)
+	} else {
+		fmt.Printf("server: %s  uptime: %.0fs\n", st.Server, s.UptimeSeconds)
+	}
 
 	var ops []string
 	for name, o := range s.Ops {
@@ -587,6 +684,59 @@ func printOpStats(cl *client.Client) error {
 				line += "  err: " + t.Err
 			}
 			fmt.Println(line)
+		}
+	}
+	return nil
+}
+
+// printGrid renders a grid-stat reply: one status line per member,
+// then the merged aggregate's windowed rates and quantiles.
+func printGrid(rep wire.GridStatReply) error {
+	fmt.Printf("grid via %s  window: %.0fs  members: %d\n", rep.Server, rep.WindowSeconds, len(rep.Members))
+	for _, m := range rep.Members {
+		status := "ok"
+		switch {
+		case m.Unreachable:
+			status = "UNREACHABLE"
+		case m.Stale:
+			status = "stale"
+		}
+		line := fmt.Sprintf("  %-12s %-12s covered=%.0fs", m.Server, status, m.Window.CoveredSeconds)
+		if m.Err != "" {
+			line += "  " + m.Err
+		}
+		fmt.Println(line)
+	}
+
+	var ops []string
+	for name, o := range rep.Grid.Ops {
+		if o.Count > 0 {
+			ops = append(ops, name)
+		}
+	}
+	if len(ops) == 0 {
+		fmt.Println("\nno op activity in the window")
+		return nil
+	}
+	sort.Strings(ops)
+	fmt.Printf("\n%-26s %8s %9s %7s %10s %10s %10s\n",
+		"op", "count", "per_sec", "err%", "p50(us)", "p95(us)", "p99(us)")
+	for _, name := range ops {
+		o := rep.Grid.Ops[name]
+		fmt.Printf("%-26s %8d %9.2f %7.2f %10.1f %10.1f %10.1f\n",
+			name, o.Count, o.PerSec, o.ErrorPct, o.P50Micros, o.P95Micros, o.P99Micros)
+	}
+
+	var counters []string
+	for name := range rep.Grid.Counters {
+		counters = append(counters, name)
+	}
+	if len(counters) > 0 {
+		sort.Strings(counters)
+		fmt.Printf("\ncounters (delta / per_sec):\n")
+		for _, name := range counters {
+			c := rep.Grid.Counters[name]
+			fmt.Printf("  %-36s %10d %10.2f\n", name, c.Delta, c.PerSec)
 		}
 	}
 	return nil

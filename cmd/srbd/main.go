@@ -64,6 +64,10 @@ func main() {
 
 		repairWorkers = flag.Int("repair-workers", 2, "background repair worker goroutines draining the async-replication/scrub queue (0 leaves the queue undrained)")
 		scrubEvery    = flag.Duration("scrub-interval", 0, "anti-entropy scrub interval: re-hash every replica against the catalog checksum and repair divergence (0 disables)")
+
+		rollupEvery = flag.Duration("rollup-interval", obs.DefaultRollupInterval, "telemetry rollup capture interval feeding /metrics?window=, /grid and srb top (0 disables windowed stats)")
+		sloRules    = flag.String("slo-rules", "", "SLO rules file, one rule per line (e.g. 'get p99 < 50ms over 5m'); empty disables SLO evaluation")
+		sloEvery    = flag.Duration("slo-interval", 30*time.Second, "how often declared SLO rules are evaluated against the rollup ring")
 	)
 	var resources, users, peers, logicals, asyncRepl repeated
 	flag.Var(&resources, "resource", "physical resource: name=driver:arg (driver: posixfs|memfs|archivefs|dbfs); repeatable")
@@ -236,6 +240,36 @@ func main() {
 			return nil
 		})
 	}
+	// Windowed telemetry rides the same scheduler: the rollup job
+	// snapshots the registry into the time-series ring, the SLO job
+	// evaluates declared objectives against it.
+	if *rollupEvery > 0 {
+		eng.AddJob("rollup", *rollupEvery, 0.1, func(sp *obs.Span) error {
+			broker.Metrics().CaptureRollup(time.Now())
+			return nil
+		})
+	}
+	if *sloRules != "" {
+		src, err := os.ReadFile(*sloRules)
+		if err != nil {
+			logger.Fatalf("slo rules: %v", err)
+		}
+		rules, err := obs.ParseSLORules(string(src))
+		if err != nil {
+			logger.Fatalf("slo rules: %v", err)
+		}
+		ev := obs.NewSLOEvaluator(broker.Metrics(), rules)
+		broker.SetSLO(ev)
+		eng.AddJob("slo", *sloEvery, 0.1, func(sp *obs.Span) error {
+			for _, st := range ev.Evaluate(time.Now()) {
+				if st.Violating {
+					sp.Event(obs.EventSLO, fmt.Sprintf("%s violating burn=%.0f%%", st.Rule, st.BurnPct))
+				}
+			}
+			return nil
+		})
+		logger.Printf("%d SLO rule(s) from %s, evaluated every %s", len(rules), *sloRules, *sloEvery)
+	}
 	broker.SetRepair(eng)
 	eng.Start()
 	if n, _ := cat.RepairBacklog(); n > 0 {
@@ -246,7 +280,7 @@ func main() {
 	if err != nil {
 		logger.Fatalf("listen: %v", err)
 	}
-	logger.Printf("%s listening on %s (%s federation)", *name, bound, *mode)
+	logger.Printf("%s version %s listening on %s (%s federation)", *name, obs.Version, bound, *mode)
 	if *adminAddr != "" {
 		abound, err := srv.ServeAdmin(*adminAddr)
 		if err != nil {

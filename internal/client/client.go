@@ -710,6 +710,26 @@ func (cl *Client) RepairStatus() (wire.RepairStatusReply, error) {
 	return out, err
 }
 
+// GridStat fetches windowed rates and quantiles over the trailing
+// window. With grid set, the connected server fans out to its zone
+// peers and merges the answers (dead peers come back flagged
+// unreachable, not as an error); otherwise the reply covers the
+// connected server only.
+func (cl *Client) GridStat(window time.Duration, grid bool) (wire.GridStatReply, error) {
+	var out wire.GridStatReply
+	args := wire.GridStatArgs{WindowSeconds: int64(window / time.Second), LocalOnly: !grid}
+	_, err := cl.call(wire.OpGridStat, args, nil, &out)
+	return out, err
+}
+
+// Alerts fetches the connected server's SLO rule standings and its
+// bounded log of fire/resolve alert transitions.
+func (cl *Client) Alerts() (wire.AlertsReply, error) {
+	var out wire.AlertsReply
+	_, err := cl.call(wire.OpAlerts, wire.AlertsArgs{}, nil, &out)
+	return out, err
+}
+
 // Scrub runs the anti-entropy scrubber over one object (write
 // permission) or a collection subtree (admin only) and returns what it
 // found and fixed.

@@ -69,6 +69,11 @@ type Broker struct {
 	// ingest path kicks it after enqueueing deferred fan-out; the
 	// server's readiness, admin /repair and status surfaces read it.
 	repairEng *repair.Engine
+
+	// sloEval, when attached, is the SLO evaluator whose standings and
+	// alert log the server's /alerts, /healthz and OpAlerts surfaces
+	// read. nil when the daemon declared no rules.
+	sloEval *obs.SLOEvaluator
 }
 
 // brokerOps caches the per-operation metric handles. All fields may be
@@ -137,6 +142,20 @@ func (b *Broker) Repair() *repair.Engine {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.repairEng
+}
+
+// SetSLO attaches the SLO evaluator. Call once at daemon startup.
+func (b *Broker) SetSLO(e *obs.SLOEvaluator) {
+	b.mu.Lock()
+	b.sloEval = e
+	b.mu.Unlock()
+}
+
+// SLO returns the attached evaluator (nil when no rules were declared).
+func (b *Broker) SLO() *obs.SLOEvaluator {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.sloEval
 }
 
 // repairKick wakes the engine's dispatcher after an enqueue.

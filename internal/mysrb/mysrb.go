@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gosrb/internal/acl"
@@ -24,7 +26,9 @@ import (
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
 	"gosrb/internal/metadata"
+	"gosrb/internal/obs"
 	"gosrb/internal/types"
+	"gosrb/internal/wire"
 )
 
 // SessionCookie names the in-memory session cookie.
@@ -35,13 +39,36 @@ type App struct {
 	broker *core.Broker
 	authn  *auth.Authenticator
 	mux    *http.ServeMux
+	// slowOp holds the slow-request threshold in nanoseconds (0 =
+	// disabled): any session request at least this slow gets its span
+	// tree written to the log (mysrbd's -slow-op flag).
+	slowOp atomic.Int64
+	// gridStat, when set, sources the /grid dashboard from a federated
+	// zone gather instead of the local registry alone.
+	gridStat func(window time.Duration) wire.GridStatReply
+	// Logger receives slow-request span trees. Replaceable for tests.
+	Logger *obs.Logger
 }
 
 // New builds the application over a broker and authenticator.
 func New(b *core.Broker, a *auth.Authenticator) *App {
-	app := &App{broker: b, authn: a, mux: http.NewServeMux()}
+	app := &App{
+		broker: b,
+		authn:  a,
+		mux:    http.NewServeMux(),
+		Logger: obs.NewLogger(os.Stderr, b.ServerName(), obs.LevelInfo),
+	}
 	app.routes()
 	return app
+}
+
+// SetSlowOpThreshold enables the slow-request log: any session request
+// taking at least d gets its full span tree logged (0 disables).
+func (a *App) SetSlowOpThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	a.slowOp.Store(int64(d))
 }
 
 // ServeHTTP implements http.Handler.
@@ -51,29 +78,50 @@ func (a *App) routes() {
 	a.mux.HandleFunc("/mySRB.html", a.handleLoginPage)
 	a.mux.HandleFunc("/login", a.handleLogin)
 	a.mux.HandleFunc("/logout", a.handleLogout)
-	a.mux.HandleFunc("/", a.withSession(a.handleBrowse))
-	a.mux.HandleFunc("/browse", a.withSession(a.handleBrowse))
-	a.mux.HandleFunc("/open", a.withSession(a.handleOpen))
-	a.mux.HandleFunc("/raw", a.withSession(a.handleRaw))
-	a.mux.HandleFunc("/mkcoll", a.withSession(a.handleMkColl))
-	a.mux.HandleFunc("/ingest", a.withSession(a.handleIngest))
-	a.mux.HandleFunc("/meta", a.withSession(a.handleMeta))
-	a.mux.HandleFunc("/annotate", a.withSession(a.handleAnnotate))
-	a.mux.HandleFunc("/query", a.withSession(a.handleQuery))
-	a.mux.HandleFunc("/acl", a.withSession(a.handleACL))
-	a.mux.HandleFunc("/op", a.withSession(a.handleOp))
-	a.mux.HandleFunc("/edit", a.withSession(a.handleEdit))
-	a.mux.HandleFunc("/registerobj", a.withSession(a.handleRegisterObj))
-	a.mux.HandleFunc("/register", a.withSession(a.handleRegister))
-	a.mux.HandleFunc("/help", a.withSession(a.handleHelp))
-	a.mux.HandleFunc("/status", a.withSession(a.handleStatus))
-	a.mux.HandleFunc("/usage", a.withSession(a.handleUsage))
+	a.mux.HandleFunc("/", a.withSession("browse", a.handleBrowse))
+	a.mux.HandleFunc("/browse", a.withSession("browse", a.handleBrowse))
+	a.mux.HandleFunc("/open", a.withSession("open", a.handleOpen))
+	a.mux.HandleFunc("/raw", a.withSession("raw", a.handleRaw))
+	a.mux.HandleFunc("/mkcoll", a.withSession("mkcoll", a.handleMkColl))
+	a.mux.HandleFunc("/ingest", a.withSession("ingest", a.handleIngest))
+	a.mux.HandleFunc("/meta", a.withSession("meta", a.handleMeta))
+	a.mux.HandleFunc("/annotate", a.withSession("annotate", a.handleAnnotate))
+	a.mux.HandleFunc("/query", a.withSession("query", a.handleQuery))
+	a.mux.HandleFunc("/acl", a.withSession("acl", a.handleACL))
+	a.mux.HandleFunc("/op", a.withSession("op", a.handleOp))
+	a.mux.HandleFunc("/edit", a.withSession("edit", a.handleEdit))
+	a.mux.HandleFunc("/registerobj", a.withSession("registerobj", a.handleRegisterObj))
+	a.mux.HandleFunc("/register", a.withSession("register", a.handleRegister))
+	a.mux.HandleFunc("/help", a.withSession("help", a.handleHelp))
+	a.mux.HandleFunc("/status", a.withSession("status", a.handleStatus))
+	a.mux.HandleFunc("/usage", a.withSession("usage", a.handleUsage))
+	a.mux.HandleFunc("/grid", a.withSession("grid", a.handleGrid))
 }
 
 // withSession performs the paper's "security checks on the session keys
-// when validating a user request".
-func (a *App) withSession(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+// when validating a user request", and times the request as a web.<name>
+// op so the dashboard, /metrics?window= and SLO rules see web traffic
+// alongside wire ops.
+func (a *App) withSession(name string, h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	op := "web." + name
 	return func(w http.ResponseWriter, r *http.Request) {
+		reg := a.broker.Metrics()
+		sp := obs.StartSpan(obs.NewTraceID(), op)
+		defer func() {
+			elapsed := sp.Elapsed()
+			reg.Op(op).Observe(elapsed, nil)
+			sp.End(reg.Traces(), a.broker.ServerName(), r.RemoteAddr, nil)
+			if thr := time.Duration(a.slowOp.Load()); thr > 0 && elapsed >= thr {
+				// Outlier: log the whole span tree while the trace ring
+				// still holds it, so the slow page's causes (broker
+				// retries, failovers) land in the log.
+				reg.Counter("web.slowops").Inc()
+				var tree strings.Builder
+				obs.WriteTree(&tree, obs.AssembleTree(reg.Traces().ForTrace(sp.TraceID())))
+				a.Logger.Infof("slow web request %s took %s (threshold %s) trace=%s\n%s",
+					op, elapsed, thr, sp.TraceID(), tree.String())
+			}
+		}()
 		ck, err := r.Cookie(SessionCookie)
 		if err != nil {
 			http.Redirect(w, r, "/mySRB.html", http.StatusSeeOther)

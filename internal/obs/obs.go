@@ -239,6 +239,7 @@ type Registry struct {
 	start    time.Time
 	traces   *TraceRing
 	usage    *UsageTable
+	rollups  *RollupRing
 }
 
 // NewRegistry returns an empty registry.
@@ -250,6 +251,7 @@ func NewRegistry() *Registry {
 		start:    time.Now(),
 		traces:   NewTraceRing(256),
 		usage:    NewUsageTable(),
+		rollups:  NewRollupRing(DefaultRollupSlots),
 	}
 }
 
@@ -335,6 +337,7 @@ func (r *Registry) Usage() *UsageTable {
 // Snapshot is a point-in-time view of a whole registry, JSON-ready for
 // the OpStats wire reply and the MySRB status page.
 type Snapshot struct {
+	Version       string `json:",omitempty"`
 	UptimeSeconds float64
 	Counters      map[string]int64      `json:",omitempty"`
 	Gauges        map[string]int64      `json:",omitempty"`
@@ -349,6 +352,7 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.RLock()
 	s := Snapshot{
+		Version:       Version,
 		UptimeSeconds: time.Since(r.start).Seconds(),
 		Counters:      make(map[string]int64, len(r.counters)),
 		Gauges:        make(map[string]int64, len(r.gauges)),

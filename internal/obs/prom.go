@@ -22,6 +22,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
 
+	writeHeader("srb_build_info", "gauge", "Build version, injected at link time; value is always 1.")
+	fmt.Fprintf(&b, "srb_build_info{version=%q} 1\n", buildVersion(s))
+
 	writeHeader("srb_uptime_seconds", "gauge", "Seconds since the telemetry registry was created.")
 	fmt.Fprintf(&b, "srb_uptime_seconds %s\n", formatFloat(s.UptimeSeconds))
 
@@ -62,6 +65,16 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// buildVersion prefers the snapshot's stamped version (set by the
+// server that produced it, which may be a remote peer) over this
+// binary's own.
+func buildVersion(s Snapshot) string {
+	if s.Version != "" {
+		return s.Version
+	}
+	return Version
 }
 
 // promName maps a dotted registry name to a legal Prometheus metric

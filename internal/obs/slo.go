@@ -1,0 +1,417 @@
+// SLO evaluation over the rollup ring. Operators declare rules in a
+// plain-text file (one rule per line, srbd -slo-rules):
+//
+//	get p99 < 50ms over 5m          # windowed latency quantile
+//	server.put p95 < 200ms over 1m
+//	error_rate < 1% over 30m        # all-ops aggregate error rate
+//	get rate > 0.1 over 10m         # throughput floor, ops/sec
+//
+// A periodic job (riding the repair scheduler) evaluates each rule
+// against the windowed view, computes error-budget burn (observed as a
+// fraction of threshold) and appends fire/resolve transitions to a
+// bounded alert log surfaced on /healthz (warn lines, no 503),
+// /alerts, `srb alerts` and as slo.* gauges.
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLOMetric names the measurable a rule constrains.
+type SLOMetric string
+
+const (
+	SLOP50       SLOMetric = "p50"        // windowed 50th-percentile latency
+	SLOP95       SLOMetric = "p95"        // windowed 95th-percentile latency
+	SLOP99       SLOMetric = "p99"        // windowed 99th-percentile latency
+	SLOErrorRate SLOMetric = "error_rate" // windowed errors / count, percent
+	SLORate      SLOMetric = "rate"       // windowed ops per second
+)
+
+// SLORule is one parsed objective: "<target> <metric> <cmp> <threshold>
+// over <window>". Target "*" aggregates across every op family (only
+// meaningful for error_rate and rate).
+type SLORule struct {
+	Name      string // slug, e.g. "get_p99_5m" — stable gauge/alert key
+	Target    string // op family ("get", "server.put") or "*"
+	Metric    SLOMetric
+	Less      bool    // true: observed must stay below Threshold
+	Threshold float64 // µs for quantiles, percent for error_rate, ops/sec for rate
+	Window    time.Duration
+	Raw       string // the source line, for display
+}
+
+// ParseSLORules parses one rule per line; blank lines and #-comments
+// are skipped. Duplicate rule names (same target/metric/window) are an
+// error so gauges stay unambiguous.
+func ParseSLORules(src string) ([]SLORule, error) {
+	var rules []SLORule
+	seen := make(map[string]int)
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		r, err := parseSLORule(line)
+		if err != nil {
+			return nil, fmt.Errorf("slo rules line %d: %w", ln+1, err)
+		}
+		if prev, dup := seen[r.Name]; dup {
+			return nil, fmt.Errorf("slo rules line %d: duplicate rule %q (first on line %d)", ln+1, r.Name, prev)
+		}
+		seen[r.Name] = ln + 1
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseSLORule(line string) (SLORule, error) {
+	f := strings.Fields(line)
+	// 5-field form omits the target: "error_rate < 1% over 30m".
+	if len(f) == 5 {
+		f = append([]string{"*"}, f...)
+	}
+	if len(f) != 6 || f[4] != "over" {
+		return SLORule{}, fmt.Errorf("want %q, got %q", "<target> <metric> <cmp> <threshold> over <window>", line)
+	}
+	r := SLORule{Target: f[0], Metric: SLOMetric(f[1]), Raw: line}
+	switch r.Metric {
+	case SLOP50, SLOP95, SLOP99, SLOErrorRate, SLORate:
+	default:
+		return SLORule{}, fmt.Errorf("unknown metric %q (want p50, p95, p99, error_rate or rate)", f[1])
+	}
+	if r.Target == "*" && (r.Metric == SLOP50 || r.Metric == SLOP95 || r.Metric == SLOP99) {
+		return SLORule{}, fmt.Errorf("quantile rule needs a target op family, not %q", "*")
+	}
+	switch f[2] {
+	case "<":
+		r.Less = true
+	case ">":
+		r.Less = false
+	default:
+		return SLORule{}, fmt.Errorf("comparator %q (want < or >)", f[2])
+	}
+	th := f[3]
+	switch r.Metric {
+	case SLOErrorRate:
+		th = strings.TrimSuffix(th, "%")
+		v, err := strconv.ParseFloat(th, 64)
+		if err != nil {
+			return SLORule{}, fmt.Errorf("threshold %q: %v", f[3], err)
+		}
+		r.Threshold = v
+	case SLORate:
+		v, err := strconv.ParseFloat(th, 64)
+		if err != nil {
+			return SLORule{}, fmt.Errorf("threshold %q: %v", f[3], err)
+		}
+		r.Threshold = v
+	default: // quantiles take a duration threshold, stored as µs
+		d, err := time.ParseDuration(th)
+		if err != nil {
+			return SLORule{}, fmt.Errorf("threshold %q: %v", f[3], err)
+		}
+		r.Threshold = float64(d.Microseconds())
+	}
+	w, err := time.ParseDuration(f[5])
+	if err != nil || w <= 0 {
+		return SLORule{}, fmt.Errorf("window %q: %v", f[5], err)
+	}
+	r.Window = w
+	r.Name = sloSlug(r.Target, string(r.Metric), f[5])
+	return r, nil
+}
+
+func sloSlug(parts ...string) string {
+	s := strings.Join(parts, "_")
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		case c == '*':
+			b.WriteString("all")
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Alert is one fire/resolve transition in the alert log.
+type Alert struct {
+	At       time.Time
+	Rule     string // rule name
+	Raw      string // the source rule line
+	Firing   bool   // true = fired, false = resolved
+	Observed float64
+	BurnPct  float64 // error-budget burn, observed/threshold × 100
+	Detail   string  `json:",omitempty"`
+}
+
+// AlertLog is a bounded ring of alert transitions.
+type AlertLog struct {
+	mu    sync.Mutex
+	recs  []Alert
+	start int
+	count int
+}
+
+// NewAlertLog returns a log holding up to capacity alerts (256 when
+// capacity <= 0).
+func NewAlertLog(capacity int) *AlertLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &AlertLog{recs: make([]Alert, capacity)}
+}
+
+// Add appends one alert, displacing the oldest when full.
+func (l *AlertLog) Add(a Alert) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count < len(l.recs) {
+		l.recs[(l.start+l.count)%len(l.recs)] = a
+		l.count++
+		return
+	}
+	l.recs[l.start] = a
+	l.start = (l.start + 1) % len(l.recs)
+}
+
+// Recent returns up to n alerts, oldest first (n <= 0 returns all).
+func (l *AlertLog) Recent(n int) []Alert {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.count {
+		n = l.count
+	}
+	out := make([]Alert, 0, n)
+	for i := l.count - n; i < l.count; i++ {
+		out = append(out, l.recs[(l.start+i)%len(l.recs)])
+	}
+	return out
+}
+
+// SLOStatus is the current standing of one rule.
+type SLOStatus struct {
+	Rule      string
+	Raw       string
+	Violating bool
+	Observed  float64
+	BurnPct   float64
+	Window    float64 // seconds
+}
+
+// SLOEvaluator periodically checks rules against a registry's rollup
+// ring, maintaining per-rule firing state, slo.* gauges and the alert
+// log. Evaluate is driven by a repair-scheduler job in the daemons and
+// called directly (with an explicit now) in tests.
+type SLOEvaluator struct {
+	reg   *Registry
+	rules []SLORule
+	log   *AlertLog
+
+	mu     sync.Mutex
+	firing map[string]bool
+}
+
+// NewSLOEvaluator wires rules to a registry. A nil registry or empty
+// rule set yields an evaluator whose Evaluate is a no-op.
+func NewSLOEvaluator(reg *Registry, rules []SLORule) *SLOEvaluator {
+	return &SLOEvaluator{reg: reg, rules: rules, log: NewAlertLog(0), firing: make(map[string]bool)}
+}
+
+// Rules returns the declared rules.
+func (e *SLOEvaluator) Rules() []SLORule {
+	if e == nil {
+		return nil
+	}
+	return e.rules
+}
+
+// AlertLog returns the bounded transition log.
+func (e *SLOEvaluator) AlertLog() *AlertLog {
+	if e == nil {
+		return nil
+	}
+	return e.log
+}
+
+// Evaluate checks every rule against the window ending at now and
+// returns the current status of each. Transitions append to the alert
+// log; slo.<name>.violating / slo.<name>.burn_pct and the aggregate
+// slo.violating gauges are updated.
+func (e *SLOEvaluator) Evaluate(now time.Time) []SLOStatus {
+	if e == nil || e.reg == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	statuses := make([]SLOStatus, 0, len(e.rules))
+	violating := int64(0)
+	for _, r := range e.rules {
+		ws := e.reg.WindowAt(now, r.Window)
+		observed, ok := observe(ws, r)
+		st := SLOStatus{Rule: r.Name, Raw: r.Raw, Window: r.Window.Seconds(), Observed: observed}
+		// No data in the window: not violating (and a firing rule
+		// resolves — the traffic that breached it is gone).
+		if ok {
+			st.BurnPct = burnPct(r, observed)
+			if r.Less {
+				st.Violating = observed >= r.Threshold
+			} else {
+				st.Violating = observed <= r.Threshold
+			}
+		}
+		if st.Violating {
+			violating++
+		}
+		if st.Violating != e.firing[r.Name] {
+			e.firing[r.Name] = st.Violating
+			e.log.Add(Alert{
+				At:       now,
+				Rule:     r.Name,
+				Raw:      r.Raw,
+				Firing:   st.Violating,
+				Observed: observed,
+				BurnPct:  st.BurnPct,
+				Detail:   fmt.Sprintf("observed %.1f vs threshold %.1f over %s", observed, r.Threshold, r.Window),
+			})
+		}
+		e.reg.Gauge("slo." + r.Name + ".violating").Set(b2i(st.Violating))
+		e.reg.Gauge("slo." + r.Name + ".burn_pct").Set(int64(st.BurnPct))
+		statuses = append(statuses, st)
+	}
+	e.reg.Gauge("slo.violating").Set(violating)
+	return statuses
+}
+
+// Status reports each rule's standing from the last Evaluate without
+// re-evaluating (rules that never evaluated report zero values).
+func (e *SLOEvaluator) Status() []SLOStatus {
+	if e == nil || e.reg == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	statuses := make([]SLOStatus, 0, len(e.rules))
+	for _, r := range e.rules {
+		statuses = append(statuses, SLOStatus{
+			Rule:      r.Name,
+			Raw:       r.Raw,
+			Window:    r.Window.Seconds(),
+			Violating: e.firing[r.Name],
+			BurnPct:   float64(e.reg.Gauge("slo." + r.Name + ".burn_pct").Value()),
+		})
+	}
+	return statuses
+}
+
+// Firing reports how many rules are currently in violation.
+func (e *SLOEvaluator) Firing() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, f := range e.firing {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// observe extracts the rule's measurable from the window. ok is false
+// when the window holds no matching activity.
+func observe(ws WindowStats, r SLORule) (float64, bool) {
+	if r.Target == "*" {
+		var count, errs int64
+		var rate float64
+		for _, o := range ws.Ops {
+			count += o.Count
+			errs += o.Errors
+			rate += o.PerSec
+		}
+		if count == 0 {
+			return 0, false
+		}
+		switch r.Metric {
+		case SLOErrorRate:
+			return 100 * float64(errs) / float64(count), true
+		case SLORate:
+			return rate, true
+		}
+		return 0, false
+	}
+	o, ok := resolveTarget(ws, r.Target)
+	if !ok || o.Count == 0 {
+		return 0, false
+	}
+	switch r.Metric {
+	case SLOP50:
+		return o.P50Micros, true
+	case SLOP95:
+		return o.P95Micros, true
+	case SLOP99:
+		return o.P99Micros, true
+	case SLOErrorRate:
+		return o.ErrorPct, true
+	case SLORate:
+		return o.PerSec, true
+	}
+	return 0, false
+}
+
+// resolveTarget finds the op family a rule names: exact match first,
+// then the conventional layer prefixes, so "get" finds "server.get" on
+// srbd and "web.get" on mysrbd without per-daemon rule files.
+func resolveTarget(ws WindowStats, target string) (WindowOp, bool) {
+	if o, ok := ws.Ops[target]; ok {
+		return o, true
+	}
+	for _, prefix := range []string{"server.", "broker.", "web."} {
+		if o, ok := ws.Ops[prefix+target]; ok {
+			return o, true
+		}
+	}
+	return WindowOp{}, false
+}
+
+// burnPct is error-budget burn as a percentage: how much of the
+// threshold the observed value consumed (for "<" rules), or the
+// inverse for ">" floors. 100% = exactly at the objective.
+func burnPct(r SLORule, observed float64) float64 {
+	if r.Threshold == 0 {
+		return 0
+	}
+	if r.Less {
+		return 100 * observed / r.Threshold
+	}
+	if observed == 0 {
+		return 0
+	}
+	return 100 * r.Threshold / observed
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -43,6 +43,7 @@ const (
 	EventDeadline     = "deadline"         // the request deadline expired mid-op
 	EventRepair       = "repair"           // a background repair task ran (detail: key + outcome)
 	EventScrub        = "scrub"            // the scrubber flagged a divergent/missing replica
+	EventSLO          = "slo"              // an SLO rule fired or resolved (detail: rule + observed)
 )
 
 // Span is one timed, trace-scoped unit of work. Spans form a tree: the

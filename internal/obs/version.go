@@ -1,0 +1,10 @@
+package obs
+
+// Version is the build version stamped into every daemon via
+//
+//	go build -ldflags "-X gosrb/internal/obs.Version=v1.2.3"
+//
+// It surfaces in /healthz, `srb stat`, the OpStats snapshot and the
+// Prometheus exposition as the srb_build_info gauge, so operators can
+// tell at a glance which build each zone member runs.
+var Version = "dev"

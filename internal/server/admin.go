@@ -9,7 +9,9 @@ import (
 	"strings"
 	"time"
 
+	"gosrb/internal/core"
 	"gosrb/internal/obs"
+	"gosrb/internal/wire"
 )
 
 // adminServer is the operator-facing HTTP endpoint riding alongside the
@@ -21,16 +23,35 @@ type adminServer struct {
 	srv *http.Server
 }
 
-// ServeAdmin starts the admin endpoint on addr ("host:0" picks a port)
-// and returns the bound address. Routes:
+// AdminEnv is what the admin HTTP surface needs from its host daemon.
+// srbd passes its Server-backed grid fan-out; mysrbd (which has no wire
+// Server) passes just the broker and gets a local-only /grid.
+type AdminEnv struct {
+	// Name identifies the daemon in /healthz and reply envelopes.
+	Name string
+	// Broker supplies metrics, breakers, repair engine and SLO state.
+	Broker *core.Broker
+	// GridStat, when set, answers /grid with a zone-wide gather (srbd
+	// wires the federated fan-out here). nil degrades to a local-only
+	// single-member grid view.
+	GridStat func(window time.Duration) wire.GridStatReply
+}
+
+// NewAdminHandler builds the admin mux over env. Routes:
 //
 //	/metrics       Prometheus text exposition format; append
-//	               ?format=text for the legacy "name value" dump
-//	               (audit drops refreshed per scrape)
+//	               ?format=text for the legacy "name value" dump, or
+//	               ?window=5m for windowed rates/quantiles from the
+//	               rollup ring (audit drops refreshed per scrape)
 //	/healthz       readiness probe: 200 when healthy, 503 with one
 //	               detail line per open breaker / offline resource /
-//	               wedged repair engine; the repair backlog line is
-//	               informational and present in both cases
+//	               wedged repair engine; the repair backlog line and
+//	               "warn:" SLO lines are informational in both cases
+//	/grid          zone-wide windowed stats (JSON): per-member windows
+//	               with stale/unreachable flags plus the merged grid
+//	               aggregate; ?window=5m selects the trailing window
+//	/alerts        SLO rule standings and the bounded fire/resolve
+//	               alert log (JSON)
 //	/repair        repair engine status (JSON); ?action=pause|resume
 //	               via POST suspends/resumes background maintenance
 //	/trace/{id}    rendered span tree for a trace (?format=json for
@@ -38,19 +59,23 @@ type adminServer struct {
 //	/usage         per-user/collection usage accounting (text table,
 //	               ?format=json for machine consumption)
 //	/debug/pprof/  the Go runtime profiler
-//
-// The endpoint stops when the server closes.
-func (s *Server) ServeAdmin(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
+func NewAdminHandler(env AdminEnv) http.Handler {
+	b := env.Broker
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		reg := s.broker.Metrics()
-		reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
-		s.broker.Breakers().Publish()
+		reg := b.Metrics()
+		reg.Gauge("audit.dropped").Set(b.Cat.Audit.Dropped())
+		b.Breakers().Publish()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if q := r.URL.Query().Get("window"); q != "" {
+			window, err := time.ParseDuration(q)
+			if err != nil || window <= 0 {
+				http.Error(w, "bad window (want a duration like 5m)", http.StatusBadRequest)
+				return
+			}
+			obs.WriteWindowText(w, reg.Window(window))
+			return
+		}
 		if r.URL.Query().Get("format") == "text" {
 			reg.WriteText(w)
 			return
@@ -59,24 +84,47 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		s.broker.Breakers().Publish()
-		uptime := s.broker.Metrics().Snapshot().UptimeSeconds
-		ok, detail := s.Readiness()
+		b.Breakers().Publish()
+		uptime := b.Metrics().Snapshot().UptimeSeconds
+		ok, detail := readiness(b, env.Name)
 		if !ok {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, "degraded %s uptime=%.0fs\n", s.name, uptime)
+			fmt.Fprintf(w, "degraded %s version=%s uptime=%.0fs\n", env.Name, obs.Version, uptime)
 		} else {
-			fmt.Fprintf(w, "ok %s uptime=%.0fs\n", s.name, uptime)
+			fmt.Fprintf(w, "ok %s version=%s uptime=%.0fs\n", env.Name, obs.Version, uptime)
 		}
 		for _, d := range detail {
 			fmt.Fprintf(w, "%s\n", d)
 		}
 	})
+	mux.HandleFunc("/grid", func(w http.ResponseWriter, r *http.Request) {
+		window := 5 * time.Minute
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad window (want a duration like 5m)", http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		var rep wire.GridStatReply
+		if env.GridStat != nil {
+			rep = env.GridStat(window)
+		} else {
+			rep = localGridReply(b, env.Name, window)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(alertsOf(b, env.Name))
+	})
 	mux.HandleFunc("/repair", func(w http.ResponseWriter, r *http.Request) {
 		switch action := r.URL.Query().Get("action"); action {
 		case "":
 		case "pause", "resume":
-			eng := s.broker.Repair()
+			eng := b.Repair()
 			if eng == nil {
 				http.Error(w, "no repair engine", http.StatusNotFound)
 				return
@@ -95,7 +143,7 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.repairStatus())
+		json.NewEncoder(w).Encode(repairStatusOf(b, env.Name))
 	})
 	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/trace/")
@@ -103,7 +151,7 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 			http.Error(w, "missing trace id", http.StatusBadRequest)
 			return
 		}
-		recs := s.broker.Metrics().Traces().ForTrace(id)
+		recs := b.Metrics().Traces().ForTrace(id)
 		if len(recs) == 0 {
 			http.Error(w, "trace not found (ring may have wrapped)", http.StatusNotFound)
 			return
@@ -114,11 +162,11 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "trace %s on %s (%d spans)\n", id, s.name, len(recs))
+		fmt.Fprintf(w, "trace %s on %s (%d spans)\n", id, env.Name, len(recs))
 		obs.WriteTree(w, obs.AssembleTree(recs))
 	})
 	mux.HandleFunc("/usage", func(w http.ResponseWriter, r *http.Request) {
-		entries := s.broker.Metrics().Usage().Snapshot()
+		entries := b.Metrics().Usage().Snapshot()
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(entries)
@@ -141,7 +189,45 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// localGridReply is the degraded /grid answer for daemons without a
+// federation fan-out: one member, this broker's own window.
+func localGridReply(b *core.Broker, name string, window time.Duration) wire.GridStatReply {
+	ws := b.Metrics().Window(window)
+	m := wire.GridMember{Server: name, Window: ws}
+	if ws.CoveredSeconds < staleFraction*ws.WindowSeconds {
+		m.Stale = true
+	}
+	return wire.GridStatReply{
+		Server:        name,
+		WindowSeconds: window.Seconds(),
+		Members:       []wire.GridMember{m},
+		Grid:          obs.MergeWindows([]obs.WindowStats{ws}),
+	}
+}
+
+// adminGridDeadline bounds the zone fan-out behind the admin /grid
+// endpoint; a dead peer costs one refused dial, well inside it.
+const adminGridDeadline = 5 * time.Second
+
+// ServeAdmin starts the admin endpoint on addr ("host:0" picks a port)
+// and returns the bound address. See NewAdminHandler for the routes.
+// The endpoint stops when the server closes.
+func (s *Server) ServeAdmin(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h := NewAdminHandler(AdminEnv{
+		Name:   s.name,
+		Broker: s.broker,
+		GridStat: func(window time.Duration) wire.GridStatReply {
+			return s.gatherGridStat("admin", window, true, time.Now().Add(adminGridDeadline), nil)
+		},
+	})
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	s.mu.Lock()
 	s.admin = &adminServer{ln: ln, srv: srv}
 	s.mu.Unlock()

@@ -670,6 +670,24 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 	case wire.OpRepairStatus:
 		return reply(c, s.repairStatus())
 
+	case wire.OpGridStat:
+		a, err := decode[wire.GridStatArgs](req)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		window := time.Duration(a.WindowSeconds) * time.Second
+		// Client-facing requests fan out to every peer for the grid
+		// view; peer-forwarded (or explicitly local) requests answer
+		// from the local ring only, bounding the gather to one hop.
+		fanout := !ss.isPeer && !a.LocalOnly
+		return reply(c, s.gatherGridStat(user, window, fanout, ss.deadline, ss.span))
+
+	case wire.OpAlerts:
+		if _, err := decode[wire.AlertsArgs](req); err != nil {
+			return ss.fail(c, err)
+		}
+		return reply(c, s.alerts())
+
 	case wire.OpScrub:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {

@@ -748,23 +748,32 @@ func (s *Server) gatherTrace(user, id string, fanout bool) wire.TraceReply {
 // alive to drain them). When a repair engine is attached, the detail
 // always carries one informational line with the queue backlog and the
 // oldest task's age — a backlog alone is normal operation, not a
-// degradation. The admin /healthz endpoint turns !ok into HTTP 503.
+// degradation; likewise a firing SLO rule adds a "warn:" line without
+// degrading (an objective miss is an alerting concern, not downtime).
+// The admin /healthz endpoint turns !ok into HTTP 503.
 func (s *Server) Readiness() (bool, []string) {
+	return readiness(s.broker, s.name)
+}
+
+// readiness is the broker-level readiness check behind Readiness,
+// shared with the standalone admin handler mysrbd mounts (which has no
+// Server).
+func readiness(b *core.Broker, name string) (bool, []string) {
 	var degraded []string
-	for key, st := range s.broker.Breakers().States() {
+	for key, st := range b.Breakers().States() {
 		if st == resilience.Open {
 			degraded = append(degraded, "breaker "+key+" open")
 		}
 	}
-	for _, r := range s.broker.Cat.Resources() {
+	for _, r := range b.Cat.Resources() {
 		if r.Kind != types.ResourcePhysical || r.Online {
 			continue
 		}
-		if r.Server == "" || r.Server == s.name {
+		if r.Server == "" || r.Server == name {
 			degraded = append(degraded, "resource "+r.Name+" offline")
 		}
 	}
-	eng := s.broker.Repair()
+	eng := b.Repair()
 	if eng != nil && eng.Wedged() {
 		degraded = append(degraded, "repair engine wedged (non-empty queue, no workers alive)")
 	}
@@ -778,14 +787,23 @@ func (s *Server) Readiness() (bool, []string) {
 		}
 		detail = append(detail, line)
 	}
+	for _, st := range b.SLO().Status() {
+		if st.Violating {
+			detail = append(detail, fmt.Sprintf("warn: slo %s violating (burn %.0f%%)", st.Rule, st.BurnPct))
+		}
+	}
 	return len(degraded) == 0, detail
 }
 
 // repairStatus snapshots the repair engine for the repairstatus wire op
 // and the admin /repair endpoint.
 func (s *Server) repairStatus() wire.RepairStatusReply {
-	rep := wire.RepairStatusReply{Server: s.name}
-	eng := s.broker.Repair()
+	return repairStatusOf(s.broker, s.name)
+}
+
+func repairStatusOf(b *core.Broker, name string) wire.RepairStatusReply {
+	rep := wire.RepairStatusReply{Server: name}
+	eng := b.Repair()
 	if eng == nil {
 		return rep
 	}
@@ -813,5 +831,115 @@ func (s *Server) repairStatus() wire.RepairStatusReply {
 			LastErr:  j.LastErr,
 		})
 	}
+	return rep
+}
+
+// staleFraction: a member's window is flagged stale when its retained
+// rollup history covers less than this fraction of the requested
+// window (a just-started server, or retention shorter than the ask).
+const staleFraction = 0.8
+
+// localGridMember builds this server's own contribution to a grid
+// snapshot: the windowed view of its registry, honestly flagged stale
+// when the ring doesn't span the window yet.
+func (s *Server) localGridMember(window time.Duration) wire.GridMember {
+	ws := s.broker.Metrics().Window(window)
+	m := wire.GridMember{Server: s.name, Window: ws}
+	if ws.CoveredSeconds < staleFraction*ws.WindowSeconds {
+		m.Stale = true
+	}
+	return m
+}
+
+// gridStatOnce sends one grid-stat hop with a single attempt — no
+// retry loop. Partial answers are the point of the grid gather: a dead
+// peer must cost one failed dial inside the caller's deadline (and a
+// breaker fast-fail on later scrapes), not a backoff cycle.
+func (s *Server) gridStatOnce(peerName, user string, req *wire.Request, deadline time.Time, sp *obs.Span) (json.RawMessage, error) {
+	addr, ok := s.PeerAddr(peerName)
+	if !ok {
+		return nil, types.E(req.Op, peerName, types.ErrOffline)
+	}
+	var body json.RawMessage
+	fwd := *req
+	fwd.OnBehalf = user
+	err := s.peerDo(peerName, addr, deadline, &fwd, sp, func(pc *peerConn) error {
+		b, err := pc.roundTrip(&fwd)
+		body = b
+		return err
+	})
+	return body, err
+}
+
+// gatherGridStat merges the zone's windowed stats: this server's view
+// plus — when fanout is set — every peer's, gathered best-effort with
+// LocalOnly set so the fan-out is bounded to one hop (the same shape
+// as gatherTrace). Unreachable peers keep their member slot with the
+// error instead of silently vanishing, so a partial aggregate is
+// visibly partial. The grid aggregate recomputes quantiles from the
+// merged bucket deltas of the reachable members.
+func (s *Server) gatherGridStat(user string, window time.Duration, fanout bool, deadline time.Time, sp *obs.Span) wire.GridStatReply {
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	members := []wire.GridMember{s.localGridMember(window)}
+	if fanout {
+		s.mu.RLock()
+		names := make([]string, 0, len(s.peers))
+		for n := range s.peers {
+			names = append(names, n)
+		}
+		s.mu.RUnlock()
+		sort.Strings(names)
+		for _, pn := range names {
+			args, err := json.Marshal(wire.GridStatArgs{WindowSeconds: int64(window / time.Second), LocalOnly: true})
+			if err != nil {
+				continue
+			}
+			req := &wire.Request{Op: wire.OpGridStat, Args: args}
+			body, err := s.gridStatOnce(pn, user, req, deadline, sp)
+			if err != nil {
+				members = append(members, wire.GridMember{Server: pn, Unreachable: true, Err: err.Error()})
+				continue
+			}
+			var rep wire.GridStatReply
+			if err := json.Unmarshal(body, &rep); err != nil || len(rep.Members) == 0 {
+				members = append(members, wire.GridMember{Server: pn, Unreachable: true, Err: "malformed grid-stat reply"})
+				continue
+			}
+			m := rep.Members[0]
+			m.Server = pn
+			members = append(members, m)
+		}
+	}
+	wins := make([]obs.WindowStats, 0, len(members))
+	for _, m := range members {
+		if !m.Unreachable {
+			wins = append(wins, m.Window)
+		}
+	}
+	return wire.GridStatReply{
+		Server:        s.name,
+		WindowSeconds: window.Seconds(),
+		Members:       members,
+		Grid:          obs.MergeWindows(wins),
+	}
+}
+
+// alerts snapshots the SLO evaluator for the alerts wire op and the
+// admin /alerts endpoint.
+func (s *Server) alerts() wire.AlertsReply {
+	return alertsOf(s.broker, s.name)
+}
+
+func alertsOf(b *core.Broker, name string) wire.AlertsReply {
+	rep := wire.AlertsReply{Server: name}
+	ev := b.SLO()
+	if ev == nil {
+		return rep
+	}
+	rep.Enabled = true
+	rep.Rules = ev.Status()
+	rep.Alerts = ev.AlertLog().Recent(0)
 	return rep
 }

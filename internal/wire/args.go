@@ -81,6 +81,14 @@ const (
 	// OpChecksum verifies every replica of one object against the
 	// catalog checksum without repairing anything.
 	OpChecksum = "checksum"
+	// OpGridStat reports windowed rates/quantiles from the rollup
+	// ring. The first server asked also fans out to its zone peers
+	// (unless LocalOnly) and merges the answers into one grid
+	// snapshot, flagging dead peers unreachable rather than failing.
+	OpGridStat = "gridstat"
+	// OpAlerts reports the server's SLO rule standings and the bounded
+	// log of fire/resolve transitions.
+	OpAlerts = "alerts"
 )
 
 // PathArgs addresses one logical path.
@@ -344,6 +352,48 @@ type RepairStatusReply struct {
 	// Enabled is false when the daemon runs without a repair engine.
 	Enabled bool
 	Status  RepairStatus
+}
+
+// GridStatArgs selects the trailing window. LocalOnly suppresses the
+// zone fan-out (it is set on peer hops, bounding the gather to one
+// level, and by `srb top` without -grid).
+type GridStatArgs struct {
+	WindowSeconds int64
+	LocalOnly     bool
+}
+
+// GridMember is one zone member's contribution to a grid snapshot.
+// Unreachable members keep their slot (with the error) so a partial
+// aggregate is visibly partial; Stale flags members whose retained
+// history covers less than ~80% of the requested window.
+type GridMember struct {
+	Server      string
+	Unreachable bool   `json:",omitempty"`
+	Stale       bool   `json:",omitempty"`
+	Err         string `json:",omitempty"`
+	Window      obs.WindowStats
+}
+
+// GridStatReply is the merged grid view: per-member windows plus the
+// cross-server aggregate (quantiles recomputed from merged buckets).
+type GridStatReply struct {
+	Server        string
+	WindowSeconds float64
+	Members       []GridMember
+	Grid          obs.WindowStats
+}
+
+// AlertsArgs selects the alert view (local only; SLO rules are
+// per-daemon configuration).
+type AlertsArgs struct{}
+
+// AlertsReply carries the server's SLO standings and recent alert
+// transitions. Enabled is false when the daemon declared no rules.
+type AlertsReply struct {
+	Server  string
+	Enabled bool
+	Rules   []obs.SLOStatus `json:",omitempty"`
+	Alerts  []obs.Alert     `json:",omitempty"`
 }
 
 // ScrubReply carries the scrub pass report.

@@ -140,7 +140,8 @@ func Idempotent(op string) bool {
 	case OpList, OpStat, OpGet, OpGetObject, OpReadRange, OpGetMeta,
 		OpAnnotations, OpQuery, OpQueryAttrs, OpResources, OpServerStats,
 		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit,
-		OpTrace, OpUsage, OpRepairStatus, OpChecksum, OpScrub:
+		OpTrace, OpUsage, OpRepairStatus, OpChecksum, OpScrub,
+		OpGridStat, OpAlerts:
 		// OpScrub mutates replicas, but only toward the catalog
 		// checksum — re-running a scrub is always safe.
 		return true
