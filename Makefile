@@ -10,11 +10,20 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X gosrb/internal/obs.Version=$(VERSION)"
 
-.PHONY: all check vet build test race test-faults test-repair bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate clean
+.PHONY: all check lint vet build test race test-faults test-repair bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate clean
 
 all: check
 
-check: vet build race test-faults test-repair bench-obs-gate bench-grid-gate
+check: lint build race test-faults test-repair bench-obs-gate bench-grid-gate bench-flight-gate
+
+# Static analysis: go vet always; staticcheck only when the host has it
+# installed (the build image does not — never install it from check).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet ran)"; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +86,19 @@ bench-grid:
 bench-grid-gate:
 	BENCH_GRID_GATE=1 $(GO) test -run TestGridBenchGate -v .
 
+# Flight-recorder report: measures broker Get latency under a 2ms
+# rollup-capture/journal-flush loop vs idle telemetry and writes
+# BENCH_flight.json — the cost ceiling of durable telemetry on the hot
+# path.
+bench-flight:
+	BENCH_FLIGHT=1 $(GO) test -run TestFlightBenchReport -v .
+
+# Regression fence on the committed baseline: fails when the measured
+# journal-flush overhead exceeds BENCH_flight.json's overhead_pct by
+# more than 5 percentage points.
+bench-flight-gate:
+	BENCH_FLIGHT_GATE=1 $(GO) test -run TestFlightBenchGate -v .
+
 clean:
-	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json
+	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json
 	$(GO) clean -testcache

@@ -1059,3 +1059,162 @@ func TestGridBenchGate(t *testing.T) {
 			overhead, allowed, slackPct)
 	}
 }
+
+// flightBenchFlushes runs the flight recorder's journal flush loop at
+// an aggressive cadence (vs the 30s production default): one rollup
+// capture plus one incremental journal flush per tick, against a real
+// on-disk TelemetryStore, so the measured overhead is a ceiling on what
+// durable telemetry costs a busy broker.
+func flightBenchFlushes(tb testing.TB, reg *obs.Registry, every time.Duration) (stop func()) {
+	tb.Helper()
+	telem, err := obs.OpenTelemetryStore(tb.TempDir(), "bench", time.Hour)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				reg.CaptureRollup(time.Now())
+				if err := telem.Flush(reg, nil, time.Now()); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		telem.Close(reg, nil, time.Now())
+	}
+}
+
+// TestFlightBenchReport measures what durable telemetry costs the hot
+// path: broker Get latency with a 2ms capture+journal-flush loop (vs
+// idle telemetry). Writes BENCH_flight.json (the Makefile's
+// bench-flight target, BENCH_FLIGHT=1).
+func TestFlightBenchReport(t *testing.T) {
+	if os.Getenv("BENCH_FLIGHT") == "" {
+		t.Skip("set BENCH_FLIGHT=1 to emit BENCH_flight.json")
+	}
+	payload := workload.NewGen(31).Bytes(4 << 10)
+	const objects = 64
+	measure := func(flushing bool) float64 {
+		br := obsBenchBroker(t, true, objects, payload)
+		if flushing {
+			defer flightBenchFlushes(t, br.Metrics(), 2*time.Millisecond)()
+		}
+		best := 0.0
+		for round := 0; round < 3; round++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := obsBenchOp(br, false, i, objects, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if v := float64(res.NsPerOp()); round == 0 || v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	plain := measure(false)
+	flushed := measure(true)
+	overhead := 0.0
+	if plain > 0 {
+		overhead = (flushed - plain) / plain * 100
+	}
+	report := struct {
+		Benchmark      string  `json:"benchmark"`
+		PayloadBytes   int     `json:"payload_bytes"`
+		FlushEveryMS   float64 `json:"flush_every_ms"`
+		PlainNsPerOp   float64 `json:"plain_ns_per_op"`
+		FlushedNsPerOp float64 `json:"flushed_ns_per_op"`
+		OverheadPct    float64 `json:"overhead_pct"`
+	}{
+		Benchmark:      "flight-flush-overhead",
+		PayloadBytes:   len(payload),
+		FlushEveryMS:   2,
+		PlainNsPerOp:   plain,
+		FlushedNsPerOp: flushed,
+		OverheadPct:    overhead,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_flight.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("get: %.0f ns idle vs %.0f ns under 2ms journal flushing (%.2f%% overhead)",
+		plain, flushed, overhead)
+}
+
+// TestFlightBenchGate re-measures the journal-flush overhead and fails
+// when it regressed more than 5 percentage points past the committed
+// BENCH_flight.json baseline — the `make bench-flight-gate` fence
+// riding `make check`. Gated behind BENCH_FLIGHT_GATE=1; skips with no
+// baseline.
+func TestFlightBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_FLIGHT_GATE") == "" {
+		t.Skip("set BENCH_FLIGHT_GATE=1 to check against BENCH_flight.json")
+	}
+	raw, err := os.ReadFile("BENCH_flight.json")
+	if err != nil {
+		t.Skipf("no baseline: %v (run `make bench-flight` first)", err)
+	}
+	var baseline struct {
+		OverheadPct float64 `json:"overhead_pct"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("unreadable BENCH_flight.json: %v", err)
+	}
+	payload := workload.NewGen(31).Bytes(4 << 10)
+	// Pairwise rounds, same reasoning as the obs and grid gates: time
+	// the idle and the flushing broker back to back each round and keep
+	// the round with the lowest overhead.
+	const objects = 64
+	plainBr := obsBenchBroker(t, true, objects, payload)
+	flushBr := obsBenchBroker(t, true, objects, payload)
+	defer flightBenchFlushes(t, flushBr.Metrics(), 2*time.Millisecond)()
+	run := func(br *core.Broker) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := obsBenchOp(br, false, i, objects, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	overhead := 0.0
+	for round := 0; round < 5; round++ {
+		plain, flushed := run(plainBr), run(flushBr)
+		v := 0.0
+		if plain > 0 {
+			v = (flushed - plain) / plain * 100
+		}
+		if round == 0 || v < overhead {
+			overhead = v
+		}
+	}
+	const slackPct = 5.0
+	allowed := baseline.OverheadPct
+	if allowed < 0 {
+		allowed = 0
+	}
+	t.Logf("journal-flush overhead %.2f%% now vs %.2f%% at baseline", overhead, baseline.OverheadPct)
+	if overhead > allowed+slackPct {
+		t.Errorf("flush overhead %.2f%% exceeds baseline %.2f%% + %.1f points",
+			overhead, allowed, slackPct)
+	}
+}

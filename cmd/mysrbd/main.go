@@ -10,11 +10,14 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -52,6 +55,9 @@ func main() {
 		rollupEvery = flag.Duration("rollup-interval", obs.DefaultRollupInterval, "telemetry rollup capture interval feeding /metrics?window=, /grid and the dashboard (0 disables windowed stats)")
 		sloRules    = flag.String("slo-rules", "", "SLO rules file, one rule per line (e.g. 'get p99 < 50ms over 5m'); empty disables SLO evaluation")
 		sloEvery    = flag.Duration("slo-interval", 30*time.Second, "how often declared SLO rules are evaluated against the rollup ring")
+
+		telemetryDir = flag.String("telemetry-dir", "", "flight recorder directory: durable telemetry journal plus incident bundles, restored at boot (empty disables)")
+		telemetryRet = flag.Duration("telemetry-retention", 24*time.Hour, "how much telemetry and incident history survives compaction (0 keeps whatever the rings retain)")
 	)
 	var resources, users repeated
 	flag.Var(&resources, "resource", "resource: name=driver:arg; repeatable")
@@ -71,6 +77,26 @@ func main() {
 		}
 	}
 	broker := core.New(cat, "mysrb")
+	// Durable telemetry mirrors srbd: restore windowed history before
+	// any job captures new rollups.
+	var telem *obs.TelemetryStore
+	var restoredAlerts []obs.Alert
+	if *telemetryDir != "" {
+		var err error
+		telem, err = obs.OpenTelemetryStore(*telemetryDir, "mysrb", *telemetryRet)
+		if err != nil {
+			logger.Fatalf("telemetry: %v", err)
+		}
+		snap, err := telem.Restore(broker.Metrics())
+		if err != nil {
+			logger.Fatalf("telemetry restore: %v", err)
+		}
+		restoredAlerts = snap.Alerts
+		if len(snap.Rollups)+len(snap.Alerts)+len(snap.Peers) > 0 {
+			logger.Printf("telemetry restored: %d rollups, %d alerts, %d peer rows",
+				len(snap.Rollups), len(snap.Alerts), len(snap.Peers))
+		}
+	}
 	authn := auth.New()
 	authn.Register(*adminUser, *adminPw)
 	for _, u := range users {
@@ -135,12 +161,65 @@ func main() {
 			logger.Fatalf("slo rules: %v", err)
 		}
 		ev := obs.NewSLOEvaluator(broker.Metrics(), rules)
+		for _, a := range restoredAlerts {
+			ev.AlertLog().Add(a)
+		}
 		broker.SetSLO(ev)
 		eng.AddJob("slo", *sloEvery, 0.1, func(sp *obs.Span) error {
 			ev.Evaluate(time.Now())
 			return nil
 		})
 		logger.Printf("%d SLO rule(s) from %s, evaluated every %s", len(rules), *sloRules, *sloEvery)
+	}
+	// The flight recorder mirrors srbd, minus the federated grid
+	// snapshot (mysrbd has no wire server to gather it).
+	if telem != nil {
+		rec, err := obs.NewIncidentRecorder(obs.IncidentConfig{
+			Dir:      filepath.Join(*telemetryDir, "incidents"),
+			Server:   "mysrb",
+			Registry: broker.Metrics(),
+			Extra: func() map[string][]byte {
+				files := make(map[string][]byte)
+				if b, err := json.Marshal(broker.Breakers().States()); err == nil {
+					files["breakers.json"] = b
+				}
+				if b, err := json.Marshal(eng.Status()); err == nil {
+					files["repair.json"] = b
+				}
+				return files
+			},
+		})
+		if err != nil {
+			logger.Fatalf("flight recorder: %v", err)
+		}
+		broker.SetIncidents(rec)
+		if ev := broker.SLO(); ev != nil {
+			ev.SetOnFire(func(now time.Time, rule obs.SLORule, alert obs.Alert) {
+				go func() {
+					meta, err := rec.Capture(now, rule.Name, "slo-fired", alert.Detail, rule.Window)
+					switch {
+					case err == nil:
+						logger.Printf("incident captured: %s", meta.ID)
+					case !errors.Is(err, obs.ErrRateLimited):
+						logger.Printf("incident capture: %v", err)
+					}
+				}()
+			})
+		}
+		eng.AddJob("telemetry", obs.DefaultTelemetryFlush, 0.1, func(sp *obs.Span) error {
+			var alog *obs.AlertLog
+			if ev := broker.SLO(); ev != nil {
+				alog = ev.AlertLog()
+			}
+			if err := telem.Flush(broker.Metrics(), alog, time.Now()); err != nil {
+				return err
+			}
+			if *telemetryRet > 0 {
+				rec.Prune(time.Now().Add(-*telemetryRet))
+			}
+			return nil
+		})
+		logger.Printf("flight recorder on %s (retention %s)", *telemetryDir, *telemetryRet)
 	}
 	broker.SetRepair(eng)
 	eng.Start()

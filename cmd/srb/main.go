@@ -64,12 +64,22 @@ commands:
                                      latency quantiles, byte totals);
                                      -json emits the raw snapshot
   opstats                            server telemetry (alias of bare stat)
-  top [-grid] [-window 5m] [-json]   windowed rates and p50/p95/p99 from
+  top [-grid] [-window 5m] [-sort rate|p99|errors] [-json]
+                                     windowed rates and p50/p95/p99 from
                                      the rollup ring; -grid merges every
                                      zone member (dead peers flagged
-                                     unreachable, not fatal)
+                                     unreachable, not fatal); -sort
+                                     orders the op table (default: name)
   alerts [-json]                     SLO rule standings and the bounded
                                      fire/resolve alert log
+  incident list [-json]              flight recorder bundle index
+  incident get <id> [-json]          download one incident bundle into
+                                     ./<id>/ (-json prints the meta)
+  incident capture [reason...]       capture an on-demand bundle (blocks
+                                     ~2s for the CPU profile)
+  peers [-json]                      peer transfer observatory: EWMA
+                                     latency/bandwidth and success rate
+                                     per federation peer and resource
   trace <id>                         span tree of a recent operation,
                                      gathered from every zone server
   usage [-json] [user [collection]]  per-user/collection usage accounting
@@ -175,6 +185,7 @@ func run(cl *client.Client, cmd string, args []string) error {
 	case "top":
 		window := 5 * time.Minute
 		grid, jsonOut := false, false
+		sortKey := ""
 		for i := 0; i < len(args); i++ {
 			switch args[i] {
 			case "-grid":
@@ -191,8 +202,19 @@ func run(cl *client.Client, cmd string, args []string) error {
 					return fmt.Errorf("bad -window %q (want a duration like 5m)", args[i])
 				}
 				window = d
+			case "-sort":
+				i++
+				if i >= len(args) {
+					return fmt.Errorf("-sort needs a key (rate, p99 or errors)")
+				}
+				switch args[i] {
+				case "rate", "p99", "errors":
+					sortKey = args[i]
+				default:
+					return fmt.Errorf("bad -sort %q (want rate, p99 or errors)", args[i])
+				}
 			default:
-				return fmt.Errorf("unknown top flag %q (want -grid, -window, -json)", args[i])
+				return fmt.Errorf("unknown top flag %q (want -grid, -window, -sort, -json)", args[i])
 			}
 		}
 		rep, err := cl.GridStat(window, grid)
@@ -204,7 +226,7 @@ func run(cl *client.Client, cmd string, args []string) error {
 			enc.SetIndent("", "  ")
 			return enc.Encode(rep)
 		}
-		return printGrid(rep)
+		return printGrid(rep, sortKey)
 
 	case "alerts":
 		jsonOut := len(args) > 0 && args[0] == "-json"
@@ -240,6 +262,100 @@ func run(cl *client.Client, cmd string, args []string) error {
 				kind = "FIRED"
 			}
 			fmt.Printf("  %s %-8s %-24s %s\n", a.At.Format("15:04:05"), kind, a.Rule, a.Detail)
+		}
+		return nil
+
+	case "incident":
+		switch sub := need(args, 0, "subcommand (list|get|capture)"); sub {
+		case "list":
+			rep, err := cl.Incidents()
+			if err != nil {
+				return err
+			}
+			if len(args) > 1 && args[1] == "-json" {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(rep)
+			}
+			fmt.Printf("server: %s\n", rep.Server)
+			if !rep.Enabled {
+				fmt.Println("flight recorder: disabled (start the daemon with -telemetry-dir)")
+				return nil
+			}
+			if len(rep.Incidents) == 0 {
+				fmt.Println("no incidents captured")
+				return nil
+			}
+			for _, m := range rep.Incidents {
+				fmt.Printf("%s  %-20s %-10s %d file(s)  %s\n",
+					m.At.Format(time.RFC3339), m.Rule, m.Reason, len(m.Files), m.ID)
+			}
+			return nil
+		case "get":
+			id := need(args, 1, "incident id")
+			rep, err := cl.IncidentGet(id)
+			if err != nil {
+				return err
+			}
+			// Default: dump the bundle into a local directory named after
+			// the incident; -json prints the meta + file listing instead.
+			if len(args) > 2 && args[2] == "-json" {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(rep.Meta)
+			}
+			outDir := rep.Meta.ID
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			names := make([]string, 0, len(rep.Files))
+			for name := range rep.Files {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if err := os.WriteFile(outDir+"/"+name, rep.Files[name], 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s/%s (%d bytes)\n", outDir, name, len(rep.Files[name]))
+			}
+			fmt.Printf("incident %s from %s: rule=%s reason=%s\n",
+				rep.Meta.ID, rep.Server, rep.Meta.Rule, rep.Meta.Reason)
+			return nil
+		case "capture":
+			reason := strings.Join(args[1:], " ")
+			rep, err := cl.IncidentCapture(reason)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("captured %s on %s (%d file(s))\n", rep.Meta.ID, rep.Server, len(rep.Meta.Files))
+			return nil
+		default:
+			return fmt.Errorf("unknown incident subcommand %q (want list, get or capture)", sub)
+		}
+
+	case "peers":
+		jsonOut := len(args) > 0 && args[0] == "-json"
+		rep, err := cl.Peers()
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		fmt.Printf("server: %s\n", rep.Server)
+		if len(rep.Peers) == 0 {
+			fmt.Println("no transfer history recorded")
+			return nil
+		}
+		fmt.Printf("%-16s %-12s %8s %6s %12s %10s %12s %8s\n",
+			"PEER", "RESOURCE", "OPS", "ERRS", "BYTES", "EWMA_MS", "EWMA_MBPS", "SUCC%")
+		for _, p := range rep.Peers {
+			fmt.Printf("%-16s %-12s %8d %6d %12d %10.2f %12.2f %8.1f\n",
+				p.Peer, p.Resource, p.Ops, p.Errors, p.Bytes,
+				p.EWMALatMicros/1000, p.EWMABytesPerSec/1e6, p.SuccessPct)
 		}
 		return nil
 
@@ -690,8 +806,10 @@ func printOpStats(cl *client.Client) error {
 }
 
 // printGrid renders a grid-stat reply: one status line per member,
-// then the merged aggregate's windowed rates and quantiles.
-func printGrid(rep wire.GridStatReply) error {
+// then the merged aggregate's windowed rates and quantiles. sortKey
+// orders the op table: "" by name, "rate" by ops/sec, "p99" by p99
+// latency, "errors" by windowed error rate (all descending).
+func printGrid(rep wire.GridStatReply, sortKey string) error {
 	fmt.Printf("grid via %s  window: %.0fs  members: %d\n", rep.Server, rep.WindowSeconds, len(rep.Members))
 	for _, m := range rep.Members {
 		status := "ok"
@@ -719,6 +837,20 @@ func printGrid(rep wire.GridStatReply) error {
 		return nil
 	}
 	sort.Strings(ops)
+	switch sortKey {
+	case "rate":
+		sort.SliceStable(ops, func(i, j int) bool {
+			return rep.Grid.Ops[ops[i]].PerSec > rep.Grid.Ops[ops[j]].PerSec
+		})
+	case "p99":
+		sort.SliceStable(ops, func(i, j int) bool {
+			return rep.Grid.Ops[ops[i]].P99Micros > rep.Grid.Ops[ops[j]].P99Micros
+		})
+	case "errors":
+		sort.SliceStable(ops, func(i, j int) bool {
+			return rep.Grid.Ops[ops[i]].ErrorPct > rep.Grid.Ops[ops[j]].ErrorPct
+		})
+	}
 	fmt.Printf("\n%-26s %8s %9s %7s %10s %10s %10s\n",
 		"op", "count", "per_sec", "err%", "p50(us)", "p95(us)", "p99(us)")
 	for _, name := range ops {

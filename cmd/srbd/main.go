@@ -14,11 +14,14 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -68,6 +71,9 @@ func main() {
 		rollupEvery = flag.Duration("rollup-interval", obs.DefaultRollupInterval, "telemetry rollup capture interval feeding /metrics?window=, /grid and srb top (0 disables windowed stats)")
 		sloRules    = flag.String("slo-rules", "", "SLO rules file, one rule per line (e.g. 'get p99 < 50ms over 5m'); empty disables SLO evaluation")
 		sloEvery    = flag.Duration("slo-interval", 30*time.Second, "how often declared SLO rules are evaluated against the rollup ring")
+
+		telemetryDir = flag.String("telemetry-dir", "", "flight recorder directory: durable telemetry journal plus incident bundles, restored at boot (empty disables)")
+		telemetryRet = flag.Duration("telemetry-retention", 24*time.Hour, "how much telemetry and incident history survives compaction (0 keeps whatever the rings retain)")
 	)
 	var resources, users, peers, logicals, asyncRepl repeated
 	flag.Var(&resources, "resource", "physical resource: name=driver:arg (driver: posixfs|memfs|archivefs|dbfs); repeatable")
@@ -145,6 +151,28 @@ func main() {
 		}
 	}
 	broker := core.New(cat, *name)
+
+	// Durable telemetry: restore the previous run's windowed history,
+	// usage and peer observatory before any job captures new rollups, so
+	// `srb top -window 1h` and SLO burn math answer across the restart.
+	var telem *obs.TelemetryStore
+	var restoredAlerts []obs.Alert
+	if *telemetryDir != "" {
+		var err error
+		telem, err = obs.OpenTelemetryStore(*telemetryDir, *name, *telemetryRet)
+		if err != nil {
+			logger.Fatalf("telemetry: %v", err)
+		}
+		snap, err := telem.Restore(broker.Metrics())
+		if err != nil {
+			logger.Fatalf("telemetry restore: %v", err)
+		}
+		restoredAlerts = snap.Alerts
+		if len(snap.Rollups)+len(snap.Alerts)+len(snap.Peers) > 0 {
+			logger.Printf("telemetry restored: %d rollups, %d alerts, %d peer rows",
+				len(snap.Rollups), len(snap.Alerts), len(snap.Peers))
+		}
+	}
 
 	authn := auth.New()
 	authn.Register(*adminUser, *adminPw)
@@ -259,6 +287,11 @@ func main() {
 			logger.Fatalf("slo rules: %v", err)
 		}
 		ev := obs.NewSLOEvaluator(broker.Metrics(), rules)
+		// Restored alert history seeds the fresh log so `srb alerts` and
+		// the telemetry journal's sequence numbers continue seamlessly.
+		for _, a := range restoredAlerts {
+			ev.AlertLog().Add(a)
+		}
 		broker.SetSLO(ev)
 		eng.AddJob("slo", *sloEvery, 0.1, func(sp *obs.Span) error {
 			for _, st := range ev.Evaluate(time.Now()) {
@@ -269,6 +302,62 @@ func main() {
 			return nil
 		})
 		logger.Printf("%d SLO rule(s) from %s, evaluated every %s", len(rules), *sloRules, *sloEvery)
+	}
+	// The flight recorder: incident bundles on SLO fire (or on demand via
+	// `srb incident capture`), and a journal flush job riding the repair
+	// scheduler that also prunes aged-out bundles.
+	if telem != nil {
+		rec, err := obs.NewIncidentRecorder(obs.IncidentConfig{
+			Dir:      filepath.Join(*telemetryDir, "incidents"),
+			Server:   *name,
+			Registry: broker.Metrics(),
+			Extra: func() map[string][]byte {
+				files := make(map[string][]byte)
+				if b, err := json.Marshal(srv.GridStat(5 * time.Minute)); err == nil {
+					files["grid.json"] = b
+				}
+				if b, err := json.Marshal(broker.Breakers().States()); err == nil {
+					files["breakers.json"] = b
+				}
+				if b, err := json.Marshal(eng.Status()); err == nil {
+					files["repair.json"] = b
+				}
+				return files
+			},
+		})
+		if err != nil {
+			logger.Fatalf("flight recorder: %v", err)
+		}
+		broker.SetIncidents(rec)
+		if ev := broker.SLO(); ev != nil {
+			ev.SetOnFire(func(now time.Time, rule obs.SLORule, alert obs.Alert) {
+				// Capture off the evaluation goroutine: the CPU profile
+				// sleeps ~2s and must not stall the SLO job.
+				go func() {
+					meta, err := rec.Capture(now, rule.Name, "slo-fired", alert.Detail, rule.Window)
+					switch {
+					case err == nil:
+						logger.Printf("incident captured: %s", meta.ID)
+					case !errors.Is(err, obs.ErrRateLimited):
+						logger.Printf("incident capture: %v", err)
+					}
+				}()
+			})
+		}
+		eng.AddJob("telemetry", obs.DefaultTelemetryFlush, 0.1, func(sp *obs.Span) error {
+			var alog *obs.AlertLog
+			if ev := broker.SLO(); ev != nil {
+				alog = ev.AlertLog()
+			}
+			if err := telem.Flush(broker.Metrics(), alog, time.Now()); err != nil {
+				return err
+			}
+			if *telemetryRet > 0 {
+				rec.Prune(time.Now().Add(-*telemetryRet))
+			}
+			return nil
+		})
+		logger.Printf("flight recorder on %s (retention %s)", *telemetryDir, *telemetryRet)
 	}
 	broker.SetRepair(eng)
 	eng.Start()
@@ -324,6 +413,15 @@ func main() {
 	}
 	logger.Printf("final stats: uptime=%.0fs ops=%d errors=%d audit_dropped=%d",
 		snap.UptimeSeconds, totalOps, totalErrs, cat.Audit.Dropped())
+	if telem != nil {
+		var alog *obs.AlertLog
+		if ev := broker.SLO(); ev != nil {
+			alog = ev.AlertLog()
+		}
+		if err := telem.Close(broker.Metrics(), alog, time.Now()); err != nil {
+			logger.Printf("telemetry close: %v", err)
+		}
+	}
 	snapshot()
 	if jnl != nil {
 		jnl.Close()

@@ -58,6 +58,9 @@ type Client struct {
 	// lastTrace remembers the trace ID minted for the most recent
 	// logical call, so callers can fetch its span tree afterwards.
 	lastTrace string
+	// history, when set, receives one per-server transfer observation
+	// per logical call — the client-side feed of the peer observatory.
+	history *obs.PeerHistory
 }
 
 // Dial connects and authenticates to the server at addr.
@@ -97,6 +100,15 @@ func (cl *Client) SetRetryPolicy(p resilience.Policy) {
 	if p.MaxAttempts > 0 {
 		cl.retry = p
 	}
+	cl.mu.Unlock()
+}
+
+// SetPeerHistory attaches a transfer observatory table: every logical
+// call then records its latency, payload bytes and transport outcome
+// against the serving server's name (nil detaches).
+func (cl *Client) SetPeerHistory(ph *obs.PeerHistory) {
+	cl.mu.Lock()
+	cl.history = ph
 	cl.mu.Unlock()
 }
 
@@ -202,6 +214,7 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 		OnRetry: func(int, error) { cl.retries++; attempt++ },
 	}
 	var result []byte
+	start := time.Now()
 	err := r.Do(func() error {
 		data, err := cl.callRedirect(op, args, sendData, out, ticket, trace, attempt, deadline)
 		if err != nil {
@@ -215,6 +228,10 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 		result = data
 		return nil
 	})
+	// Feed the observatory with the whole logical call (retries and
+	// redirects included — that is the latency the user experienced).
+	cl.history.Record(cl.server, "", time.Since(start),
+		int64(len(result)+len(sendData)), err != nil && resilience.Transport(err))
 	return result, err
 }
 
@@ -727,6 +744,38 @@ func (cl *Client) GridStat(window time.Duration, grid bool) (wire.GridStatReply,
 func (cl *Client) Alerts() (wire.AlertsReply, error) {
 	var out wire.AlertsReply
 	_, err := cl.call(wire.OpAlerts, wire.AlertsArgs{}, nil, &out)
+	return out, err
+}
+
+// Incidents fetches the connected server's incident bundle index
+// (flight recorder), newest first.
+func (cl *Client) Incidents() (wire.IncidentsReply, error) {
+	var out wire.IncidentsReply
+	_, err := cl.call(wire.OpIncidents, wire.IncidentsArgs{}, nil, &out)
+	return out, err
+}
+
+// IncidentGet fetches one full incident bundle by index ID: meta plus
+// every captured file (profiles, span trees, state snapshots).
+func (cl *Client) IncidentGet(id string) (wire.IncidentGetReply, error) {
+	var out wire.IncidentGetReply
+	_, err := cl.call(wire.OpIncidentGet, wire.IncidentGetArgs{ID: id}, nil, &out)
+	return out, err
+}
+
+// IncidentCapture triggers an on-demand incident capture on the
+// connected server. The call blocks for the CPU profile window (~2s).
+func (cl *Client) IncidentCapture(reason string) (wire.IncidentCaptureReply, error) {
+	var out wire.IncidentCaptureReply
+	_, err := cl.call(wire.OpIncidentCapture, wire.IncidentCaptureArgs{Reason: reason}, nil, &out)
+	return out, err
+}
+
+// Peers fetches the connected server's transfer observatory: per-peer
+// and per-resource EWMA latency, bandwidth and success history.
+func (cl *Client) Peers() (wire.PeersReply, error) {
+	var out wire.PeersReply
+	_, err := cl.call(wire.OpPeers, wire.PeersArgs{}, nil, &out)
 	return out, err
 }
 

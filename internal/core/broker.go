@@ -74,6 +74,11 @@ type Broker struct {
 	// alert log the server's /alerts, /healthz and OpAlerts surfaces
 	// read. nil when the daemon declared no rules.
 	sloEval *obs.SLOEvaluator
+
+	// incidents, when attached, is the flight recorder whose bundle
+	// index the /incidents and OpIncidents surfaces read. nil when the
+	// daemon runs without a telemetry dir.
+	incidents *obs.IncidentRecorder
 }
 
 // brokerOps caches the per-operation metric handles. All fields may be
@@ -156,6 +161,22 @@ func (b *Broker) SLO() *obs.SLOEvaluator {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.sloEval
+}
+
+// SetIncidents attaches the incident flight recorder. Call once at
+// daemon startup.
+func (b *Broker) SetIncidents(r *obs.IncidentRecorder) {
+	b.mu.Lock()
+	b.incidents = r
+	b.mu.Unlock()
+}
+
+// Incidents returns the attached flight recorder (nil when the daemon
+// runs without a telemetry dir).
+func (b *Broker) Incidents() *obs.IncidentRecorder {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.incidents
 }
 
 // repairKick wakes the engine's dispatcher after an enqueue.

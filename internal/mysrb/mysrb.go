@@ -96,6 +96,9 @@ func (a *App) routes() {
 	a.mux.HandleFunc("/status", a.withSession("status", a.handleStatus))
 	a.mux.HandleFunc("/usage", a.withSession("usage", a.handleUsage))
 	a.mux.HandleFunc("/grid", a.withSession("grid", a.handleGrid))
+	a.mux.HandleFunc("/incidents", a.withSession("incidents", a.handleIncidents))
+	a.mux.HandleFunc("/incident", a.withSession("incident", a.handleIncidentFile))
+	a.mux.HandleFunc("/peers", a.withSession("peers", a.handlePeers))
 }
 
 // withSession performs the paper's "security checks on the session keys

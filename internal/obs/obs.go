@@ -240,6 +240,7 @@ type Registry struct {
 	traces   *TraceRing
 	usage    *UsageTable
 	rollups  *RollupRing
+	peers    *PeerHistory
 }
 
 // NewRegistry returns an empty registry.
@@ -252,6 +253,7 @@ func NewRegistry() *Registry {
 		traces:   NewTraceRing(256),
 		usage:    NewUsageTable(),
 		rollups:  NewRollupRing(DefaultRollupSlots),
+		peers:    NewPeerHistory(),
 	}
 }
 

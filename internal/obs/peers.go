@@ -1,0 +1,194 @@
+// The peer transfer observatory: a bounded per-peer / per-resource
+// transfer-history table fed by the federation chokepoint (every peer
+// round trip), the replica read path (every driver read) and the
+// client. Rows keep EWMA latency and bandwidth, lifetime success rate
+// and the same pow2 latency histogram the op metrics use, so the table
+// is directly comparable with windowed op stats — and is the ranked
+// input a cost-model replica selector needs (Replica Selection in the
+// Globus Data Grid estimates transfer cost exactly from this kind of
+// observed history). Persisted through the telemetry journal.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ewmaAlpha weights the newest observation in the moving averages: high
+// enough to follow a regime change within a handful of transfers, low
+// enough that one outlier does not rewrite history.
+const ewmaAlpha = 0.2
+
+// maxPeerRows bounds the table so adversarial resource churn cannot
+// grow it without limit; once full, new keys are dropped.
+const maxPeerRows = 256
+
+// PeerStat is one observatory row: either a federated peer (Peer set)
+// or a local storage resource (Resource set). JSON-ready for the wire
+// PeersReply, the admin /peers endpoint and the telemetry journal.
+type PeerStat struct {
+	Peer     string `json:",omitempty"`
+	Resource string `json:",omitempty"`
+	Ops      int64
+	Errors   int64
+	Bytes    int64
+	// EWMALatMicros is the exponentially weighted moving average of
+	// observed call latency.
+	EWMALatMicros float64
+	// EWMABytesPerSec is the EWMA of observed throughput, computed only
+	// from calls that actually moved bytes.
+	EWMABytesPerSec float64
+	// SuccessPct is lifetime (Ops-Errors)/Ops, where an error means a
+	// transport-level failure — an application error proves the target
+	// alive and counts as success.
+	SuccessPct float64
+	LastSeen   time.Time
+	Buckets    []BucketCount `json:",omitempty"`
+}
+
+// peerKey identifies one observatory row.
+type peerKey struct {
+	peer     string
+	resource string
+}
+
+// peerRow is the mutable state behind one PeerStat.
+type peerRow struct {
+	stat    PeerStat
+	buckets [histBuckets]int64
+}
+
+// PeerHistory is the observatory table. Safe for concurrent use; all
+// methods tolerate a nil receiver (instrumentation off).
+type PeerHistory struct {
+	mu sync.Mutex
+	m  map[peerKey]*peerRow
+}
+
+// NewPeerHistory returns an empty table.
+func NewPeerHistory() *PeerHistory {
+	return &PeerHistory{m: make(map[peerKey]*peerRow)}
+}
+
+// Record accounts one transfer against (peer, resource): latency d,
+// bytes moved (0 = a control round trip), and whether it failed at the
+// transport level.
+func (p *PeerHistory) Record(peer, resource string, d time.Duration, bytes int64, failed bool) {
+	if p == nil || (peer == "" && resource == "") {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := peerKey{peer: peer, resource: resource}
+	row, ok := p.m[key]
+	if !ok {
+		if len(p.m) >= maxPeerRows {
+			return
+		}
+		row = &peerRow{stat: PeerStat{Peer: peer, Resource: resource}}
+		p.m[key] = row
+	}
+	st := &row.stat
+	st.Ops++
+	if failed {
+		st.Errors++
+	}
+	st.Bytes += bytes
+	st.LastSeen = time.Now()
+	lat := float64(d.Microseconds())
+	if st.EWMALatMicros == 0 {
+		st.EWMALatMicros = lat
+	} else {
+		st.EWMALatMicros += ewmaAlpha * (lat - st.EWMALatMicros)
+	}
+	if bytes > 0 && d > 0 {
+		bps := float64(bytes) / d.Seconds()
+		if st.EWMABytesPerSec == 0 {
+			st.EWMABytesPerSec = bps
+		} else {
+			st.EWMABytesPerSec += ewmaAlpha * (bps - st.EWMABytesPerSec)
+		}
+	}
+	row.buckets[bucketOf(d)]++
+}
+
+// Snapshot returns every row, success rate computed and histogram
+// folded to non-empty buckets, sorted peers first then resources.
+func (p *PeerHistory) Snapshot() []PeerStat {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]PeerStat, 0, len(p.m))
+	for _, row := range p.m {
+		st := row.stat
+		st.Buckets = nil
+		if st.Ops > 0 {
+			st.SuccessPct = 100 * float64(st.Ops-st.Errors) / float64(st.Ops)
+		}
+		for k, n := range row.buckets {
+			if n > 0 {
+				st.Buckets = append(st.Buckets, BucketCount{UpperMicros: BucketUpperMicros(k), Count: n})
+			}
+		}
+		out = append(out, st)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].Peer == "") != (out[j].Peer == "") {
+			return out[i].Peer != ""
+		}
+		if out[i].Peer != out[j].Peer {
+			return out[i].Peer < out[j].Peer
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}
+
+// Restore refills the table from persisted rows (telemetry boot
+// replay), re-expanding the folded histograms. Existing rows with the
+// same key are replaced.
+func (p *PeerHistory) Restore(rows []PeerStat) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range rows {
+		if st.Peer == "" && st.Resource == "" {
+			continue
+		}
+		if len(p.m) >= maxPeerRows {
+			return
+		}
+		row := &peerRow{stat: st}
+		for _, b := range st.Buckets {
+			if k := bucketIndexOf(b.UpperMicros); k >= 0 {
+				row.buckets[k] = b.Count
+			}
+		}
+		row.stat.Buckets = nil
+		p.m[peerKey{peer: st.Peer, resource: st.Resource}] = row
+	}
+}
+
+// bucketIndexOf maps a snapshot bucket bound back to its index
+// (-1 for a bound no pow2 bucket produces).
+func bucketIndexOf(upperMicros int64) int {
+	for k := 0; k < histBuckets; k++ {
+		if BucketUpperMicros(k) == upperMicros {
+			return k
+		}
+	}
+	return -1
+}
+
+// Peers returns the registry's transfer observatory table.
+func (r *Registry) Peers() *PeerHistory {
+	if r == nil {
+		return nil
+	}
+	return r.peers
+}

@@ -55,6 +55,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		var cum int64
 		for _, bk := range o.Buckets {
 			cum += bk.Count
+			// The last pow2 bucket is open-ended: its count belongs only
+			// to +Inf, not to a finite le bound it does not actually obey.
+			if bk.UpperMicros >= BucketUpperMicros(histBuckets-1) {
+				continue
+			}
 			fmt.Fprintf(&b, "%s_duration_seconds_bucket{le=\"%s\"} %d\n",
 				base, formatFloat(float64(bk.UpperMicros)/1e6), cum)
 		}

@@ -156,12 +156,15 @@ type Alert struct {
 	Detail   string  `json:",omitempty"`
 }
 
-// AlertLog is a bounded ring of alert transitions.
+// AlertLog is a bounded ring of alert transitions. total counts every
+// Add ever made (including displaced entries) so the telemetry store
+// can flush incrementally by sequence number.
 type AlertLog struct {
 	mu    sync.Mutex
 	recs  []Alert
 	start int
 	count int
+	total int64
 }
 
 // NewAlertLog returns a log holding up to capacity alerts (256 when
@@ -180,6 +183,7 @@ func (l *AlertLog) Add(a Alert) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.total++
 	if l.count < len(l.recs) {
 		l.recs[(l.start+l.count)%len(l.recs)] = a
 		l.count++
@@ -187,6 +191,42 @@ func (l *AlertLog) Add(a Alert) {
 	}
 	l.recs[l.start] = a
 	l.start = (l.start + 1) % len(l.recs)
+}
+
+// Total returns the lifetime number of alerts added (sequence
+// high-water mark, not the retained count).
+func (l *AlertLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// TailAfter returns the alerts added after sequence number seen (the
+// value a previous Total or TailAfter reported), oldest first, plus the
+// current total. Alerts displaced from the ring before being fetched
+// are lost — acceptable for telemetry flushing, where the flush cadence
+// is far shorter than the time 256 transitions take to accumulate.
+func (l *AlertLog) TailAfter(seen int64) ([]Alert, int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fresh := l.total - seen
+	if fresh <= 0 {
+		return nil, l.total
+	}
+	if fresh > int64(l.count) {
+		fresh = int64(l.count)
+	}
+	out := make([]Alert, 0, fresh)
+	for i := l.count - int(fresh); i < l.count; i++ {
+		out = append(out, l.recs[(l.start+i)%len(l.recs)])
+	}
+	return out, l.total
 }
 
 // Recent returns up to n alerts, oldest first (n <= 0 returns all).
@@ -227,6 +267,7 @@ type SLOEvaluator struct {
 
 	mu     sync.Mutex
 	firing map[string]bool
+	onFire func(now time.Time, rule SLORule, alert Alert)
 }
 
 // NewSLOEvaluator wires rules to a registry. A nil registry or empty
@@ -251,6 +292,20 @@ func (e *SLOEvaluator) AlertLog() *AlertLog {
 	return e.log
 }
 
+// SetOnFire installs a hook invoked once per rule transition to FIRED
+// (not on resolve), after Evaluate has released its lock — the flight
+// recorder's capture trigger. The hook runs synchronously on the
+// evaluating goroutine; a slow hook delays the next evaluation, so
+// daemons wrap slow work (profile capture) in a goroutine.
+func (e *SLOEvaluator) SetOnFire(fn func(now time.Time, rule SLORule, alert Alert)) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onFire = fn
+}
+
 // Evaluate checks every rule against the window ending at now and
 // returns the current status of each. Transitions append to the alert
 // log; slo.<name>.violating / slo.<name>.burn_pct and the aggregate
@@ -259,8 +314,12 @@ func (e *SLOEvaluator) Evaluate(now time.Time) []SLOStatus {
 	if e == nil || e.reg == nil {
 		return nil
 	}
+	type firedEvent struct {
+		rule  SLORule
+		alert Alert
+	}
+	var fired []firedEvent
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	statuses := make([]SLOStatus, 0, len(e.rules))
 	violating := int64(0)
 	for _, r := range e.rules {
@@ -282,7 +341,7 @@ func (e *SLOEvaluator) Evaluate(now time.Time) []SLOStatus {
 		}
 		if st.Violating != e.firing[r.Name] {
 			e.firing[r.Name] = st.Violating
-			e.log.Add(Alert{
+			a := Alert{
 				At:       now,
 				Rule:     r.Name,
 				Raw:      r.Raw,
@@ -290,13 +349,24 @@ func (e *SLOEvaluator) Evaluate(now time.Time) []SLOStatus {
 				Observed: observed,
 				BurnPct:  st.BurnPct,
 				Detail:   fmt.Sprintf("observed %.1f vs threshold %.1f over %s", observed, r.Threshold, r.Window),
-			})
+			}
+			e.log.Add(a)
+			if st.Violating && e.onFire != nil {
+				fired = append(fired, firedEvent{rule: r, alert: a})
+			}
 		}
 		e.reg.Gauge("slo." + r.Name + ".violating").Set(b2i(st.Violating))
 		e.reg.Gauge("slo." + r.Name + ".burn_pct").Set(int64(st.BurnPct))
 		statuses = append(statuses, st)
 	}
 	e.reg.Gauge("slo.violating").Set(violating)
+	hook := e.onFire
+	e.mu.Unlock()
+	// Fire hooks outside the lock: a hook that re-enters the evaluator
+	// (Status, Firing) or captures an incident must not deadlock it.
+	for _, ev := range fired {
+		hook(now, ev.rule, ev.alert)
+	}
 	return statuses
 }
 

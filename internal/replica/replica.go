@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
@@ -58,6 +59,11 @@ type Manager struct {
 	// and records per-resource outcomes, so repeated driver failures
 	// route reads to healthy replicas before the driver is even tried.
 	breakers *resilience.Set
+
+	// peers, when set, is the transfer observatory: every whole-object
+	// read contributes a per-resource latency/bandwidth observation —
+	// the observed history a cost-model replica selector ranks by.
+	peers *obs.PeerHistory
 }
 
 // SetMetrics attaches fan-out counters from the registry (nil detaches).
@@ -65,6 +71,7 @@ func (m *Manager) SetMetrics(r *obs.Registry) {
 	m.fanoutOK = r.Counter("replica.fanout.ok")
 	m.fanoutFail = r.Counter("replica.fanout.fail")
 	m.failover = r.Counter("replica.read.failover")
+	m.peers = r.Peers()
 }
 
 // SetBreakers attaches the per-resource circuit breakers (nil disables
@@ -209,13 +216,17 @@ func (m *Manager) ReadAll(path, preferResource string) ([]byte, types.Replica, e
 }
 
 // ReadAllEv is ReadAll with trace-span annotation (see OpenReadEv).
+// The observatory row charges the whole driver interaction — open plus
+// read — since that is the transfer cost a replica selector would pay.
 func (m *Manager) ReadAllEv(path, preferResource string, sp *obs.Span) ([]byte, types.Replica, error) {
+	start := time.Now()
 	f, r, err := m.OpenReadEv(path, preferResource, sp)
 	if err != nil {
 		return nil, r, err
 	}
 	defer f.Close()
 	data, err := io.ReadAll(f)
+	m.peers.Record("", r.Resource, time.Since(start), int64(len(data)), err != nil)
 	if err != nil {
 		return nil, r, types.E("read", path, err)
 	}

@@ -120,6 +120,53 @@ func NewAdminHandler(env AdminEnv) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(alertsOf(b, env.Name))
 	})
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(incidentsOf(b, env.Name))
+	})
+	mux.HandleFunc("/incidents/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/incidents/")
+		ir := b.Incidents()
+		if ir == nil {
+			http.Error(w, "flight recorder disabled (no -telemetry-dir)", http.StatusNotFound)
+			return
+		}
+		meta, files, err := ir.Get(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		// A file query serves one raw bundle member; otherwise the meta
+		// plus file listing (contents via ?file=).
+		if name := r.URL.Query().Get("file"); name != "" {
+			body, ok := files[name]
+			if !ok {
+				http.Error(w, "no such file in bundle", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(body)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(meta)
+	})
+	mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
+		rep := peersOf(b, env.Name)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(rep)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%-16s %-12s %8s %6s %12s %10s %12s %8s\n",
+			"PEER", "RESOURCE", "OPS", "ERRS", "BYTES", "EWMA_MS", "EWMA_MBPS", "SUCC%")
+		for _, p := range rep.Peers {
+			fmt.Fprintf(w, "%-16s %-12s %8d %6d %12d %10.2f %12.2f %8.1f\n",
+				p.Peer, p.Resource, p.Ops, p.Errors, p.Bytes,
+				p.EWMALatMicros/1000, p.EWMABytesPerSec/1e6, p.SuccessPct)
+		}
+	})
 	mux.HandleFunc("/repair", func(w http.ResponseWriter, r *http.Request) {
 		switch action := r.URL.Query().Get("action"); action {
 		case "":
@@ -212,6 +259,13 @@ func localGridReply(b *core.Broker, name string, window time.Duration) wire.Grid
 // endpoint; a dead peer costs one refused dial, well inside it.
 const adminGridDeadline = 5 * time.Second
 
+// GridStat answers a zone-wide windowed gather on behalf of a local
+// surface (the admin /grid closure and the flight recorder's bundle
+// snapshot use it).
+func (s *Server) GridStat(window time.Duration) wire.GridStatReply {
+	return s.gatherGridStat("admin", window, true, time.Now().Add(adminGridDeadline), nil)
+}
+
 // ServeAdmin starts the admin endpoint on addr ("host:0" picks a port)
 // and returns the bound address. See NewAdminHandler for the routes.
 // The endpoint stops when the server closes.
@@ -221,11 +275,9 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 		return "", err
 	}
 	h := NewAdminHandler(AdminEnv{
-		Name:   s.name,
-		Broker: s.broker,
-		GridStat: func(window time.Duration) wire.GridStatReply {
-			return s.gatherGridStat("admin", window, true, time.Now().Add(adminGridDeadline), nil)
-		},
+		Name:     s.name,
+		Broker:   s.broker,
+		GridStat: s.GridStat,
 	})
 	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	s.mu.Lock()

@@ -688,6 +688,40 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		}
 		return reply(c, s.alerts())
 
+	case wire.OpIncidents:
+		if _, err := decode[wire.IncidentsArgs](req); err != nil {
+			return ss.fail(c, err)
+		}
+		return reply(c, s.incidents())
+
+	case wire.OpIncidentGet:
+		a, err := decode[wire.IncidentGetArgs](req)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		rep, err := s.incidentGet(a.ID)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		return reply(c, rep)
+
+	case wire.OpIncidentCapture:
+		a, err := decode[wire.IncidentCaptureArgs](req)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		rep, err := s.incidentCapture(a.Reason)
+		if err != nil {
+			return ss.fail(c, err)
+		}
+		return reply(c, rep)
+
+	case wire.OpPeers:
+		if _, err := decode[wire.PeersArgs](req); err != nil {
+			return ss.fail(c, err)
+		}
+		return reply(c, s.peersReply())
+
 	case wire.OpScrub:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {

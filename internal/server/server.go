@@ -461,8 +461,14 @@ func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Req
 	}
 	defer pc.close()
 	pc.deadline = deadline
+	start := time.Now()
 	err = fn(pc)
-	if err != nil && resilience.Transport(err) {
+	failed := err != nil && resilience.Transport(err)
+	// Feed the transfer observatory: every peer round trip contributes
+	// latency, moved bytes and transport-level outcome to the per-peer
+	// history (an application error proves the peer alive).
+	s.broker.Metrics().Peers().Record(peerName, "", time.Since(start), pc.bytes, failed)
+	if failed {
 		if br.Failure() {
 			sp.Event(obs.EventBreakerTrip, "peer."+peerName)
 		}
@@ -573,6 +579,9 @@ type peerConn struct {
 	nc       net.Conn
 	c        *wire.Conn
 	deadline time.Time
+	// bytes counts bulk payload moved on this connection (either
+	// direction), for the peer transfer observatory's bandwidth EWMA.
+	bytes int64
 }
 
 // dialPeer connects and peer-authenticates to addr. The dial timeout is
@@ -651,6 +660,7 @@ func (p *peerConn) roundTripData(req *wire.Request) ([]byte, error) {
 	if _, err := p.c.RecvData(&buf); err != nil {
 		return nil, err
 	}
+	p.bytes += int64(buf.Len())
 	return buf.Bytes(), nil
 }
 
@@ -663,6 +673,7 @@ func (p *peerConn) roundTripIngest(req *wire.Request, data []byte) (json.RawMess
 	if err := p.c.SendData(bytes.NewReader(data)); err != nil {
 		return nil, err
 	}
+	p.bytes += int64(len(data))
 	var resp wire.Response
 	if err := p.c.ReadJSON(wire.MsgResponse, &resp); err != nil {
 		return nil, err
@@ -942,4 +953,54 @@ func alertsOf(b *core.Broker, name string) wire.AlertsReply {
 	rep.Rules = ev.Status()
 	rep.Alerts = ev.AlertLog().Recent(0)
 	return rep
+}
+
+func (s *Server) incidents() wire.IncidentsReply {
+	return incidentsOf(s.broker, s.name)
+}
+
+func incidentsOf(b *core.Broker, name string) wire.IncidentsReply {
+	rep := wire.IncidentsReply{Server: name}
+	ir := b.Incidents()
+	if ir == nil {
+		return rep
+	}
+	rep.Enabled = true
+	rep.Incidents = ir.List()
+	return rep
+}
+
+func (s *Server) incidentGet(id string) (wire.IncidentGetReply, error) {
+	ir := s.broker.Incidents()
+	if ir == nil {
+		return wire.IncidentGetReply{}, types.E(wire.OpIncidentGet, id, fmt.Errorf("flight recorder disabled: %w", types.ErrUnsupported))
+	}
+	meta, files, err := ir.Get(id)
+	if err != nil {
+		return wire.IncidentGetReply{}, types.E(wire.OpIncidentGet, id, fmt.Errorf("%v: %w", err, types.ErrNotFound))
+	}
+	return wire.IncidentGetReply{Server: s.name, Meta: meta, Files: files}, nil
+}
+
+func (s *Server) incidentCapture(reason string) (wire.IncidentCaptureReply, error) {
+	ir := s.broker.Incidents()
+	if ir == nil {
+		return wire.IncidentCaptureReply{}, types.E(wire.OpIncidentCapture, "", fmt.Errorf("flight recorder disabled: %w", types.ErrUnsupported))
+	}
+	if reason == "" {
+		reason = "manual"
+	}
+	meta, err := ir.Capture(time.Now(), "manual", "manual", reason, 0)
+	if err != nil {
+		return wire.IncidentCaptureReply{}, types.E(wire.OpIncidentCapture, "", err)
+	}
+	return wire.IncidentCaptureReply{Server: s.name, Meta: meta}, nil
+}
+
+func (s *Server) peersReply() wire.PeersReply {
+	return peersOf(s.broker, s.name)
+}
+
+func peersOf(b *core.Broker, name string) wire.PeersReply {
+	return wire.PeersReply{Server: name, Peers: b.Metrics().Peers().Snapshot()}
 }

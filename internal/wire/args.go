@@ -89,6 +89,17 @@ const (
 	// OpAlerts reports the server's SLO rule standings and the bounded
 	// log of fire/resolve transitions.
 	OpAlerts = "alerts"
+	// OpIncidents lists the server's captured incident bundles (flight
+	// recorder index).
+	OpIncidents = "incidents"
+	// OpIncidentGet fetches one incident bundle: meta plus every file.
+	OpIncidentGet = "incidentget"
+	// OpIncidentCapture triggers an on-demand incident capture. Not
+	// idempotent: each call writes a bundle (or burns rate-limit gap).
+	OpIncidentCapture = "incidentcapture"
+	// OpPeers reports the server's peer transfer observatory: per-peer
+	// and per-resource EWMA latency/bandwidth and success history.
+	OpPeers = "peers"
 )
 
 // PathArgs addresses one logical path.
@@ -394,6 +405,53 @@ type AlertsReply struct {
 	Enabled bool
 	Rules   []obs.SLOStatus `json:",omitempty"`
 	Alerts  []obs.Alert     `json:",omitempty"`
+}
+
+// IncidentsArgs selects the incident index (local only; bundles live
+// on the capturing server's disk).
+type IncidentsArgs struct{}
+
+// IncidentsReply carries the bounded incident index, newest first.
+// Enabled is false when the daemon runs without a telemetry dir.
+type IncidentsReply struct {
+	Server    string
+	Enabled   bool
+	Incidents []obs.IncidentMeta `json:",omitempty"`
+}
+
+// IncidentGetArgs names one bundle by its index ID.
+type IncidentGetArgs struct {
+	ID string
+}
+
+// IncidentGetReply carries one full bundle. Files maps name to raw
+// contents (base64 over the wire via encoding/json); profiles are
+// binary, the rest is JSON/text.
+type IncidentGetReply struct {
+	Server string
+	Meta   obs.IncidentMeta
+	Files  map[string][]byte `json:",omitempty"`
+}
+
+// IncidentCaptureArgs triggers an on-demand capture. Reason is the
+// operator's note, recorded in the bundle meta.
+type IncidentCaptureArgs struct {
+	Reason string
+}
+
+// IncidentCaptureReply carries the new bundle's index entry.
+type IncidentCaptureReply struct {
+	Server string
+	Meta   obs.IncidentMeta
+}
+
+// PeersArgs selects the transfer observatory (local only).
+type PeersArgs struct{}
+
+// PeersReply carries the per-peer / per-resource transfer history.
+type PeersReply struct {
+	Server string
+	Peers  []obs.PeerStat `json:",omitempty"`
 }
 
 // ScrubReply carries the scrub pass report.

@@ -141,7 +141,7 @@ func Idempotent(op string) bool {
 		OpAnnotations, OpQuery, OpQueryAttrs, OpResources, OpServerStats,
 		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit,
 		OpTrace, OpUsage, OpRepairStatus, OpChecksum, OpScrub,
-		OpGridStat, OpAlerts:
+		OpGridStat, OpAlerts, OpIncidents, OpIncidentGet, OpPeers:
 		// OpScrub mutates replicas, but only toward the catalog
 		// checksum — re-running a scrub is always safe.
 		return true
