@@ -10,11 +10,11 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X gosrb/internal/obs.Version=$(VERSION)"
 
-.PHONY: all check lint vet build test race test-faults test-repair bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate clean
+.PHONY: all check lint vet build test race test-faults test-repair test-wire bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate bench-wire bench-wire-gate clean
 
 all: check
 
-check: lint build race test-faults test-repair bench-obs-gate bench-grid-gate bench-flight-gate
+check: lint build race test-faults test-repair test-wire bench-obs-gate bench-grid-gate bench-flight-gate bench-wire-gate
 
 # Static analysis: go vet always; staticcheck only when the host has it
 # installed (the build image does not — never install it from check).
@@ -50,6 +50,15 @@ test-faults:
 test-repair:
 	$(GO) test -race -count=1 ./internal/repair/ ./internal/mcat/
 	$(GO) test -race -count=1 -run 'TestRepairQueueRestartRecovery|TestHealthzWedgedRepair' ./cmd/srbd/
+
+# Wire-protocol sweep: the mux/pool race suite and the batch-semantics
+# tests, repeated under -race — the checkout/checkin and out-of-order
+# demux races only surface across many interleavings. (The pipelined
+# chaos e2e rides test-faults' 10x TestChaos loop.)
+test-wire:
+	$(GO) test -race -count=10 -run 'TestMux|TestPool' ./internal/wire/
+	$(GO) test -race -count=10 -run 'TestBatcher' ./internal/client/
+	$(GO) test -race -count=1 -run 'TestBulk|TestMultiGet' ./internal/server/
 
 # Full benchmark sweep (experiments E1–E10 plus the wire and broker
 # concurrency benches).
@@ -99,6 +108,17 @@ bench-flight:
 bench-flight-gate:
 	BENCH_FLIGHT_GATE=1 $(GO) test -run TestFlightBenchGate -v .
 
+# Wire-throughput report: measures serial vs pipelined vs batched
+# small-op throughput over a 5ms-RTT simnet link and writes
+# BENCH_wire.json.
+bench-wire:
+	BENCH_WIRE=1 $(GO) test -run TestWireBenchReport -v .
+
+# Throughput floor: pipelined and batched small-op throughput must both
+# clear 3x serial at the 5ms RTT.
+bench-wire-gate:
+	BENCH_WIRE_GATE=1 $(GO) test -run TestWireBenchGate -v .
+
 clean:
-	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json
+	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json BENCH_wire.json
 	$(GO) clean -testcache

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gosrb/internal/client"
@@ -59,10 +61,11 @@ func usage() {
 
 commands:
   ls <coll>                          list a collection
-  stat [-json] [path]                describe a path; without a path,
-                                     show server telemetry (op counts,
-                                     latency quantiles, byte totals);
-                                     -json emits the raw snapshot
+  stat [-json] [path...]             describe paths; several paths go in
+                                     one batched round trip; without a
+                                     path, show server telemetry (op
+                                     counts, latency quantiles, byte
+                                     totals); -json emits the raw snapshot
   opstats                            server telemetry (alias of bare stat)
   top [-grid] [-window 5m] [-sort rate|p99|errors] [-json]
                                      windowed rates and p50/p95/p99 from
@@ -93,6 +96,11 @@ commands:
   mkdir <coll>                       create a collection
   rmdir <coll>                       remove an empty collection
   put <local> <path> [-resource r | -container c] [-type t]
+  put -bulk <coll> <local>... [-resource r] [-batch n]
+      [-batch-bytes b] [-batch-period d]
+                                     ingest many files in batched round
+                                     trips (flush at n files, b bytes, or
+                                     d after the first buffered file)
   get <path> [local]                 retrieve (stdout when no local file)
   pget <path> <local> <streams>      parallel retrieve
   rm <path>                          delete an object
@@ -154,6 +162,31 @@ func run(cl *client.Client, cmd string, args []string) error {
 		}
 		if len(args) == 0 {
 			return printOpStats(cl)
+		}
+		if len(args) > 1 {
+			// Many paths: one batched round trip, per-path outcomes.
+			items, err := cl.BulkStat(args)
+			if err != nil {
+				return err
+			}
+			bad := 0
+			for _, it := range items {
+				if !it.OK {
+					bad++
+					fmt.Printf("%-12s %10s  %-10s %s  (%s)\n", "error", "-", "-", it.Path, it.ErrMsg)
+					continue
+				}
+				st := it.Stat
+				kind := st.Kind.String()
+				if st.IsCollect {
+					kind = "collection"
+				}
+				fmt.Printf("%-12s %10d  %-10s %s\n", kind, st.Size, st.Owner, st.Path)
+			}
+			if bad > 0 {
+				return fmt.Errorf("%d path(s) failed", bad)
+			}
+			return nil
 		}
 		st, err := cl.Stat(args[0])
 		if err != nil {
@@ -475,6 +508,9 @@ func run(cl *client.Client, cmd string, args []string) error {
 		return cl.RmColl(need(args, 0, "collection"))
 
 	case "put":
+		if len(args) > 0 && args[0] == "-bulk" {
+			return runBulkPut(cl, args[1:])
+		}
 		local, remote := need(args, 0, "local file"), need(args, 1, "path")
 		opts := client.PutOpts{}
 		for i := 2; i < len(args)-1; i += 2 {
@@ -870,6 +906,99 @@ func printGrid(rep wire.GridStatReply, sortKey string) error {
 			c := rep.Grid.Counters[name]
 			fmt.Printf("  %-36s %10d %10.2f\n", name, c.Delta, c.PerSec)
 		}
+	}
+	return nil
+}
+
+// runBulkPut ingests many local files under one destination collection
+// using batched bulkput round trips: the batcher flushes at -batch
+// files, -batch-bytes buffered payload, or -batch-period after the
+// first buffered file, whichever fires first. Items fail independently;
+// the command reports per-file outcomes and fails if any file did.
+func runBulkPut(cl *client.Client, args []string) error {
+	opts := client.PutOpts{}
+	policy := client.DefaultBatchPolicy
+	var pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") {
+			pos = append(pos, a)
+			continue
+		}
+		if i+1 >= len(args) {
+			return fmt.Errorf("flag %s needs a value", a)
+		}
+		v := args[i+1]
+		i++
+		switch a {
+		case "-resource":
+			opts.Resource = v
+		case "-container":
+			opts.Container = v
+		case "-type":
+			opts.DataType = v
+		case "-batch":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -batch %q", v)
+			}
+			policy.Count = n
+		case "-batch-bytes":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -batch-bytes %q", v)
+			}
+			policy.Bytes = n
+		case "-batch-period":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("bad -batch-period %q", v)
+			}
+			policy.Period = d
+		default:
+			return fmt.Errorf("unknown flag %s", a)
+		}
+	}
+	if len(pos) < 2 {
+		return fmt.Errorf("put -bulk needs a destination collection and at least one local file")
+	}
+	coll, locals := strings.TrimSuffix(pos[0], "/"), pos[1:]
+	// The period flush runs on a timer goroutine, so the result sink
+	// must be safe against concurrent reporting.
+	var mu sync.Mutex
+	okCount, failCount := 0, 0
+	b := client.NewPutBatcher(cl, policy)
+	b.OnFlush(func(results []wire.BulkItemStatus) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range results {
+			if r.OK {
+				okCount++
+				fmt.Printf("ingested %s\n", r.Path)
+			} else {
+				failCount++
+				fmt.Fprintf(os.Stderr, "srb: put %s: %s\n", r.Path, r.ErrMsg)
+			}
+		}
+	})
+	for _, local := range locals {
+		data, err := os.ReadFile(local)
+		if err != nil {
+			return err
+		}
+		dest := coll + "/" + filepath.Base(local)
+		if err := b.Add(client.BulkPut{Path: dest, Data: data, Opts: opts}); err != nil {
+			return err
+		}
+	}
+	if err := b.Close(); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("bulk put: %d ok, %d failed (%d round trips)\n", okCount, failCount, b.Flushes())
+	if failCount > 0 {
+		return fmt.Errorf("%d file(s) failed", failCount)
 	}
 	return nil
 }

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"gosrb/internal/acl"
+	"gosrb/internal/auth"
+	"gosrb/internal/client"
+	"gosrb/internal/core"
+	"gosrb/internal/faultnet"
+	"gosrb/internal/mcat"
+	"gosrb/internal/resilience"
+	"gosrb/internal/server"
+	"gosrb/internal/storage/memfs"
+	"gosrb/internal/types"
+)
+
+// TestChaosPipelinedFederation is the wire-throughput chaos e2e: batched
+// ops ride the pooled, pipelined federation link between two servers,
+// then the uplink dies mid-workload. Remote items in a batch must fail
+// with named per-item errors while local items in the same batch keep
+// succeeding, the peer breaker must trip, the pool must evict the dead
+// connection, and a failed (non-idempotent) bulk ingest must leave no
+// torn row. After the link heals, the retried ops land exactly once on
+// the survivor.
+func TestChaosPipelinedFederation(t *testing.T) {
+	inj := faultnet.New(chaosSeed)
+
+	cat := mcat.New("admin", "sdsc")
+	cat.AddUser(types.User{Name: "alice", Domain: "sdsc"})
+	cat.MkColl("/home", "admin")
+	cat.SetACL("/home", "alice", acl.Write)
+
+	b1 := core.New(cat, "srb1")
+	b2 := core.New(cat, "srb2")
+	if err := b1.AddPhysicalResource("admin", "disk1", types.ClassFileSystem, "memfs", memfs.New()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AddPhysicalResource("admin", "disk2", types.ClassFileSystem, "memfs", memfs.New()); err != nil {
+		t.Fatal(err)
+	}
+
+	authn := auth.New()
+	authn.Register("alice", "alicepw")
+	authn.Register("admin", "adminpw")
+
+	s1 := server.New(b1, authn, server.Proxy)
+	s2 := server.New(b2, authn, server.Proxy)
+	t.Cleanup(func() { s1.Close(); s2.Close() })
+	addr1, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.AddPeer("srb2", addr2, "zone-secret")
+	s2.AddPeer("srb1", addr1, "zone-secret")
+
+	s1.SetPeerDialer(inj.WrapDial("uplink", func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, time.Second)
+	}))
+	s1.SetRetryPolicy(resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+
+	clock := &fakeTicker{now: time.Unix(1_000_000, 0)}
+	b1.Breakers().SetConfig(resilience.BreakerConfig{Threshold: 2, Cooldown: time.Minute})
+	b1.Breakers().SetClock(clock.Now)
+
+	cl, err := client.Dial(addr1, "alice", "alicepw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRetryPolicy(resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+
+	// Seed: two local objects on disk1 (through srb1) and two remote
+	// objects on disk2 (through srb2 directly, like a zone peer would).
+	locals := map[string]string{"/home/l0.txt": "local zero", "/home/l1.txt": "local one"}
+	remotes := map[string]string{"/home/r0.txt": "remote zero", "/home/r1.txt": "remote one"}
+	for p, body := range locals {
+		if _, err := cl.Put(p, []byte(body), client.PutOpts{Resource: "disk1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	func() {
+		cl2, err := client.Dial(addr2, "alice", "alicepw")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl2.Close()
+		for p, body := range remotes {
+			if _, err := cl2.Put(p, []byte(body), client.PutOpts{Resource: "disk2"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}()
+
+	// Phase 1 — healthy pipelined batches. A mixed MultiGet federates
+	// its remote items over the pooled uplink, preserving request order.
+	paths := []string{"/home/l0.txt", "/home/r0.txt", "/home/l1.txt", "/home/r1.txt"}
+	want := []string{"local zero", "remote zero", "local one", "remote one"}
+	res, err := cl.MultiGet(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || string(r.Data) != want[i] {
+			t.Fatalf("multiget[%d] %s = %q, %v; want %q", i, r.Path, r.Data, r.Err, want[i])
+		}
+	}
+	// A second remote batch must reuse the pooled peer conn, not redial.
+	if res, err = cl.MultiGet([]string{"/home/r1.txt", "/home/r0.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("repeat multiget %s: %v", r.Path, r.Err)
+		}
+	}
+	if st := s1.PeerPoolStats(); st.Dialed != 1 {
+		t.Fatalf("healthy federation dialed %d times, want 1 pooled conn (stats %+v)", st.Dialed, st)
+	}
+
+	// Phase 2 — kill the uplink. In one batch: the local item still
+	// succeeds, remote items fail with named per-item errors, and the
+	// repeated failures trip the peer breaker.
+	inj.Target("uplink").Kill()
+	res, err = cl.MultiGet([]string{"/home/l0.txt", "/home/r0.txt", "/home/r1.txt"})
+	if err != nil {
+		t.Fatalf("whole batch died with the uplink (want per-item isolation): %v", err)
+	}
+	if res[0].Err != nil || string(res[0].Data) != "local zero" {
+		t.Fatalf("local item lost to a remote outage: %q, %v", res[0].Data, res[0].Err)
+	}
+	for _, r := range res[1:] {
+		if r.Err == nil {
+			t.Fatalf("remote item %s succeeded over a dead uplink", r.Path)
+		}
+	}
+	if st := b1.Breakers().States()["peer.srb2"]; st != resilience.Open {
+		t.Fatalf("peer.srb2 breaker = %v, want Open", st)
+	}
+	if st := s1.PeerPoolStats(); st.Evicted == 0 {
+		t.Fatalf("dead peer conn was never evicted from the pool (stats %+v)", st)
+	}
+	// Open breaker: remote items now fast-fail, shaped as offline.
+	res, err = cl.MultiGet([]string{"/home/r0.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res[0].Err, types.ErrOffline) {
+		t.Fatalf("fast-fail item error = %v, want offline", res[0].Err)
+	}
+	// The shared catalog keeps metadata batches alive through a
+	// data-plane outage: BulkStat answers without touching the uplink.
+	stats, err := cl.BulkStat(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range stats {
+		if !it.OK || it.Stat.Size != int64(len(want[i])) {
+			t.Fatalf("bulkstat %s during outage = %+v, want size %d", it.Path, it, len(want[i]))
+		}
+	}
+	// A bulk ingest aimed at the unreachable owner fails item-by-item
+	// and must not leave a torn row behind.
+	puts, err := cl.BulkPut([]client.BulkPut{
+		{Path: "/home/fresh.txt", Data: []byte("lands exactly once"), Opts: client.PutOpts{Resource: "disk2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if puts[0].OK {
+		t.Fatal("bulk ingest to an unreachable resource owner reported success")
+	}
+	if puts[0].ErrKind == "" {
+		t.Fatalf("failed bulk item carries no named error kind: %+v", puts[0])
+	}
+	if _, err := cl.Stat("/home/fresh.txt"); err == nil {
+		t.Fatal("failed bulk ingest left a torn catalog row")
+	}
+
+	// Phase 3 — heal the uplink, let the breaker cool down. The retried
+	// batch lands exactly once on the survivor: one object, one replica.
+	inj.Target("uplink").Revive()
+	clock.Advance(2 * time.Minute)
+	puts, err = cl.BulkPut([]client.BulkPut{
+		{Path: "/home/fresh.txt", Data: []byte("lands exactly once"), Opts: client.PutOpts{Resource: "disk2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !puts[0].OK {
+		t.Fatalf("post-recovery bulk ingest failed: %+v", puts[0])
+	}
+	obj, err := cl.GetObject("/home/fresh.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obj.Replicas) != 1 {
+		t.Fatalf("retried ingest landed %d replicas, want exactly 1", len(obj.Replicas))
+	}
+	res, err = cl.MultiGet([]string{"/home/fresh.txt", "/home/r0.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || string(res[0].Data) != "lands exactly once" {
+		t.Fatalf("post-recovery get = %q, %v", res[0].Data, res[0].Err)
+	}
+	if res[1].Err != nil || string(res[1].Data) != "remote zero" {
+		t.Fatalf("post-recovery remote get = %q, %v", res[1].Data, res[1].Err)
+	}
+	if st := b1.Breakers().States()["peer.srb2"]; st != resilience.Closed {
+		t.Fatalf("peer.srb2 breaker = %v, want Closed after recovery", st)
+	}
+}

@@ -1,0 +1,237 @@
+// PutBatcher flush-policy semantics, against an injected flush function
+// so no server is involved: count/bytes/period triggers, the zero-item
+// flush no-op, parked period-flush errors, and Add-vs-flush concurrency.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gosrb/internal/wire"
+)
+
+// recordingFlush captures every batch handed to the flush function.
+type recordingFlush struct {
+	mu      sync.Mutex
+	batches [][]BulkPut
+	err     error
+}
+
+func (r *recordingFlush) flush(items []BulkPut) ([]wire.BulkItemStatus, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return nil, r.err
+	}
+	cp := make([]BulkPut, len(items))
+	copy(cp, items)
+	r.batches = append(r.batches, cp)
+	out := make([]wire.BulkItemStatus, len(items))
+	for i, it := range items {
+		out[i] = wire.BulkItemStatus{Path: it.Path, OK: true}
+	}
+	return out, nil
+}
+
+func (r *recordingFlush) snapshot() [][]BulkPut {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]BulkPut(nil), r.batches...)
+}
+
+func item(path string, n int) BulkPut {
+	return BulkPut{Path: path, Data: make([]byte, n)}
+}
+
+// TestBatcherCountTrigger: the count trigger fires exactly at the
+// boundary — n-1 items sit buffered, the nth flushes all of them.
+func TestBatcherCountTrigger(t *testing.T) {
+	rec := &recordingFlush{}
+	b := newPutBatcher(rec.flush, BatchPolicy{Count: 3})
+	for i := 0; i < 2; i++ {
+		if err := b.Add(item(fmt.Sprintf("/a/%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(rec.snapshot()); got != 0 {
+			t.Fatalf("flushed %d batches below the count trigger", got)
+		}
+	}
+	if err := b.Add(item("/a/2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	batches := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 3 {
+		t.Fatalf("count trigger produced batches %v", batches)
+	}
+	// The buffer reset: two more items stay below the trigger again.
+	if err := b.Add(item("/a/3", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.snapshot()); got != 1 {
+		t.Fatalf("buffer did not reset after a count flush (batches %d)", got)
+	}
+	// Explicit Flush drains the partial batch.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batches = rec.snapshot()
+	if len(batches) != 2 || len(batches[1]) != 1 {
+		t.Fatalf("explicit flush produced batches %v", batches)
+	}
+}
+
+// TestBatcherBytesTrigger: the byte trigger counts payload bytes, not
+// items, and fires when the buffered total crosses the threshold.
+func TestBatcherBytesTrigger(t *testing.T) {
+	rec := &recordingFlush{}
+	b := newPutBatcher(rec.flush, BatchPolicy{Bytes: 10})
+	if err := b.Add(item("/b/0", 6)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.snapshot()); got != 0 {
+		t.Fatal("flushed below the byte trigger")
+	}
+	if err := b.Add(item("/b/1", 6)); err != nil {
+		t.Fatal(err)
+	}
+	batches := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("byte trigger produced batches %v", batches)
+	}
+}
+
+// TestBatcherPeriodTrigger: with only the period armed, a lone item
+// flushes on the timer without any further Adds.
+func TestBatcherPeriodTrigger(t *testing.T) {
+	rec := &recordingFlush{}
+	b := newPutBatcher(rec.flush, BatchPolicy{Period: 20 * time.Millisecond})
+	if err := b.Add(item("/p/0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rec.snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("period trigger never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	batches := rec.snapshot()
+	if len(batches[0]) != 1 || batches[0][0].Path != "/p/0" {
+		t.Fatalf("period flush carried %v", batches[0])
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.snapshot()); got != 1 {
+		t.Fatalf("close after period flush re-sent the batch (batches %d)", got)
+	}
+}
+
+// TestBatcherZeroItemFlush: Flush and Close with nothing buffered make
+// no round trips.
+func TestBatcherZeroItemFlush(t *testing.T) {
+	rec := &recordingFlush{}
+	b := newPutBatcher(rec.flush, BatchPolicy{Count: 4})
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.snapshot()); got != 0 {
+		t.Fatalf("empty batcher made %d round trips", got)
+	}
+	if b.Flushes() != 0 {
+		t.Fatalf("Flushes() = %d for an empty batcher", b.Flushes())
+	}
+}
+
+// TestBatcherPeriodErrorParks: a period-triggered flush has no caller
+// to return to, so its error must surface on the next call instead of
+// vanishing.
+func TestBatcherPeriodErrorParks(t *testing.T) {
+	boom := errors.New("uplink down")
+	rec := &recordingFlush{err: boom}
+	b := newPutBatcher(rec.flush, BatchPolicy{Period: 20 * time.Millisecond})
+	if err := b.Add(item("/e/0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("parked period-flush error never surfaced")
+		}
+		err := b.Add(item("/e/again", 1))
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("surfaced error = %v, want %v", err, boom)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+}
+
+// TestBatcherClosedRejectsAdd: Close flushes the remainder and turns
+// away later Adds.
+func TestBatcherClosedRejectsAdd(t *testing.T) {
+	rec := &recordingFlush{}
+	b := newPutBatcher(rec.flush, BatchPolicy{Count: 10})
+	if err := b.Add(item("/c/0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	batches := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 1 {
+		t.Fatalf("close flushed %v", batches)
+	}
+	if err := b.Add(item("/c/late", 1)); err == nil {
+		t.Fatal("closed batcher accepted an Add")
+	}
+}
+
+// TestBatcherConcurrentAdds: many goroutines Add through the count
+// trigger; every item must reach the flush function exactly once.
+func TestBatcherConcurrentAdds(t *testing.T) {
+	rec := &recordingFlush{}
+	b := newPutBatcher(rec.flush, BatchPolicy{Count: 7})
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := b.Add(item(fmt.Sprintf("/w%d/%d", w, i), 1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, batch := range rec.snapshot() {
+		for _, it := range batch {
+			seen[it.Path]++
+		}
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("flushed %d distinct items, want %d", len(seen), workers*perWorker)
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %s flushed %d times", p, n)
+		}
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosrb/internal/auth"
@@ -26,13 +28,17 @@ import (
 // the server uses for peer dials (resilience.DialTimeout).
 const DialTimeout = resilience.DialTimeout
 
-// Client is one authenticated connection to an SRB server. Methods are
-// safe for concurrent use (requests are serialised on the connection);
-// use ParallelGet for concurrent bulk streams.
+// Client is one authenticated identity against an SRB server, backed
+// by a bounded connection pool of multiplexed connections. Methods are
+// safe for concurrent use; against a mux-capable server concurrent
+// calls pipeline over shared connections instead of queueing, and
+// ParallelGet opens dedicated connections for concurrent bulk streams.
 type Client struct {
-	mu   sync.Mutex
-	nc   net.Conn
-	c    *wire.Conn
+	mu sync.Mutex
+	// pool owns the authenticated connections; checkout dials lazily
+	// and transport errors evict, so reconnect-on-error falls out of
+	// the checkout path.
+	pool *wire.Pool
 	addr string
 	// server is the federation name reported at handshake.
 	server string
@@ -53,8 +59,8 @@ type Client struct {
 	sleep func(time.Duration)
 	randf func() float64
 	// retries counts retry attempts actually performed (tests and the
-	// Scommand -v output read it via Retries).
-	retries int64
+	// Scommand -v output read it via Retries). Atomic: calls overlap.
+	retries atomic.Int64
 	// lastTrace remembers the trace ID minted for the most recent
 	// logical call, so callers can fetch its span tree afterwards.
 	lastTrace string
@@ -79,11 +85,47 @@ func DialWith(addr, user, password string, dialer func(addr string) (net.Conn, e
 		addr: addr, user: user, password: password, dial: dialer,
 		retry: resilience.DefaultPolicy, sleep: time.Sleep,
 	}
-	if err := cl.connect(addr); err != nil {
+	cl.pool = wire.NewPool(wire.PoolConfig{Dial: cl.dialMux})
+	// Authenticate eagerly so bad credentials and dead servers fail at
+	// Dial, matching the one-conn-per-client behaviour this replaces.
+	m, err := cl.pool.Get(addr)
+	if err != nil {
+		cl.pool.Close()
 		return nil, err
 	}
+	cl.server = m.Server()
+	cl.pool.Put(m)
 	return cl, nil
 }
+
+// dialMux establishes and authenticates one pooled connection.
+func (cl *Client) dialMux(addr string) (*wire.Mux, error) {
+	nc, err := cl.dial(addr)
+	if err != nil {
+		return nil, types.E("dial", addr, err)
+	}
+	c := wire.NewConn(nc)
+	var ch wire.Challenge
+	if err := c.ReadJSON(wire.MsgChallenge, &ch); err != nil {
+		nc.Close()
+		return nil, types.E("handshake", addr, err)
+	}
+	resp := auth.Respond(auth.DeriveKey(cl.user, cl.password), ch.Nonce)
+	if err := c.WriteJSON(wire.MsgAuth, wire.Auth{User: cl.user, Response: resp}); err != nil {
+		nc.Close()
+		return nil, types.E("handshake", addr, err)
+	}
+	var ok wire.AuthOK
+	if err := c.ReadJSON(wire.MsgAuthOK, &ok); err != nil {
+		nc.Close()
+		return nil, types.E("login", cl.user, types.ErrAuth)
+	}
+	return wire.NewMux(nc, c, ok.Server, ok.Mux), nil
+}
+
+// PoolStats reports the connection pool's occupancy and lifetime dial,
+// eviction and idle-reap counts.
+func (cl *Client) PoolStats() wire.PoolStats { return cl.pool.Stats() }
 
 // SetTimeout bounds each logical call (0 = unbounded). The budget is
 // carried on the wire, so federation hops enforce what remains of it.
@@ -114,51 +156,13 @@ func (cl *Client) SetPeerHistory(ph *obs.PeerHistory) {
 
 // Retries reports how many retry attempts this client has performed.
 func (cl *Client) Retries() int64 {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	return cl.retries
+	return cl.retries.Load()
 }
 
-// connect establishes and authenticates one connection, replacing the
-// current one.
-func (cl *Client) connect(addr string) error {
-	nc, err := cl.dial(addr)
-	if err != nil {
-		return types.E("dial", addr, err)
-	}
-	c := wire.NewConn(nc)
-	var ch wire.Challenge
-	if err := c.ReadJSON(wire.MsgChallenge, &ch); err != nil {
-		nc.Close()
-		return types.E("handshake", addr, err)
-	}
-	resp := auth.Respond(auth.DeriveKey(cl.user, cl.password), ch.Nonce)
-	if err := c.WriteJSON(wire.MsgAuth, wire.Auth{User: cl.user, Response: resp}); err != nil {
-		nc.Close()
-		return types.E("handshake", addr, err)
-	}
-	var ok struct{ Server string }
-	if err := c.ReadJSON(wire.MsgAuthOK, &ok); err != nil {
-		nc.Close()
-		return types.E("login", cl.user, types.ErrAuth)
-	}
-	if cl.nc != nil {
-		cl.nc.Close()
-	}
-	cl.nc, cl.c, cl.addr, cl.server = nc, c, addr, ok.Server
-	return nil
-}
-
-// Close drops the connection.
+// Close drops every pooled connection.
 func (cl *Client) Close() error {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.nc == nil {
-		return nil
-	}
-	err := cl.nc.Close()
-	cl.nc = nil
-	return err
+	cl.pool.Close()
+	return nil
 }
 
 // Server returns the federation name of the currently connected server.
@@ -193,15 +197,16 @@ func (cl *Client) call(op string, args any, sendData []byte, out any) ([]byte, e
 // poisoned mid-protocol. Mutating ops get exactly one attempt — a lost
 // response does not prove the mutation was lost.
 func (cl *Client) callTicket(op string, args any, sendData []byte, out any, ticket string) ([]byte, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
 	trace := obs.NewTraceID()
+	cl.mu.Lock()
 	cl.lastTrace = trace
+	timeout, policy := cl.timeout, cl.retry
+	sleep, randf, history := cl.sleep, cl.randf, cl.history
+	cl.mu.Unlock()
 	var deadline time.Time
-	if cl.timeout > 0 {
-		deadline = time.Now().Add(cl.timeout)
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
 	}
-	policy := cl.retry
 	if !wire.Idempotent(op) {
 		policy.MaxAttempts = 1
 	}
@@ -210,19 +215,17 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 	// retries become visible in the trace without a client-side ring.
 	attempt := 0
 	r := resilience.Retrier{
-		Policy: policy, Sleep: cl.sleep, Rand: cl.randf, Deadline: deadline,
-		OnRetry: func(int, error) { cl.retries++; attempt++ },
+		Policy: policy, Sleep: sleep, Rand: randf, Deadline: deadline,
+		OnRetry: func(int, error) { cl.retries.Add(1); attempt++ },
 	}
 	var result []byte
 	start := time.Now()
 	err := r.Do(func() error {
+		// A transport error evicted the failed conn inside callOnce, so
+		// the next attempt's checkout dials a clean connection —
+		// reconnect-on-transport-error lives in the pool now.
 		data, err := cl.callRedirect(op, args, sendData, out, ticket, trace, attempt, deadline)
 		if err != nil {
-			if resilience.Transport(err) {
-				// The conn died mid-protocol: re-establish it so the
-				// next attempt (if any) starts on a clean exchange.
-				cl.connect(cl.addr)
-			}
 			return err
 		}
 		result = data
@@ -230,15 +233,16 @@ func (cl *Client) callTicket(op string, args any, sendData []byte, out any, tick
 	})
 	// Feed the observatory with the whole logical call (retries and
 	// redirects included — that is the latency the user experienced).
-	cl.history.Record(cl.server, "", time.Since(start),
+	history.Record(cl.Server(), "", time.Since(start),
 		int64(len(result)+len(sendData)), err != nil && resilience.Transport(err))
 	return result, err
 }
 
 // callRedirect performs one attempt, following federation redirects.
 func (cl *Client) callRedirect(op string, args any, sendData []byte, out any, ticket, trace string, attempt int, deadline time.Time) ([]byte, error) {
+	addr := cl.Addr()
 	for redirects := 0; ; redirects++ {
-		data, redirect, err := cl.callOnce(op, args, sendData, out, ticket, trace, attempt, deadline)
+		data, redirect, err := cl.callOnce(addr, op, args, sendData, out, ticket, trace, attempt, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -248,15 +252,18 @@ func (cl *Client) callRedirect(op string, args any, sendData []byte, out any, ti
 		if redirects >= 4 {
 			return nil, types.E(op, redirect.Addr, types.ErrInvalid)
 		}
-		// Transparent federation redirect: reconnect and retry. Single
-		// sign-on means the same credential works on every zone server.
-		if err := cl.connect(redirect.Addr); err != nil {
-			return nil, err
-		}
+		// Transparent federation redirect: switch addresses and retry
+		// (the pool dials the new server on checkout — single sign-on
+		// means the same credential works on every zone server). The
+		// switch sticks so later calls start at the owning server.
+		addr = redirect.Addr
+		cl.mu.Lock()
+		cl.addr = addr
+		cl.mu.Unlock()
 	}
 }
 
-func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket, trace string, attempt int, deadline time.Time) ([]byte, *wire.Redirect, error) {
+func (cl *Client) callOnce(addr, op string, args any, sendData []byte, out any, ticket, trace string, attempt int, deadline time.Time) ([]byte, *wire.Redirect, error) {
 	raw, err := json.Marshal(args)
 	if err != nil {
 		return nil, nil, err
@@ -264,8 +271,8 @@ func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket
 	req := wire.Request{Op: op, Args: raw, Ticket: ticket, Trace: trace, Attempt: attempt}
 	if !deadline.IsZero() {
 		// The wire budget tells the server chain how long this call may
-		// take; the conn deadline enforces it locally so a stalled
-		// server cannot hang the client past it.
+		// take; the Mux enforces it locally so a stalled server cannot
+		// hang the client past it.
 		left := time.Until(deadline)
 		if left <= 0 {
 			return nil, nil, types.E(op, "", types.ErrTimeout)
@@ -275,52 +282,43 @@ func (cl *Client) callOnce(op string, args any, sendData []byte, out any, ticket
 			ms = 1
 		}
 		req.TimeoutMillis = ms
-		cl.nc.SetDeadline(deadline)
-		defer cl.nc.SetDeadline(time.Time{})
 	}
-	if err := cl.c.WriteJSON(wire.MsgRequest, req); err != nil {
-		return nil, nil, types.E(op, "", err)
-	}
-	if sendData != nil {
-		if err := cl.c.SendData(bytes.NewReader(sendData)); err != nil {
-			return nil, nil, types.E(op, "", err)
-		}
-	}
-	t, payload, err := cl.c.ReadMsg()
+	m, err := cl.pool.Get(addr)
 	if err != nil {
+		return nil, nil, err
+	}
+	var data io.Reader
+	if sendData != nil {
+		data = bytes.NewReader(sendData)
+	}
+	res, err := m.Call(&req, data, deadline)
+	if err != nil {
+		// Evict only broken conns; a strict-mux call timeout leaves the
+		// connection healthy (the late response is discarded by ID).
+		if m.Dead() {
+			cl.pool.Fail(m)
+		} else {
+			cl.pool.Put(m)
+		}
 		return nil, nil, types.E(op, "", err)
 	}
-	switch t {
-	case wire.MsgRedirect:
-		var rd wire.Redirect
-		if err := json.Unmarshal(payload, &rd); err != nil {
-			return nil, nil, err
-		}
-		return nil, &rd, nil
-	case wire.MsgResponse:
-		var resp wire.Response
-		if err := json.Unmarshal(payload, &resp); err != nil {
-			return nil, nil, err
-		}
-		if !resp.OK {
-			return nil, nil, resp.Err()
-		}
-		if out != nil && len(resp.Body) > 0 {
-			if err := json.Unmarshal(resp.Body, out); err != nil {
-				return nil, nil, err
-			}
-		}
-		if resp.DataFollows {
-			var buf bytes.Buffer
-			if _, err := cl.c.RecvData(&buf); err != nil {
-				return nil, nil, err
-			}
-			return buf.Bytes(), nil, nil
-		}
-		return nil, nil, nil
-	default:
-		return nil, nil, fmt.Errorf("client: unexpected frame %d: %w", t, types.ErrInvalid)
+	cl.pool.Put(m)
+	cl.mu.Lock()
+	cl.server = m.Server()
+	cl.mu.Unlock()
+	if res.Redirect != nil {
+		return nil, res.Redirect, nil
 	}
+	resp := res.Resp
+	if !resp.OK {
+		return nil, nil, resp.Err()
+	}
+	if out != nil && len(resp.Body) > 0 {
+		if err := json.Unmarshal(resp.Body, out); err != nil {
+			return nil, nil, err
+		}
+	}
+	return res.Data, nil, nil
 }
 
 // ---- Scommand-style API ----

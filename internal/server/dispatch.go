@@ -23,7 +23,7 @@ import (
 // under the same ID on every federation hop. The outcome (handler error
 // via ss.fail, or transport error) is attributed to the per-op metrics,
 // the trace ring and the log.
-func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
+func (s *Server) dispatch(ss *session, req *wire.Request) error {
 	if req.Trace == "" {
 		req.Trace = obs.NewTraceID()
 	}
@@ -45,7 +45,7 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 	if req.Attempt > 0 {
 		sp.Event(obs.EventRetry, fmt.Sprintf("client attempt %d", req.Attempt+1))
 	}
-	err := s.dispatchOp(c, ss, req)
+	err := s.dispatchOp(ss, req)
 	opErr := ss.opErr
 	if opErr == nil {
 		opErr = err
@@ -86,88 +86,85 @@ func (s *Server) dispatch(c *wire.Conn, ss *session, req *wire.Request) error {
 // dispatchOp executes one request and writes exactly one response (or a
 // redirect). Handler errors are turned into error responses; only
 // transport failures propagate and drop the connection.
-func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error {
+func (s *Server) dispatchOp(ss *session, req *wire.Request) error {
 	user, err := ss.effectiveUser(req)
 	if err != nil {
-		return ss.fail(c, err)
+		return ss.fail(err)
 	}
 	// Every resolved request is accounted to its effective user (the
 	// asserted end user on peer hops), keyed by the op's collection.
 	ss.acctUser = user
 	// A request whose budget already ran out (it sat queued behind a
 	// slow one, or a hop forwarded a sliver) fails before any work.
-	// Ops that stream inbound data are exempt here: the data frames
-	// must be drained to keep the protocol healthy, so their handlers
-	// run and the deadline is enforced on the federation hop instead.
-	switch req.Op {
-	case wire.OpIngest, wire.OpReingest, wire.OpIngestReplica, wire.OpCheckin:
-	default:
-		if ss.expired() {
-			return ss.fail(c, types.E(req.Op, "", types.ErrTimeout))
-		}
+	// Ops that stream inbound data are exempt here: their data frames
+	// were already drained to keep the protocol healthy, so their
+	// handlers run and the deadline is enforced on the federation hop
+	// instead.
+	if !wire.StreamsIn(req.Op) && ss.expired() {
+		return ss.fail(types.E(req.Op, "", types.ErrTimeout))
 	}
 	b := s.broker
 	switch req.Op {
 	case wire.OpMkdir:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Mkdir(user, a.Path); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpRmColl:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.RmColl(user, a.Path); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpList:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		stats, err := b.List(user, a.Path)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, stats)
+		return ss.reply(stats)
 
 	case wire.OpStat:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		st, err := b.StatPath(user, a.Path)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, st)
+		return ss.reply(st)
 
 	case wire.OpGetObject:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		o, err := b.Cat.GetObject(a.Path)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, o)
+		return ss.reply(o)
 
 	case wire.OpIngest:
 		a, err := decode[wire.IngestArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		var buf bytes.Buffer
-		n, err := c.RecvData(&buf)
+		n, err := ss.recvData(&buf)
 		if err != nil {
 			return err // transport failure
 		}
@@ -177,68 +174,68 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		if owner := s.resourceOwner(a.Resource); owner != "" && !ss.isPeer {
 			body, err := s.proxyIngest(owner, user, req, buf.Bytes(), ss.deadline, ss.span)
 			if err != nil {
-				return ss.fail(c, err)
+				return ss.fail(err)
 			}
-			return c.WriteJSON(wire.MsgResponse, wire.Response{OK: true, Body: body})
+			return ss.rawReply(body)
 		}
 		o, err := b.Ingest(user, toIngestOpts(a, buf.Bytes()))
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, o)
+		return ss.reply(o)
 
 	case wire.OpReingest:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		var buf bytes.Buffer
-		n, err := c.RecvData(&buf)
+		n, err := ss.recvData(&buf)
 		if err != nil {
 			return err
 		}
 		ss.bytesIn += n
 		if err := b.Reingest(user, a.Path, buf.Bytes()); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpGet:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		// A valid ticket lets the holder read with the issuer's
 		// authority — delegated access independent of ACL grants.
 		if req.Ticket != "" {
 			level, issuer, terr := s.tickets.Redeem(req.Ticket, a.Path)
 			if terr != nil {
-				return ss.fail(c, terr)
+				return ss.fail(terr)
 			}
 			if l, lerr := acl.ParseLevel(level); lerr == nil && l >= acl.Read {
 				user = issuer
 			}
 		}
 		if owner := s.localityOf(a.Path); owner != "" && !ss.isPeer {
-			return s.federate(c, ss, owner, user, req)
+			return s.federate(ss, owner, user, req)
 		}
 		data, err := b.GetTraced(user, a.Path, ss.span)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return ss.replyData(c, data)
+		return ss.replyData(data)
 
 	case wire.OpIssueTicket:
 		a, err := decode[wire.TicketArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		// Only a user holding Own may delegate access to a path.
 		if b.Cat.EffectiveLevel(a.Path, user) < acl.Own {
-			return ss.fail(c, types.E("issueticket", a.Path, types.ErrPermission))
+			return ss.fail(types.E("issueticket", a.Path, types.ErrPermission))
 		}
 		if _, err := acl.ParseLevel(a.Level); err != nil {
-			return ss.fail(c, types.E("issueticket", a.Level, types.ErrInvalid))
+			return ss.fail(types.E("issueticket", a.Level, types.ErrInvalid))
 		}
 		ttl := time.Duration(a.TTLSeconds) * time.Second
 		if ttl <= 0 {
@@ -246,401 +243,401 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 		}
 		tk, err := s.tickets.Issue(user, a.Path, a.Level, a.Uses, time.Now().Add(ttl))
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, wire.TicketReply{ID: tk.ID})
+		return ss.reply(wire.TicketReply{ID: tk.ID})
 
 	case wire.OpReadRange:
 		a, err := decode[wire.RangeArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if owner := s.localityOf(a.Path); owner != "" && !ss.isPeer {
-			return s.federate(c, ss, owner, user, req)
+			return s.federate(ss, owner, user, req)
 		}
 		data, err := s.readRange(user, a)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return ss.replyData(c, data)
+		return ss.replyData(data)
 
 	case wire.OpReplicate:
 		a, err := decode[wire.ReplicateArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		rep, err := s.handleReplicate(user, ss, a)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, rep)
+		return ss.reply(rep)
 
 	case wire.OpIngestReplica:
 		a, err := decode[wire.ReplicateArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		var buf bytes.Buffer
-		n, err := c.RecvData(&buf)
+		n, err := ss.recvData(&buf)
 		if err != nil {
 			return err
 		}
 		ss.bytesIn += n
 		rep, err := b.IngestReplica(user, a.Path, a.Resource, buf.Bytes())
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, rep)
+		return ss.reply(rep)
 
 	case wire.OpDelete:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Delete(user, a.Path); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpDeleteReplica:
 		a, err := decode[wire.ReplicaArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.DeleteReplica(user, a.Path, types.ReplicaNumber(a.Number)); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpMove:
 		a, err := decode[wire.MoveArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Move(user, a.Src, a.Dst); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpCopy:
 		a, err := decode[wire.CopyArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Copy(user, a.Src, a.Dst, a.Resource); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpLink:
 		a, err := decode[wire.LinkArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Link(user, a.Target, a.LinkPath); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpAddMeta:
 		a, err := decode[wire.MetaArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.AddMeta(user, a.Path, types.MetaClass(a.Class), a.AVU); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpGetMeta:
 		a, err := decode[wire.GetMetaArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		avus, err := b.GetMeta(user, a.Path, types.MetaClass(a.Class))
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, avus)
+		return ss.reply(avus)
 
 	case wire.OpAnnotate:
 		a, err := decode[wire.AnnotateArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Annotate(user, a.Path, a.Ann); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpAnnotations:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		anns, err := b.Annotations(user, a.Path)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, anns)
+		return ss.reply(anns)
 
 	case wire.OpQuery:
 		a, err := decode[wire.QueryArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		hits, err := b.Query(user, a.Q)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, hits)
+		return ss.reply(hits)
 
 	case wire.OpQueryAttrs:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, b.QueryAttrNames(user, a.Path))
+		return ss.reply(b.QueryAttrNames(user, a.Path))
 
 	case wire.OpChmod:
 		a, err := decode[wire.ChmodArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		level, err := acl.ParseLevel(a.Level)
 		if err != nil {
-			return ss.fail(c, types.E("chmod", a.Level, types.ErrInvalid))
+			return ss.fail(types.E("chmod", a.Level, types.ErrInvalid))
 		}
 		if err := b.Chmod(user, a.Path, a.Grantee, level); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpLock:
 		a, err := decode[wire.LockArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		kind, err := parseLockKind(a.Kind)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Lock(user, a.Path, kind, time.Duration(a.TTLSeconds)*time.Second); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpUnlock:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Unlock(user, a.Path); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpPin:
 		a, err := decode[wire.PinArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Pin(user, a.Path, a.Resource, time.Duration(a.TTLSeconds)*time.Second); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpUnpin:
 		a, err := decode[wire.PinArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Unpin(user, a.Path, a.Resource); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpCheckout:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if err := b.Checkout(user, a.Path); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpCheckin:
 		a, err := decode[wire.CheckinArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		var buf bytes.Buffer
-		n, err := c.RecvData(&buf)
+		n, err := ss.recvData(&buf)
 		if err != nil {
 			return err
 		}
 		ss.bytesIn += n
 		if err := b.Checkin(user, a.Path, buf.Bytes(), a.Comment); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpRegisterURL:
 		a, err := decode[wire.RegisterURLArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		o, err := b.RegisterURL(user, a.Path, a.URL)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, o)
+		return ss.reply(o)
 
 	case wire.OpRegisterSQL:
 		a, err := decode[wire.RegisterSQLArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		o, err := b.RegisterSQL(user, a.Path, a.Spec)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, o)
+		return ss.reply(o)
 
 	case wire.OpExecSQL:
 		a, err := decode[wire.ExecSQLArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if owner := s.sqlOwner(a.Path); owner != "" && !ss.isPeer {
-			return s.federate(c, ss, owner, user, req)
+			return s.federate(ss, owner, user, req)
 		}
 		data, err := b.ExecuteSQL(user, a.Path, a.Suffix)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return ss.replyData(c, data)
+		return ss.replyData(data)
 
 	case wire.OpInvoke:
 		a, err := decode[wire.InvokeArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		data, err := b.InvokeMethod(user, a.Path, a.Args)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return ss.replyData(c, data)
+		return ss.replyData(data)
 
 	case wire.OpMkContainer:
 		a, err := decode[wire.ContainerArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		o, err := b.CreateContainer(user, a.Path, a.Resource)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, o)
+		return ss.reply(o)
 
 	case wire.OpSyncContainer:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		n, err := b.SyncContainer(user, a.Path)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, wire.CountReply{N: n})
+		return ss.reply(wire.CountReply{N: n})
 
 	case wire.OpExtract:
 		a, err := decode[wire.ExtractArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		n, err := b.ExtractMeta(user, a.Path, a.Method, a.From)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, wire.CountReply{N: n})
+		return ss.reply(wire.CountReply{N: n})
 
 	case wire.OpShadowList:
 		a, err := decode[wire.ShadowArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		infos, err := b.ShadowList(user, a.Path, a.Rel)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, infos)
+		return ss.reply(infos)
 
 	case wire.OpShadowOpen:
 		a, err := decode[wire.ShadowArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		data, err := b.ShadowOpen(user, a.Path, a.Rel)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return ss.replyData(c, data)
+		return ss.replyData(data)
 
 	case wire.OpAddUser:
 		a, err := decode[wire.AddUserArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if !b.Cat.IsAdmin(user) {
-			return ss.fail(c, types.E("adduser", a.Name, types.ErrPermission))
+			return ss.fail(types.E("adduser", a.Name, types.ErrPermission))
 		}
 		if a.Name == "" || a.Password == "" {
-			return ss.fail(c, types.E("adduser", a.Name, types.ErrInvalid))
+			return ss.fail(types.E("adduser", a.Name, types.ErrInvalid))
 		}
 		domain := a.Domain
 		if domain == "" {
 			domain = "local"
 		}
 		if err := b.Cat.AddUser(types.User{Name: a.Name, Domain: domain, Admin: a.Admin}); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		s.authn.Register(a.Name, a.Password)
 		b.Cat.Audit.Op(user, "adduser", a.Name, true, domain)
-		return reply(c, struct{}{})
+		return ss.reply(struct{}{})
 
 	case wire.OpAudit:
 		a, err := decode[wire.AuditArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if !b.Cat.IsAdmin(user) {
-			return ss.fail(c, types.E("audit", "", types.ErrPermission))
+			return ss.fail(types.E("audit", "", types.ErrPermission))
 		}
 		recs := b.Cat.Audit.Query(audit.Filter{User: a.User, Op: a.Op, Target: a.Target, Trace: a.Trace})
 		if a.Limit > 0 && len(recs) > a.Limit {
 			recs = recs[len(recs)-a.Limit:]
 		}
-		return reply(c, recs)
+		return ss.reply(recs)
 
 	case wire.OpTrace:
 		a, err := decode[wire.TraceArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		if a.ID == "" {
-			return ss.fail(c, types.E("trace", "", types.ErrInvalid))
+			return ss.fail(types.E("trace", "", types.ErrInvalid))
 		}
 		// Client-facing requests fan out to every peer so the reply
 		// covers all hops of a federated operation; peer-forwarded
 		// requests answer from the local ring only.
-		return reply(c, s.gatherTrace(user, a.ID, !ss.isPeer))
+		return ss.reply(s.gatherTrace(user, a.ID, !ss.isPeer))
 
 	case wire.OpUsage:
 		a, err := decode[wire.UsageArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		entries := s.broker.Metrics().Usage().Snapshot()
 		if a.User != "" || a.Collection != "" {
@@ -656,97 +653,231 @@ func (s *Server) dispatchOp(c *wire.Conn, ss *session, req *wire.Request) error 
 			}
 			entries = kept
 		}
-		return reply(c, wire.UsageReply{Server: s.name, Entries: entries})
+		return ss.reply(wire.UsageReply{Server: s.name, Entries: entries})
 
 	case wire.OpResources:
-		return reply(c, b.Cat.Resources())
+		return ss.reply(b.Cat.Resources())
 
 	case wire.OpServerStats:
-		return reply(c, s.stats())
+		return ss.reply(s.stats())
 
 	case wire.OpOpStats:
-		return reply(c, s.Telemetry())
+		return ss.reply(s.Telemetry())
 
 	case wire.OpRepairStatus:
-		return reply(c, s.repairStatus())
+		return ss.reply(s.repairStatus())
 
 	case wire.OpGridStat:
 		a, err := decode[wire.GridStatArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		window := time.Duration(a.WindowSeconds) * time.Second
 		// Client-facing requests fan out to every peer for the grid
 		// view; peer-forwarded (or explicitly local) requests answer
 		// from the local ring only, bounding the gather to one hop.
 		fanout := !ss.isPeer && !a.LocalOnly
-		return reply(c, s.gatherGridStat(user, window, fanout, ss.deadline, ss.span))
+		return ss.reply(s.gatherGridStat(user, window, fanout, ss.deadline, ss.span))
 
 	case wire.OpAlerts:
 		if _, err := decode[wire.AlertsArgs](req); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, s.alerts())
+		return ss.reply(s.alerts())
 
 	case wire.OpIncidents:
 		if _, err := decode[wire.IncidentsArgs](req); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, s.incidents())
+		return ss.reply(s.incidents())
 
 	case wire.OpIncidentGet:
 		a, err := decode[wire.IncidentGetArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		rep, err := s.incidentGet(a.ID)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, rep)
+		return ss.reply(rep)
 
 	case wire.OpIncidentCapture:
 		a, err := decode[wire.IncidentCaptureArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		rep, err := s.incidentCapture(a.Reason)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, rep)
+		return ss.reply(rep)
 
 	case wire.OpPeers:
 		if _, err := decode[wire.PeersArgs](req); err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, s.peersReply())
+		return ss.reply(s.peersReply())
 
 	case wire.OpScrub:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		rpt, err := s.broker.Scrub(user, a.Path, ss.span)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, wire.ScrubReply{Server: s.name, Report: rpt})
+		return ss.reply(wire.ScrubReply{Server: s.name, Report: rpt})
 
 	case wire.OpChecksum:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
 		o, verdicts, err := s.broker.VerifyChecksums(user, a.Path)
 		if err != nil {
-			return ss.fail(c, err)
+			return ss.fail(err)
 		}
-		return reply(c, wire.ChecksumReply{Path: o.Path(), Checksum: o.Checksum, Verdicts: verdicts})
+		return ss.reply(wire.ChecksumReply{Path: o.Path(), Checksum: o.Checksum, Verdicts: verdicts})
+
+	case wire.OpBulkPut:
+		a, err := decode[wire.BulkPutArgs](req)
+		if err != nil {
+			return ss.fail(err)
+		}
+		var buf bytes.Buffer
+		n, err := ss.recvData(&buf)
+		if err != nil {
+			return err
+		}
+		ss.bytesIn += n
+		rep, err := s.handleBulkPut(user, ss, a, buf.Bytes(), req)
+		if err != nil {
+			return ss.fail(err)
+		}
+		return ss.reply(rep)
+
+	case wire.OpMultiGet:
+		a, err := decode[wire.MultiGetArgs](req)
+		if err != nil {
+			return ss.fail(err)
+		}
+		rep, data := s.handleMultiGet(user, ss, a, req)
+		return ss.replyDataBody(rep, data)
+
+	case wire.OpBulkStat:
+		a, err := decode[wire.BulkStatArgs](req)
+		if err != nil {
+			return ss.fail(err)
+		}
+		s.observeBatch(len(a.Paths))
+		rep := wire.BulkStatReply{Server: s.name}
+		for _, p := range a.Paths {
+			item := wire.BulkStatItem{Path: p}
+			if st, err := b.StatPath(user, p); err != nil {
+				item.ErrKind, item.ErrMsg = wire.KindOf(err), err.Error()
+			} else {
+				item.OK, item.Stat = true, st
+			}
+			rep.Items = append(rep.Items, item)
+		}
+		return ss.reply(rep)
 
 	default:
-		return ss.fail(c, types.E(req.Op, "", types.ErrUnsupported))
+		return ss.fail(types.E(req.Op, "", types.ErrUnsupported))
 	}
+}
+
+// observeBatch records a batch op's item count in the batch-size
+// histogram (count encoded as microseconds in the pow-2 buckets).
+func (s *Server) observeBatch(n int) {
+	s.broker.Metrics().Op("server.batch.items").Observe(time.Duration(n)*time.Microsecond, nil)
+}
+
+// handleBulkPut ingests a batch in one round trip. The manifest must
+// account for the whole data stream byte-for-byte; items then succeed
+// or fail independently — each ingest is atomic per item, so a failed
+// item writes no partial rows and cannot tear down its batch-mates.
+// Items whose target resource lives on a peer are proxied item by item.
+func (s *Server) handleBulkPut(user string, ss *session, a wire.BulkPutArgs, stream []byte, req *wire.Request) (wire.BulkPutReply, error) {
+	rep := wire.BulkPutReply{Server: s.name}
+	var total int64
+	for _, it := range a.Items {
+		if it.Size < 0 {
+			return rep, types.E(wire.OpBulkPut, it.Path, types.ErrInvalid)
+		}
+		total += it.Size
+	}
+	if total != int64(len(stream)) {
+		return rep, types.E(wire.OpBulkPut, "",
+			fmt.Errorf("manifest declares %d bytes, stream carries %d: %w", total, len(stream), types.ErrInvalid))
+	}
+	s.observeBatch(len(a.Items))
+	off := int64(0)
+	for _, it := range a.Items {
+		data := stream[off : off+it.Size : off+it.Size]
+		off += it.Size
+		st := wire.BulkItemStatus{Path: it.Path, OK: true}
+		var err error
+		if owner := s.resourceOwner(it.Resource); owner != "" && !ss.isPeer {
+			ireq := &wire.Request{Op: wire.OpIngest, Trace: req.Trace}
+			ireq.Args, err = jsonMarshal(wire.IngestArgs{
+				Path: it.Path, Resource: it.Resource, Container: it.Container,
+				DataType: it.DataType, Meta: it.Meta,
+			})
+			if err == nil {
+				_, err = s.proxyIngest(owner, user, ireq, data, ss.deadline, ss.span)
+			}
+		} else {
+			_, err = s.broker.Ingest(user, core.IngestOpts{
+				Path: it.Path, Data: data, Resource: it.Resource,
+				Container: it.Container, DataType: it.DataType, Meta: it.Meta,
+			})
+		}
+		if err != nil {
+			st.OK = false
+			st.ErrKind, st.ErrMsg = wire.KindOf(err), err.Error()
+		}
+		rep.Results = append(rep.Results, st)
+	}
+	return rep, nil
+}
+
+// handleMultiGet fetches a batch of objects, concatenating successful
+// items' bytes in request order (the reply manifest carries per-item
+// sizes so the client can slice the stream back apart). Items fail
+// independently; remote-owned items are proxied like a single get.
+func (s *Server) handleMultiGet(user string, ss *session, a wire.MultiGetArgs, req *wire.Request) (wire.MultiGetReply, []byte) {
+	rep := wire.MultiGetReply{Server: s.name}
+	s.observeBatch(len(a.Paths))
+	var out []byte
+	for _, p := range a.Paths {
+		item := wire.MultiGetItem{Path: p}
+		var data []byte
+		var err error
+		if owner := s.localityOf(p); owner != "" && !ss.isPeer {
+			greq := &wire.Request{Op: wire.OpGet, Trace: req.Trace}
+			greq.Args, err = jsonMarshal(wire.PathArgs{Path: p})
+			if err == nil {
+				if addr, ok := s.PeerAddr(owner); ok {
+					data, err = s.proxyGet(owner, addr, user, greq, ss.deadline, ss.span)
+				} else {
+					err = types.E(wire.OpGet, owner, types.ErrOffline)
+				}
+			}
+		} else {
+			data, err = s.broker.GetTraced(user, p, ss.span)
+		}
+		if err != nil {
+			item.ErrKind, item.ErrMsg = wire.KindOf(err), err.Error()
+		} else {
+			item.OK, item.Size = true, int64(len(data))
+			out = append(out, data...)
+		}
+		rep.Items = append(rep.Items, item)
+	}
+	return rep, out
 }
 
 // toIngestOpts converts wire args.

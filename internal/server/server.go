@@ -60,6 +60,10 @@ type Server struct {
 	// peerDial, when set, replaces the TCP dialer for peer connections
 	// (fault injection wraps it to script peer crashes).
 	peerDial func(addr string) (net.Conn, error)
+	// peerPool reuses peer-authenticated connections across federation
+	// calls — the dial-per-call model this replaces cost a full dial +
+	// handshake round trip on every proxied op.
+	peerPool *wire.Pool
 	// retry shapes federation retries for idempotent proxied ops.
 	retry resilience.Policy
 	sleep func(time.Duration)
@@ -69,8 +73,13 @@ type Server struct {
 	// local span tree written to the log (srbd's -slow-op flag).
 	slowOp atomic.Int64
 
-	ln        net.Listener
-	wg        sync.WaitGroup
+	ln net.Listener
+	wg sync.WaitGroup
+	// connsMu guards conns, the set of live inbound connections. Close
+	// shuts them down explicitly: pooled peer and client connections
+	// stay open across calls, so waiting for EOF would wait forever.
+	connsMu   sync.Mutex
+	conns     map[net.Conn]struct{}
 	closed    chan struct{}
 	closeOnce sync.Once
 	admin     *adminServer
@@ -89,12 +98,13 @@ type peer struct {
 // New returns a server over the broker. name must match the broker's
 // server name so resource ownership resolves consistently.
 func New(b *core.Broker, a *auth.Authenticator, mode FederationMode) *Server {
-	return &Server{
+	s := &Server{
 		broker:      b,
 		authn:       a,
 		name:        b.ServerName(),
 		mode:        mode,
 		peers:       make(map[string]peer),
+		conns:       make(map[net.Conn]struct{}),
 		tickets:     auth.NewTicketStore(),
 		closed:      make(chan struct{}),
 		dialTimeout: resilience.DialTimeout,
@@ -102,7 +112,40 @@ func New(b *core.Broker, a *auth.Authenticator, mode FederationMode) *Server {
 		sleep:       time.Sleep,
 		Logger:      obs.NewLogger(os.Stderr, b.ServerName(), obs.LevelError),
 	}
+	s.peerPool = wire.NewPool(wire.PoolConfig{
+		Dial:    s.dialPeerMux,
+		Metrics: b.Metrics(),
+		Prefix:  "federation.pool",
+		Gate:    s.peerGate,
+	})
+	return s
 }
+
+// peerGate makes checkout breaker-aware: a pooled connection to a peer
+// whose breaker is open fails fast at the pool, before any frame moves.
+func (s *Server) peerGate(addr string) wire.Gate {
+	name := s.peerNameByAddr(addr)
+	if name == "" {
+		return nil
+	}
+	return s.peerBreaker(name)
+}
+
+// peerNameByAddr reverse-resolves a peer address to its server name.
+func (s *Server) peerNameByAddr(addr string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, p := range s.peers {
+		if p.addr == addr {
+			return name
+		}
+	}
+	return ""
+}
+
+// PeerPoolStats reports the federation connection pool's occupancy and
+// lifetime dial/eviction/reap counters (chaos tests and status pages).
+func (s *Server) PeerPoolStats() wire.PoolStats { return s.peerPool.Stats() }
 
 // SetDialTimeout tunes how long peer dials may take (srbd's
 // -dial-timeout flag).
@@ -113,9 +156,17 @@ func (s *Server) SetDialTimeout(d time.Duration) {
 }
 
 // SetPeerDialer replaces the transport used to reach peers (tests and
-// fault injection). nil restores plain TCP.
+// fault injection). nil restores plain TCP. Pooled connections dialed
+// under the old transport are dropped so the swap takes effect
+// immediately.
 func (s *Server) SetPeerDialer(dial func(addr string) (net.Conn, error)) {
 	s.peerDial = dial
+	s.flushPeerPool()
+}
+
+// flushPeerPool closes every pooled peer connection (transport swap).
+func (s *Server) flushPeerPool() {
+	s.peerPool.Flush()
 }
 
 // SetRetryPolicy tunes federation retries for idempotent proxied ops.
@@ -181,6 +232,12 @@ func (s *Server) Close() error {
 			err = s.ln.Close()
 		}
 		s.closeAdmin()
+		s.peerPool.Close()
+		s.connsMu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.connsMu.Unlock()
 		s.wg.Wait()
 	})
 	return err
@@ -199,25 +256,75 @@ func (s *Server) acceptLoop() {
 				return
 			}
 		}
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
-			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+			defer func() {
+				conn.Close()
+				s.connsMu.Lock()
+				delete(s.conns, conn)
+				s.connsMu.Unlock()
+			}()
+			// net.ErrClosed covers both a client dropping a pooled conn
+			// and Close force-closing tracked conns: routine teardown,
+			// not an error worth logging.
+			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logger.Errorf("conn %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
 }
 
-// session is the authenticated state of one connection.
+// connWriter serializes response-stream writes on one connection.
+// Pipelined handlers finish out of order; the mutex makes each
+// response (and its trailing data frames) one atomic unit on the wire.
+// A write error is latched and the conn closed, so the reader loop
+// unblocks and every later write fails fast.
+type connWriter struct {
+	mu  sync.Mutex
+	c   *wire.Conn
+	nc  net.Conn
+	err error
+}
+
+// send runs one response write under the lock.
+func (w *connWriter) send(fn func(c *wire.Conn) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := fn(w.c); err != nil {
+		w.err = err
+		w.nc.Close()
+		return err
+	}
+	return nil
+}
+
+// session is the state of one request on an authenticated connection.
+// The identity fields (user/peer/remote/w) are shared by every request
+// on the conn; the rest is per-request, forked fresh so pipelined
+// handlers never share mutable state.
 type session struct {
 	user   string // authenticated end user, or "" on peer connections
 	peer   string // authenticated peer server, or ""
 	isPeer bool
 	remote string // remote address, for log and trace context
-	// opErr records the handler error of the request being dispatched
-	// (connections are served by one goroutine, so this is race-free);
+	// w is the conn's mutex-serialized response writer.
+	w *connWriter
+	// reqID is the request's correlation ID, echoed on every response
+	// (zero = serial protocol).
+	reqID uint64
+	// pre holds the request's inbound bulk-data stream, drained by the
+	// reader loop before dispatch (the stream belongs between the
+	// request and the next one; a pipelined handler reads it here).
+	pre    []byte
+	hasPre bool
+	// opErr records the handler error of the request being dispatched;
 	// the dispatch shim reads it to attribute errors to the op's
 	// metrics, span record and log line.
 	opErr error
@@ -226,8 +333,7 @@ type session struct {
 	// hops forward only what remains of it.
 	deadline time.Time
 	// span is the current request's trace span; handlers and the layers
-	// beneath them annotate it with retry/breaker/failover events. Like
-	// opErr it is per-request, single-goroutine state.
+	// beneath them annotate it with retry/breaker/failover events.
 	span *obs.Span
 	// acctUser is the resolved effective user of the current request,
 	// recorded by dispatchOp for usage accounting ("" = unresolved).
@@ -238,16 +344,101 @@ type session struct {
 	bytesOut int64
 }
 
+// fork builds the per-request session for one dispatched request.
+func (ss *session) fork(reqID uint64) *session {
+	return &session{
+		user: ss.user, peer: ss.peer, isPeer: ss.isPeer,
+		remote: ss.remote, w: ss.w, reqID: reqID,
+	}
+}
+
 // expired reports whether the request's budget has run out.
 func (ss *session) expired() bool {
 	return !ss.deadline.IsZero() && !time.Now().Before(ss.deadline)
 }
 
+// recvData hands the handler its request's pre-read bulk data stream.
+func (ss *session) recvData(w io.Writer) (int64, error) {
+	if !ss.hasPre {
+		return 0, types.E("recvdata", "", types.ErrInvalid)
+	}
+	n, err := w.Write(ss.pre)
+	return int64(n), err
+}
+
+// reply sends a success response with body.
+func (ss *session) reply(body any) error {
+	resp, err := wire.OkResponse(body, false)
+	if err != nil {
+		return err
+	}
+	resp.ID = ss.reqID
+	return ss.w.send(func(c *wire.Conn) error {
+		return c.WriteJSON(wire.MsgResponse, resp)
+	})
+}
+
+// rawReply sends a success response with a pre-marshalled body (proxied
+// replies relay the owning server's bytes untouched).
+func (ss *session) rawReply(body json.RawMessage) error {
+	resp := wire.Response{ID: ss.reqID, OK: true, Body: body}
+	return ss.w.send(func(c *wire.Conn) error {
+		return c.WriteJSON(wire.MsgResponse, resp)
+	})
+}
+
 // fail reports a handler failure to the client and records it for the
 // dispatch shim.
-func (ss *session) fail(c *wire.Conn, err error) error {
+func (ss *session) fail(err error) error {
 	ss.opErr = err
-	return replyErr(c, err)
+	resp := wire.ErrResponse(err)
+	resp.ID = ss.reqID
+	return ss.w.send(func(c *wire.Conn) error {
+		return c.WriteJSON(wire.MsgResponse, resp)
+	})
+}
+
+// replyData sends a success response announcing size, then the data —
+// one atomic unit under the conn writer lock — and accounts the sent
+// bytes to the session's usage ledger.
+func (ss *session) replyData(data []byte) error {
+	resp, err := wire.OkResponse(wire.SizeReply{Size: int64(len(data))}, true)
+	if err != nil {
+		return err
+	}
+	resp.ID = ss.reqID
+	ss.bytesOut += int64(len(data))
+	return ss.w.send(func(c *wire.Conn) error {
+		if err := c.WriteJSON(wire.MsgResponse, resp); err != nil {
+			return err
+		}
+		return c.SendData(bytes.NewReader(data))
+	})
+}
+
+// replyDataBody is replyData with a custom response body (batch ops
+// announce per-item manifests instead of one size).
+func (ss *session) replyDataBody(body any, data []byte) error {
+	resp, err := wire.OkResponse(body, true)
+	if err != nil {
+		return err
+	}
+	resp.ID = ss.reqID
+	ss.bytesOut += int64(len(data))
+	return ss.w.send(func(c *wire.Conn) error {
+		if err := c.WriteJSON(wire.MsgResponse, resp); err != nil {
+			return err
+		}
+		return c.SendData(bytes.NewReader(data))
+	})
+}
+
+// redirect hands the client the owning server's address.
+func (ss *session) redirect(server, addr string) error {
+	rd := wire.Redirect{ID: ss.reqID, Server: server, Addr: addr}
+	return ss.w.send(func(c *wire.Conn) error {
+		return c.WriteJSON(wire.MsgRedirect, rd)
+	})
 }
 
 // effectiveUser resolves the user an operation runs as.
@@ -261,21 +452,65 @@ func (ss *session) effectiveUser(req *wire.Request) (string, error) {
 	return ss.user, nil
 }
 
+// maxPipelined bounds concurrently dispatched requests per connection;
+// beyond it the reader loop applies backpressure by not reading the
+// next request until a handler slot frees.
+const maxPipelined = 64
+
 func (s *Server) handleConn(nc net.Conn) error {
 	c := wire.NewConn(nc)
-	ss, err := s.handshake(c)
+	base, err := s.handshake(c)
 	if err != nil {
 		return err
 	}
-	ss.remote = nc.RemoteAddr().String()
+	base.remote = nc.RemoteAddr().String()
+	base.w = &connWriter{c: c, nc: nc}
+	reg := s.broker.Metrics()
+	depthHist := reg.Op("server.pipeline.depth")
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sem := make(chan struct{}, maxPipelined)
+	var inflight atomic.Int64
 	for {
 		var req wire.Request
 		if err := c.ReadJSON(wire.MsgRequest, &req); err != nil {
 			return err
 		}
-		if err := s.dispatch(c, ss, &req); err != nil {
-			return err
+		ss := base.fork(req.ID)
+		if wire.StreamsIn(req.Op) {
+			// The op's bulk data sits between this request and the next;
+			// drain it here so the reader can move on while a pipelined
+			// handler works. (This also keeps framing healthy when the
+			// handler rejects the op before touching the data.)
+			var buf bytes.Buffer
+			if _, err := c.RecvData(&buf); err != nil {
+				return err
+			}
+			ss.pre, ss.hasPre = buf.Bytes(), true
 		}
+		if req.ID == 0 {
+			// Serial protocol: dispatch inline, strictly in order.
+			if err := s.dispatch(ss, &req); err != nil {
+				return err
+			}
+			continue
+		}
+		// Pipelined: dispatch concurrently, bounded by maxPipelined.
+		// The depth histogram records how deep the pipeline actually
+		// runs (depth encoded as microseconds in the pow-2 buckets).
+		depth := inflight.Add(1)
+		depthHist.Observe(time.Duration(depth)*time.Microsecond, nil)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(req wire.Request, ss *session) {
+			defer wg.Done()
+			defer func() { <-sem; inflight.Add(-1) }()
+			if err := s.dispatch(ss, &req); err != nil {
+				// Transport failure writing the response: the writer
+				// latched it and closed the conn, unblocking the reader.
+				s.Logger.Errorf("conn %s: pipelined %s: %v", ss.remote, req.Op, err)
+			}
+		}(req, ss)
 	}
 }
 
@@ -307,35 +542,9 @@ func (s *Server) handshake(c *wire.Conn) (*session, error) {
 		}
 		ss.user = a.User
 	}
-	return ss, c.WriteJSON(wire.MsgAuthOK, struct{ Server string }{s.name})
-}
-
-// reply sends a success response with body.
-func reply(c *wire.Conn, body any) error {
-	resp, err := wire.OkResponse(body, false)
-	if err != nil {
-		return err
-	}
-	return c.WriteJSON(wire.MsgResponse, resp)
-}
-
-// replyErr sends a failure response (protocol stays healthy).
-func replyErr(c *wire.Conn, err error) error {
-	return c.WriteJSON(wire.MsgResponse, wire.ErrResponse(err))
-}
-
-// replyData sends a success response announcing size, then the data,
-// and accounts the sent bytes to the session's usage ledger.
-func (ss *session) replyData(c *wire.Conn, data []byte) error {
-	resp, err := wire.OkResponse(wire.SizeReply{Size: int64(len(data))}, true)
-	if err != nil {
-		return err
-	}
-	if err := c.WriteJSON(wire.MsgResponse, resp); err != nil {
-		return err
-	}
-	ss.bytesOut += int64(len(data))
-	return c.SendData(bytes.NewReader(data))
+	// Mux:true advertises that this server echoes correlation IDs, so
+	// clients may pipeline requests over this connection.
+	return ss, c.WriteJSON(wire.MsgAuthOK, wire.AuthOK{Server: s.name, Mux: true})
 }
 
 // decode unmarshals request args.
@@ -405,13 +614,13 @@ func (s *Server) resourceOwner(resource string) string {
 // proxy mode relays the bytes, redirect mode hands the client the
 // owning server's address. The forwarded request keeps req.Trace, so
 // the same trace ID lands in both servers' records.
-func (s *Server) federate(c *wire.Conn, ss *session, peerName, user string, req *wire.Request) error {
+func (s *Server) federate(ss *session, peerName, user string, req *wire.Request) error {
 	addr, ok := s.PeerAddr(peerName)
 	if !ok {
-		return ss.fail(c, types.E(req.Op, peerName, types.ErrOffline))
+		return ss.fail(types.E(req.Op, peerName, types.ErrOffline))
 	}
 	if s.mode == Redirect {
-		return c.WriteJSON(wire.MsgRedirect, wire.Redirect{Server: peerName, Addr: addr})
+		return ss.redirect(peerName, addr)
 	}
 	// Serving a read through a peer is the federation-level failover:
 	// either the data only lives there, or the local replica's resource
@@ -419,9 +628,9 @@ func (s *Server) federate(c *wire.Conn, ss *session, peerName, user string, req 
 	ss.span.Event(obs.EventFailover, "read via peer "+peerName)
 	data, err := s.proxyGet(peerName, addr, user, req, ss.deadline, ss.span)
 	if err != nil {
-		return ss.fail(c, err)
+		return ss.fail(err)
 	}
-	return ss.replyData(c, data)
+	return ss.replyData(data)
 }
 
 // peerBreaker returns the circuit breaker guarding one federated peer.
@@ -430,9 +639,11 @@ func (s *Server) peerBreaker(name string) *resilience.Breaker {
 }
 
 // peerDo runs one attempt against a peer: breaker gate, remaining-
-// budget rewrite, dial, and outcome recording. Only conn-level
-// failures (dial refused, conn dropped, I/O deadline) count against the
-// breaker — a peer answering with an application error is alive.
+// budget rewrite, pooled checkout, and outcome recording. Only
+// conn-level failures (dial refused, conn dropped, I/O deadline) count
+// against the breaker — a peer answering with an application error is
+// alive. A transport failure also evicts the checked-out connection so
+// no later federation call inherits a broken conn.
 func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Request, sp *obs.Span, fn func(*peerConn) error) error {
 	br := s.peerBreaker(peerName)
 	switch br.State() {
@@ -449,18 +660,14 @@ func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Req
 	// The span the peer opens for this request becomes a child of ours,
 	// so the federated hop shows up as a subtree when reassembled.
 	req.Span = sp.SpanID()
-	s.mu.RLock()
-	secret := s.peers[peerName].secret
-	s.mu.RUnlock()
-	pc, err := s.dialPeer(addr, secret)
+	m, err := s.peerPool.Get(addr)
 	if err != nil {
 		if br.Failure() {
 			sp.Event(obs.EventBreakerTrip, "peer."+peerName)
 		}
 		return types.E(req.Op, peerName, err)
 	}
-	defer pc.close()
-	pc.deadline = deadline
+	pc := &peerConn{m: m, deadline: deadline}
 	start := time.Now()
 	err = fn(pc)
 	failed := err != nil && resilience.Transport(err)
@@ -469,10 +676,12 @@ func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Req
 	// history (an application error proves the peer alive).
 	s.broker.Metrics().Peers().Record(peerName, "", time.Since(start), pc.bytes, failed)
 	if failed {
+		s.peerPool.Fail(m)
 		if br.Failure() {
 			sp.Event(obs.EventBreakerTrip, "peer."+peerName)
 		}
 	} else {
+		s.peerPool.Put(m)
 		br.Success()
 	}
 	if err != nil {
@@ -571,23 +780,28 @@ func (s *Server) proxyCall(peerName, user string, req *wire.Request, deadline ti
 	return body, nil
 }
 
-// peerConn is a minimal peer-authenticated client used for proxying.
-// A non-zero deadline is enforced as a conn I/O deadline on every
-// round trip, so a peer that stops answering mid-exchange fails the
-// request instead of hanging it.
+// peerConn is one checked-out federation call slot: a pooled Mux plus
+// the request's deadline. The Mux enforces the deadline per call (a
+// peer that stops answering mid-exchange fails the request instead of
+// hanging it) and lets many federation calls share one authenticated
+// connection.
 type peerConn struct {
-	nc       net.Conn
-	c        *wire.Conn
+	m        *wire.Mux
 	deadline time.Time
-	// bytes counts bulk payload moved on this connection (either
-	// direction), for the peer transfer observatory's bandwidth EWMA.
+	// bytes counts bulk payload moved on this call (either direction),
+	// for the peer transfer observatory's bandwidth EWMA.
 	bytes int64
 }
 
-// dialPeer connects and peer-authenticates to addr. The dial timeout is
-// s.dialTimeout (shared default resilience.DialTimeout); tests inject
-// transports via SetPeerDialer.
-func (s *Server) dialPeer(addr, secret string) (*peerConn, error) {
+// dialPeerMux connects and peer-authenticates to addr, wrapping the
+// conn in a Mux for pooling. The zone secret is resolved from the peer
+// table by address at dial time, and s.peerDial is read per dial so a
+// transport swapped in by fault injection applies to new connections.
+func (s *Server) dialPeerMux(addr string) (*wire.Mux, error) {
+	name := s.peerNameByAddr(addr)
+	s.mu.RLock()
+	secret := s.peers[name].secret
+	s.mu.RUnlock()
 	dial := s.peerDial
 	if dial == nil {
 		dial = func(a string) (net.Conn, error) {
@@ -609,79 +823,60 @@ func (s *Server) dialPeer(addr, secret string) (*peerConn, error) {
 		nc.Close()
 		return nil, err
 	}
-	var ok struct{ Server string }
+	var ok wire.AuthOK
 	if err := c.ReadJSON(wire.MsgAuthOK, &ok); err != nil {
 		nc.Close()
 		return nil, types.E("peerauth", addr, types.ErrAuth)
 	}
-	return &peerConn{nc: nc, c: c}, nil
-}
-
-func (p *peerConn) close() { p.nc.Close() }
-
-// arm applies the request deadline to the conn before a round trip.
-func (p *peerConn) arm() {
-	if !p.deadline.IsZero() {
-		p.nc.SetDeadline(p.deadline)
-	}
+	return wire.NewMux(nc, c, ok.Server, ok.Mux), nil
 }
 
 func (p *peerConn) roundTrip(req *wire.Request) (json.RawMessage, error) {
-	p.arm()
-	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
+	res, err := p.m.Call(req, nil, p.deadline)
+	if err != nil {
 		return nil, err
 	}
-	var resp wire.Response
-	if err := p.c.ReadJSON(wire.MsgResponse, &resp); err != nil {
-		return nil, err
+	if res.Redirect != nil {
+		return nil, types.E(req.Op, "", types.ErrInvalid)
 	}
-	if !resp.OK {
-		return nil, resp.Err()
+	if !res.Resp.OK {
+		return nil, res.Resp.Err()
 	}
-	return resp.Body, nil
+	return res.Resp.Body, nil
 }
 
 func (p *peerConn) roundTripData(req *wire.Request) ([]byte, error) {
-	p.arm()
-	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
+	res, err := p.m.Call(req, nil, p.deadline)
+	if err != nil {
 		return nil, err
 	}
-	var resp wire.Response
-	if err := p.c.ReadJSON(wire.MsgResponse, &resp); err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, resp.Err()
-	}
-	if !resp.DataFollows {
+	if res.Redirect != nil {
 		return nil, types.E(req.Op, "", types.ErrInvalid)
 	}
-	var buf bytes.Buffer
-	if _, err := p.c.RecvData(&buf); err != nil {
-		return nil, err
+	if !res.Resp.OK {
+		return nil, res.Resp.Err()
 	}
-	p.bytes += int64(buf.Len())
-	return buf.Bytes(), nil
+	if !res.Resp.DataFollows {
+		return nil, types.E(req.Op, "", types.ErrInvalid)
+	}
+	p.bytes += int64(len(res.Data))
+	return res.Data, nil
 }
 
 // roundTripIngest relays an ingest (request, then data, then response).
 func (p *peerConn) roundTripIngest(req *wire.Request, data []byte) (json.RawMessage, error) {
-	p.arm()
-	if err := p.c.WriteJSON(wire.MsgRequest, req); err != nil {
+	res, err := p.m.Call(req, bytes.NewReader(data), p.deadline)
+	if err != nil {
 		return nil, err
 	}
-	if err := p.c.SendData(bytes.NewReader(data)); err != nil {
-		return nil, err
+	if res.Redirect != nil {
+		return nil, types.E(req.Op, "", types.ErrInvalid)
+	}
+	if !res.Resp.OK {
+		return nil, res.Resp.Err()
 	}
 	p.bytes += int64(len(data))
-	var resp wire.Response
-	if err := p.c.ReadJSON(wire.MsgResponse, &resp); err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, resp.Err()
-	}
-	return resp.Body, nil
+	return res.Resp.Body, nil
 }
 
 // parseLockKind maps wire lock names.

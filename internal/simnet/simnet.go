@@ -12,6 +12,7 @@ package simnet
 
 import (
 	"net"
+	"sync"
 	"time"
 
 	"gosrb/internal/storage"
@@ -188,4 +189,90 @@ func (c *PacedConn) Write(b []byte) (int, error) {
 		c.sleep(time.Duration(int64(len(b)) * int64(time.Second) / c.p.BandwidthBytesPerSec))
 	}
 	return c.Conn.Write(b)
+}
+
+// DelayedConn delivers each write to the peer a fixed latency after it
+// was written, without blocking the writer. PacedConn charges
+// propagation once per connection, which under-models request/response
+// protocols: on a real WAN every round trip pays the link. Wrapping a
+// client conn in Delay makes a serial protocol pay the latency per
+// request while concurrent in-flight requests overlap their delays —
+// the regime the pipelined wire protocol is built for.
+type DelayedConn struct {
+	net.Conn
+	delay time.Duration
+	q     chan delayedChunk
+	done  chan struct{}
+	once  sync.Once
+
+	mu   sync.Mutex
+	werr error
+}
+
+type delayedChunk struct {
+	b  []byte
+	at time.Time
+}
+
+// Delay wraps conn so each write lands on the peer oneWay later.
+// Chunks stay ordered; Close discards undelivered chunks.
+func Delay(conn net.Conn, oneWay time.Duration) *DelayedConn {
+	c := &DelayedConn{
+		Conn:  conn,
+		delay: oneWay,
+		q:     make(chan delayedChunk, 4096),
+		done:  make(chan struct{}),
+	}
+	go c.pump()
+	return c
+}
+
+func (c *DelayedConn) pump() {
+	for {
+		select {
+		case ch := <-c.q:
+			if d := time.Until(ch.at); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-c.done:
+					t.Stop()
+					return
+				}
+			}
+			if _, err := c.Conn.Write(ch.b); err != nil {
+				c.mu.Lock()
+				if c.werr == nil {
+					c.werr = err
+				}
+				c.mu.Unlock()
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Write queues b for delayed delivery and returns immediately.
+func (c *DelayedConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	werr := c.werr
+	c.mu.Unlock()
+	if werr != nil {
+		return 0, werr
+	}
+	cp := append([]byte(nil), b...)
+	select {
+	case c.q <- delayedChunk{b: cp, at: time.Now().Add(c.delay)}:
+		return len(b), nil
+	case <-c.done:
+		return 0, net.ErrClosed
+	}
+}
+
+// Close stops the delivery pump and closes the underlying conn.
+func (c *DelayedConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return c.Conn.Close()
 }

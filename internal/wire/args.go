@@ -100,7 +100,31 @@ const (
 	// OpPeers reports the server's peer transfer observatory: per-peer
 	// and per-resource EWMA latency/bandwidth and success history.
 	OpPeers = "peers"
+	// OpBulkPut ingests many small objects in one round trip: a
+	// BulkPutArgs manifest followed by one data stream holding the
+	// items' bytes concatenated in manifest order. Items succeed or
+	// fail independently; the reply reports per-item status.
+	OpBulkPut = "bulkput"
+	// OpMultiGet fetches many objects in one round trip: per-item
+	// status in request order, then one data stream holding the
+	// successful items' bytes concatenated in that order.
+	OpMultiGet = "multiget"
+	// OpBulkStat stats many paths in one round trip, preserving
+	// request order in the reply.
+	OpBulkStat = "bulkstat"
 )
+
+// StreamsIn reports whether op is followed by an inbound bulk data
+// stream (Data frames ended by DataEnd). The pipelined server must
+// drain the stream before dispatching the next request, so this set
+// must name every op whose request precedes data.
+func StreamsIn(op string) bool {
+	switch op {
+	case OpIngest, OpReingest, OpIngestReplica, OpCheckin, OpBulkPut:
+		return true
+	}
+	return false
+}
 
 // PathArgs addresses one logical path.
 type PathArgs struct {
@@ -466,4 +490,103 @@ type ChecksumReply struct {
 	Path     string
 	Checksum string
 	Verdicts []types.ReplicaVerdict
+}
+
+// BulkPutItem describes one object inside a bulk ingest. Size is the
+// item's byte count within the concatenated data stream that follows
+// the manifest — the server slices the stream by these sizes.
+type BulkPutItem struct {
+	Path      string
+	Resource  string
+	Container string
+	DataType  string
+	Meta      []types.AVU `json:",omitempty"`
+	Size      int64
+}
+
+// BulkPutArgs is the manifest preceding a bulk ingest data stream.
+type BulkPutArgs struct {
+	Items []BulkPutItem
+}
+
+// BulkItemStatus reports one item's outcome inside a batch reply.
+// Items fail independently: a bad path cannot tear down its
+// batch-mates, and ErrKind round-trips the sentinel for errors.Is.
+type BulkItemStatus struct {
+	Path    string
+	OK      bool
+	ErrKind string `json:",omitempty"`
+	ErrMsg  string `json:",omitempty"`
+}
+
+// Err reconstructs the item's error (nil when OK).
+func (s *BulkItemStatus) Err() error {
+	if s.OK {
+		return nil
+	}
+	return ErrFromKind(s.ErrKind, s.ErrMsg)
+}
+
+// BulkPutReply reports per-item outcomes in manifest order.
+type BulkPutReply struct {
+	Server  string
+	Results []BulkItemStatus
+}
+
+// MultiGetArgs fetches many objects in one round trip.
+type MultiGetArgs struct {
+	Paths []string
+}
+
+// MultiGetItem reports one item of a multi-get, in request order. Size
+// is the item's byte count within the data stream that follows the
+// reply (0 for failed items, which contribute no bytes).
+type MultiGetItem struct {
+	Path    string
+	OK      bool
+	Size    int64
+	ErrKind string `json:",omitempty"`
+	ErrMsg  string `json:",omitempty"`
+}
+
+// Err reconstructs the item's error (nil when OK).
+func (s *MultiGetItem) Err() error {
+	if s.OK {
+		return nil
+	}
+	return ErrFromKind(s.ErrKind, s.ErrMsg)
+}
+
+// MultiGetReply precedes the concatenated data stream.
+type MultiGetReply struct {
+	Server string
+	Items  []MultiGetItem
+}
+
+// BulkStatArgs stats many paths in one round trip.
+type BulkStatArgs struct {
+	Paths []string
+}
+
+// BulkStatItem reports one stat outcome, in request order.
+type BulkStatItem struct {
+	Path    string
+	OK      bool
+	Stat    types.Stat `json:",omitempty"`
+	ErrKind string     `json:",omitempty"`
+	ErrMsg  string     `json:",omitempty"`
+}
+
+// Err reconstructs the item's error (nil when OK).
+func (s *BulkStatItem) Err() error {
+	if s.OK {
+		return nil
+	}
+	return ErrFromKind(s.ErrKind, s.ErrMsg)
+}
+
+// BulkStatReply reports per-path stats in request order.
+type BulkStatReply struct {
+	Server string
+	Items  []BulkStatItem
 }

@@ -66,6 +66,12 @@ type Auth struct {
 // connections — the federation's single sign-on: the owning server
 // trusts a zone peer's assertion of who the end user is.
 type Request struct {
+	// ID correlates this request with its response when requests are
+	// pipelined over a shared connection. Zero means the legacy serial
+	// protocol: one request, one response, in order. Non-zero IDs are
+	// assigned by the client-side Mux and echoed back by the server so
+	// a demultiplexer can match out-of-order responses to callers.
+	ID       uint64 `json:",omitempty"`
 	Op       string
 	OnBehalf string
 	// Ticket optionally presents a delegated-access ticket; read
@@ -96,6 +102,8 @@ type Request struct {
 // Response answers a Request. Body is op-specific JSON. ErrKind names a
 // types sentinel so clients can reconstruct errors.Is-compatible errors.
 type Response struct {
+	// ID echoes the request's correlation ID (zero on the serial path).
+	ID      uint64 `json:",omitempty"`
 	OK      bool
 	ErrKind string
 	ErrMsg  string
@@ -106,8 +114,19 @@ type Response struct {
 
 // Redirect tells the client which server holds the data.
 type Redirect struct {
+	// ID echoes the request's correlation ID (zero on the serial path).
+	ID     uint64 `json:",omitempty"`
 	Server string
 	Addr   string
+}
+
+// AuthOK is the body of the MsgAuthOK frame. Mux advertises that the
+// server echoes correlation IDs, letting the client pipeline requests;
+// servers predating the field leave it false and get the serial
+// protocol.
+type AuthOK struct {
+	Server string
+	Mux    bool `json:",omitempty"`
 }
 
 // errKinds maps sentinel errors to wire names and back.
@@ -141,7 +160,8 @@ func Idempotent(op string) bool {
 		OpAnnotations, OpQuery, OpQueryAttrs, OpResources, OpServerStats,
 		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit,
 		OpTrace, OpUsage, OpRepairStatus, OpChecksum, OpScrub,
-		OpGridStat, OpAlerts, OpIncidents, OpIncidentGet, OpPeers:
+		OpGridStat, OpAlerts, OpIncidents, OpIncidentGet, OpPeers,
+		OpMultiGet, OpBulkStat:
 		// OpScrub mutates replicas, but only toward the catalog
 		// checksum — re-running a scrub is always safe.
 		return true
@@ -207,11 +227,52 @@ func (c *Conn) ReadMsg() (MsgType, []byte, error) {
 	if n > MaxFrame {
 		return 0, nil, types.E("read", "", fmt.Errorf("frame of %d bytes exceeds limit: %w", n, types.ErrInvalid))
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.rw, payload); err != nil {
+	payload, err := readPayload(c.rw, int(n))
+	if err != nil {
 		return 0, nil, err
 	}
 	return MsgType(hdr[0]), payload, nil
+}
+
+// readAllocStep caps how much ReadMsg allocates ahead of bytes actually
+// received. A forged header can declare any length up to MaxFrame; if
+// we allocated the declared size up front, 5 attacker bytes would pin
+// 16 MiB per connection. Instead the buffer grows stepwise as payload
+// bytes arrive, so memory tracks what the peer really sent.
+const readAllocStep = 64 * 1024
+
+// readPayload reads exactly n payload bytes, growing the buffer in
+// readAllocStep increments so a truncated or malicious frame never
+// costs more than one step beyond the bytes received.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= readAllocStep {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	buf := make([]byte, readAllocStep)
+	got := 0
+	for got < n {
+		if got == len(buf) {
+			grow := 2 * len(buf)
+			if grow > n {
+				grow = n
+			}
+			next := make([]byte, grow)
+			copy(next, buf)
+			buf = next
+		}
+		if _, err := io.ReadFull(r, buf[got:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		got = len(buf)
+	}
+	return buf[:n], nil
 }
 
 // WriteJSON sends a JSON-encoded frame.
