@@ -10,19 +10,32 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X gosrb/internal/obs.Version=$(VERSION)"
 
-.PHONY: all check lint vet build test race test-faults test-repair test-wire bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate bench-wire bench-wire-gate clean
+.PHONY: all check lint vet build test race test-faults test-repair test-wire test-phases bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate bench-wire bench-wire-gate bench-phases bench-phases-gate clean
 
 all: check
 
-check: lint build race test-faults test-repair test-wire bench-obs-gate bench-grid-gate bench-flight-gate bench-wire-gate
+check: lint build race test-faults test-repair test-wire test-phases bench-obs-gate bench-grid-gate bench-flight-gate bench-wire-gate bench-phases-gate
 
-# Static analysis: go vet always; staticcheck only when the host has it
-# installed (the build image does not — never install it from check).
+# Static analysis: go vet always, then a pinned staticcheck. The pin
+# keeps every checkout on the same analyzer; when the binary is absent
+# it is installed into the repo-local bin/. The install is best-effort:
+# an offline build image prints a warning and check proceeds on go vet
+# alone rather than failing on a network error.
+STATICCHECK_VERSION ?= 2024.1.1
+STATICCHECK := $(CURDIR)/bin/staticcheck
+
 lint: vet
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		echo staticcheck ./...; staticcheck ./...; \
-	else \
-		echo "staticcheck not installed; skipping (go vet ran)"; \
+	@if [ ! -x "$(STATICCHECK)" ] && command -v staticcheck >/dev/null 2>&1; then \
+		cp "$$(command -v staticcheck)" "$(STATICCHECK)" 2>/dev/null || true; \
+	fi; \
+	if [ ! -x "$(STATICCHECK)" ]; then \
+		echo "installing staticcheck@$(STATICCHECK_VERSION) into bin/"; \
+		mkdir -p "$(CURDIR)/bin"; \
+		GOBIN=$(CURDIR)/bin $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) \
+			|| echo "staticcheck install failed (offline build image?); continuing on go vet"; \
+	fi; \
+	if [ -x "$(STATICCHECK)" ]; then \
+		echo staticcheck ./...; "$(STATICCHECK)" ./...; \
 	fi
 
 vet:
@@ -59,6 +72,15 @@ test-wire:
 	$(GO) test -race -count=10 -run 'TestMux|TestPool' ./internal/wire/
 	$(GO) test -race -count=10 -run 'TestBatcher' ./internal/client/
 	$(GO) test -race -count=1 -run 'TestBulk|TestMultiGet' ./internal/server/
+
+# Exemplar-integrity sweep: the bucket→trace-ID retention race only
+# surfaces across many interleavings; 10x under -race proves tail
+# exemplars never tear (a trace ID paired with another observation's
+# duration) and that threshold filtering stays exact. (The pool
+# checkout-wait telemetry races ride test-wire's TestPool matcher; the
+# phase-attribution chaos e2e rides test-faults' 10x TestChaos loop.)
+test-phases:
+	$(GO) test -race -count=10 -run 'TestExemplar' ./internal/obs/
 
 # Full benchmark sweep (experiments E1–E10 plus the wire and broker
 # concurrency benches).
@@ -119,6 +141,19 @@ bench-wire:
 bench-wire-gate:
 	BENCH_WIRE_GATE=1 $(GO) test -run TestWireBenchGate -v .
 
+# Phase-decomposition report: measures a traced, phase-folded broker
+# get against the plain instrumented get (both cells mint a span — that
+# cost pre-dates the decomposition) and writes BENCH_phases.json.
+bench-phases:
+	BENCH_PHASES=1 $(GO) test -run TestPhasesBenchReport -v .
+
+# Absolute instrumentation budget: the phase stamps plus the histogram
+# fold may cost at most 5% per request. Unlike the drift fences this
+# bound never ratchets — the decomposition is always on in production.
+bench-phases-gate:
+	BENCH_PHASES_GATE=1 $(GO) test -run TestPhasesBenchGate -v .
+
 clean:
-	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json BENCH_wire.json
+	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json BENCH_wire.json BENCH_phases.json
+	rm -rf bin
 	$(GO) clean -testcache

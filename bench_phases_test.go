@@ -1,0 +1,172 @@
+// The latency-decomposition overhead harness: what does recording
+// per-phase span events and folding them into phase.* histograms cost
+// on top of the telemetry the broker already pays for? Both cells run
+// the *instrumented* broker and both mint a span per op — per-request
+// span creation is the flight recorder's pre-existing cost, not this
+// layer's. The plain cell passes a nil span so the in-path phase
+// stamps become no-ops; the delta therefore isolates exactly what the
+// decomposition adds per request: the Span.Phase stamps in the get
+// path plus the RecordPhases fold the server dispatch performs.
+package gosrb_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"gosrb/internal/core"
+	"gosrb/internal/obs"
+	"gosrb/internal/workload"
+)
+
+// benchSpanSink keeps the plain cell's span alive so the compiler
+// cannot elide its creation and skew the comparison.
+var benchSpanSink *obs.Span
+
+// phaseBenchOp is one get through the decomposition harness. Phased:
+// a live span rides GetTraced (the mcat.lookup / storage.read stamps
+// fire) and the dispatch-side fold runs — the exact per-request work
+// srbd adds. Plain: the span is still minted (pre-existing flight
+// recorder cost) but GetTraced sees nil, so stamps and fold are off.
+// Paths mirror obsBenchBroker's preload naming.
+func phaseBenchOp(br *core.Broker, i, objects int, phased bool) error {
+	path := fmt.Sprintf("/d/f%03d", i%objects)
+	sp := obs.StartSpan("", "get")
+	if !phased {
+		benchSpanSink = sp
+		_, err := br.GetTraced("admin", path, nil)
+		return err
+	}
+	_, err := br.GetTraced("admin", path, sp)
+	sp.Phase(obs.PhaseDispatch, sp.Elapsed())
+	br.Metrics().RecordPhases("server", "get", sp.Trace, sp.Events())
+	return err
+}
+
+// BenchmarkPhaseOverhead compares a traced, phase-recorded get against
+// the plain instrumented get on the same broker.
+func BenchmarkPhaseOverhead(b *testing.B) {
+	payload := workload.NewGen(23).Bytes(4 << 10)
+	const objects = 64
+	for _, mode := range []struct {
+		name   string
+		phased bool
+	}{{"phased", true}, {"plain", false}} {
+		b.Run("get/"+mode.name, func(b *testing.B) {
+			br := obsBenchBroker(b, true, objects, payload)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := phaseBenchOp(br, i, objects, mode.phased); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestPhasesBenchReport measures the phase-recording overhead and
+// writes BENCH_phases.json. Gated behind BENCH_PHASES=1 (the Makefile's
+// bench-phases target).
+func TestPhasesBenchReport(t *testing.T) {
+	if os.Getenv("BENCH_PHASES") == "" {
+		t.Skip("set BENCH_PHASES=1 to emit BENCH_phases.json")
+	}
+	payload := workload.NewGen(23).Bytes(4 << 10)
+	const objects = 64
+	measure := func(phased bool) float64 {
+		br := obsBenchBroker(t, true, objects, payload)
+		best := 0.0
+		for round := 0; round < 3; round++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := phaseBenchOp(br, i, objects, phased); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if v := float64(res.NsPerOp()); round == 0 || v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	phased, plain := measure(true), measure(false)
+	report := struct {
+		Benchmark     string  `json:"benchmark"`
+		PayloadBytes  int     `json:"payload_bytes"`
+		Objects       int     `json:"objects"`
+		PhasedNsPerOp float64 `json:"phased_ns_per_op"`
+		PlainNsPerOp  float64 `json:"plain_ns_per_op"`
+		OverheadPct   float64 `json:"overhead_pct"`
+	}{
+		Benchmark:     "phase-decomposition-overhead",
+		PayloadBytes:  len(payload),
+		Objects:       objects,
+		PhasedNsPerOp: phased,
+		PlainNsPerOp:  plain,
+	}
+	if plain > 0 {
+		report.OverheadPct = (phased - plain) / plain * 100
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_phases.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("get: %.0f ns phased vs %.0f ns plain (%.2f%% overhead)", phased, plain, report.OverheadPct)
+}
+
+// TestPhasesBenchGate is the ISSUE's overhead budget made executable:
+// the traced-and-folded get may cost at most 5% over the plain
+// instrumented get. Unlike the drift fences, the bound is absolute —
+// the decomposition is always on in production, so its budget does not
+// ratchet with the recorded baseline. Gated behind BENCH_PHASES_GATE=1
+// (make bench-phases-gate, wired into make check); skips when no
+// baseline exists so fresh checkouts aren't blocked.
+func TestPhasesBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_PHASES_GATE") == "" {
+		t.Skip("set BENCH_PHASES_GATE=1 to check the phase overhead budget")
+	}
+	if _, err := os.Stat("BENCH_phases.json"); err != nil {
+		t.Skipf("no baseline: %v (run `make bench-phases` first)", err)
+	}
+	payload := workload.NewGen(23).Bytes(4 << 10)
+	const objects = 64
+	run := func(br *core.Broker, phased bool) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := phaseBenchOp(br, i, objects, phased); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	// Pairwise rounds, min overhead kept: both cells see the same
+	// scheduler interference each round (see TestObsOverheadGate).
+	phasedBr := obsBenchBroker(t, true, objects, payload)
+	plainBr := obsBenchBroker(t, true, objects, payload)
+	overhead := 0.0
+	for round := 0; round < 5; round++ {
+		ph, pl := run(phasedBr, true), run(plainBr, false)
+		v := 0.0
+		if pl > 0 {
+			v = (ph - pl) / pl * 100
+		}
+		if round == 0 || v < overhead {
+			overhead = v
+		}
+	}
+	if overhead < 0 {
+		overhead = 0
+	}
+	const budgetPct = 5.0
+	t.Logf("phase-recording overhead: %.2f%% (budget %.1f%%)", overhead, budgetPct)
+	if overhead > budgetPct {
+		t.Errorf("phase-recording overhead %.2f%% exceeds the %.1f%% budget", overhead, budgetPct)
+	}
+}

@@ -56,6 +56,8 @@ func main() {
 		sloRules    = flag.String("slo-rules", "", "SLO rules file, one rule per line (e.g. 'get p99 < 50ms over 5m'); empty disables SLO evaluation")
 		sloEvery    = flag.Duration("slo-interval", 30*time.Second, "how often declared SLO rules are evaluated against the rollup ring")
 
+		exemplarMin = flag.Duration("exemplar-threshold", obs.DefaultExemplarThreshold, "retain a tail exemplar (trace ID) on latency buckets at or above this duration; 0 keeps one per bucket regardless")
+
 		telemetryDir = flag.String("telemetry-dir", "", "flight recorder directory: durable telemetry journal plus incident bundles, restored at boot (empty disables)")
 		telemetryRet = flag.Duration("telemetry-retention", 24*time.Hour, "how much telemetry and incident history survives compaction (0 keeps whatever the rings retain)")
 	)
@@ -77,6 +79,7 @@ func main() {
 		}
 	}
 	broker := core.New(cat, "mysrb")
+	broker.Metrics().SetExemplarThreshold(*exemplarMin)
 	// Durable telemetry mirrors srbd: restore windowed history before
 	// any job captures new rollups.
 	var telem *obs.TelemetryStore

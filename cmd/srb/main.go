@@ -67,12 +67,14 @@ commands:
                                      counts, latency quantiles, byte
                                      totals); -json emits the raw snapshot
   opstats                            server telemetry (alias of bare stat)
-  top [-grid] [-window 5m] [-sort rate|p99|errors] [-json]
+  top [-grid] [-window 5m] [-sort rate|p99|errors] [-phases] [-json]
                                      windowed rates and p50/p95/p99 from
                                      the rollup ring; -grid merges every
                                      zone member (dead peers flagged
                                      unreachable, not fatal); -sort
-                                     orders the op table (default: name)
+                                     orders the op table (default: name);
+                                     -phases shows the per-phase latency
+                                     decomposition instead of per-op rows
   alerts [-json]                     SLO rule standings and the bounded
                                      fire/resolve alert log
   incident list [-json]              flight recorder bundle index
@@ -85,6 +87,10 @@ commands:
                                      per federation peer and resource
   trace <id>                         span tree of a recent operation,
                                      gathered from every zone server
+  why <id>                           phase waterfall of a recent
+                                     operation: where each microsecond
+                                     went (queue wait, catalog lookup,
+                                     storage, federation hop...)
   usage [-json] [user [collection]]  per-user/collection usage accounting
   repair status [-json]              background repair engine: queue
                                      backlog, worker health, job runs
@@ -156,9 +162,17 @@ func run(cl *client.Client, cmd string, args []string) error {
 			if err != nil {
 				return err
 			}
+			// The reply carries the server's federation pool (PeerPool);
+			// the client-side wire pool only this process can see rides
+			// along so one scrape covers both ends of the path.
+			pool := cl.PoolStats()
+			out := struct {
+				wire.OpStatsReply
+				ClientPool wire.PoolStats
+			}{st, pool}
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
-			return enc.Encode(st)
+			return enc.Encode(out)
 		}
 		if len(args) == 0 {
 			return printOpStats(cl)
@@ -215,9 +229,29 @@ func run(cl *client.Client, cmd string, args []string) error {
 		obs.WriteTree(os.Stdout, obs.AssembleTree(rep.Spans))
 		return nil
 
+	case "why":
+		// Latency decomposition of one operation: the same spans `srb
+		// trace` shows, rendered as a phase waterfall — each phase's
+		// share of the span's wall time, sub-phases indented under their
+		// parent, and the unattributed remainder called out.
+		rep, err := cl.Trace(need(args, 0, "trace id"))
+		if err != nil {
+			return err
+		}
+		if len(rep.Spans) == 0 {
+			return fmt.Errorf("trace %s not found (rings may have wrapped)", args[0])
+		}
+		servers := map[string]bool{}
+		for _, r := range rep.Spans {
+			servers[r.Server] = true
+		}
+		fmt.Printf("trace %s: %d spans across %d server(s)\n", args[0], len(rep.Spans), len(servers))
+		obs.WriteWaterfall(os.Stdout, obs.AssembleTree(rep.Spans))
+		return nil
+
 	case "top":
 		window := 5 * time.Minute
-		grid, jsonOut := false, false
+		grid, jsonOut, phases := false, false, false
 		sortKey := ""
 		for i := 0; i < len(args); i++ {
 			switch args[i] {
@@ -225,6 +259,8 @@ func run(cl *client.Client, cmd string, args []string) error {
 				grid = true
 			case "-json":
 				jsonOut = true
+			case "-phases":
+				phases = true
 			case "-window":
 				i++
 				if i >= len(args) {
@@ -247,12 +283,21 @@ func run(cl *client.Client, cmd string, args []string) error {
 					return fmt.Errorf("bad -sort %q (want rate, p99 or errors)", args[i])
 				}
 			default:
-				return fmt.Errorf("unknown top flag %q (want -grid, -window, -sort, -json)", args[i])
+				return fmt.Errorf("unknown top flag %q (want -grid, -window, -sort, -phases, -json)", args[i])
 			}
 		}
 		rep, err := cl.GridStat(window, grid)
 		if err != nil {
 			return err
+		}
+		if phases {
+			rows := obs.PhaseRows(rep.Grid.Ops)
+			if jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(rows)
+			}
+			return printPhases(rep, rows)
 		}
 		if jsonOut {
 			enc := json.NewEncoder(os.Stdout)
@@ -824,6 +869,15 @@ func printOpStats(cl *client.Client) error {
 		}
 	}
 
+	if st.PeerPool != nil {
+		p := *st.PeerPool
+		fmt.Printf("\nfederation pool: %d conn(s), %d idle, dialed=%d evicted=%d reaped=%d\n",
+			p.Conns, p.Idle, p.Dialed, p.Evicted, p.Reaped)
+	}
+	cp := cl.PoolStats()
+	fmt.Printf("client pool: %d conn(s), %d idle, dialed=%d evicted=%d reaped=%d\n",
+		cp.Conns, cp.Idle, cp.Dialed, cp.Evicted, cp.Reaped)
+
 	if n := len(s.Traces); n > 0 {
 		fmt.Printf("\nrecent traces (%d):\n", n)
 		show := s.Traces
@@ -906,6 +960,46 @@ func printGrid(rep wire.GridStatReply, sortKey string) error {
 			c := rep.Grid.Counters[name]
 			fmt.Printf("  %-36s %10d %10.2f\n", name, c.Delta, c.PerSec)
 		}
+	}
+	return nil
+}
+
+// printPhases renders the latency decomposition of a grid-stat reply:
+// one row per (side, op, phase) histogram, share computed against the
+// op's summed phase time so the dominant phase stands out at a glance.
+func printPhases(rep wire.GridStatReply, rows []obs.PhaseRow) error {
+	fmt.Printf("phases via %s  window: %.0fs  members: %d\n", rep.Server, rep.WindowSeconds, len(rep.Members))
+	for _, m := range rep.Members {
+		status := "ok"
+		switch {
+		case m.Unreachable:
+			status = "UNREACHABLE"
+		case m.Stale:
+			status = "stale"
+		}
+		line := fmt.Sprintf("  %-12s %-12s covered=%.0fs", m.Server, status, m.Window.CoveredSeconds)
+		if m.Err != "" {
+			line += "  " + m.Err
+		}
+		fmt.Println(line)
+	}
+	if len(rows) == 0 {
+		fmt.Println("\nno phase activity in the window (phases ride the rollup ring; is -rollup-interval enabled?)")
+		return nil
+	}
+	totals := make(map[string]int64, len(rows))
+	for _, r := range rows {
+		totals[r.Family+"."+r.Op] += r.TotalMicros
+	}
+	fmt.Printf("\n%-7s %-10s %-26s %8s %12s %7s %10s %10s\n",
+		"side", "op", "phase", "count", "total(us)", "share", "p50(us)", "p99(us)")
+	for _, r := range rows {
+		share := 0.0
+		if t := totals[r.Family+"."+r.Op]; t > 0 {
+			share = 100 * float64(r.TotalMicros) / float64(t)
+		}
+		fmt.Printf("%-7s %-10s %-26s %8d %12d %6.1f%% %10.1f %10.1f\n",
+			r.Family, r.Op, r.Phase, r.Count, r.TotalMicros, share, r.P50Micros, r.P99Micros)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"gosrb/internal/obs"
 	"gosrb/internal/types"
 	"gosrb/internal/wire"
 )
@@ -128,11 +129,22 @@ type PutBatcher struct {
 	lastErr error
 	flushes int
 	closed  bool
+	// firstAdd stamps when the oldest buffered item arrived; the gap to
+	// flush start is the batch-hold latency phase.
+	firstAdd time.Time
+	// hold, when set, receives each flush's batch-hold duration.
+	hold func(time.Duration)
 }
 
 // NewPutBatcher builds a batcher that flushes through cl.BulkPut.
 func NewPutBatcher(cl *Client, policy BatchPolicy) *PutBatcher {
-	return newPutBatcher(cl.BulkPut, policy)
+	b := newPutBatcher(cl.BulkPut, policy)
+	b.hold = func(d time.Duration) {
+		// LastTrace here is the flush's own bulkput call, so the hold
+		// histogram's tail exemplars join to the flush that paid it.
+		cl.phase("bulkput", obs.PhaseBatchHold, d, cl.LastTrace())
+	}
+	return b
 }
 
 // newPutBatcher is the injectable core (tests supply a fake flush).
@@ -163,8 +175,11 @@ func (b *PutBatcher) Add(item BulkPut) error {
 		b.mu.Unlock()
 		return types.E("bulkput", item.Path, fmt.Errorf("batcher closed: %w", types.ErrInvalid))
 	}
-	if len(b.items) == 0 && b.policy.Period > 0 {
-		b.timer = time.AfterFunc(b.policy.Period, b.periodFlush)
+	if len(b.items) == 0 {
+		b.firstAdd = time.Now()
+		if b.policy.Period > 0 {
+			b.timer = time.AfterFunc(b.policy.Period, b.periodFlush)
+		}
 	}
 	b.items = append(b.items, item)
 	b.bytes += int64(len(item.Data))
@@ -237,9 +252,14 @@ func (b *PutBatcher) flushLocked() error {
 		b.timer.Stop()
 		b.timer = nil
 	}
+	var held time.Duration
+	if len(items) > 0 && !b.firstAdd.IsZero() {
+		held = time.Since(b.firstAdd)
+		b.firstAdd = time.Time{}
+	}
 	pending := b.lastErr
 	b.lastErr = nil
-	flush, sink := b.flushFn, b.onFlush
+	flush, sink, hold := b.flushFn, b.onFlush, b.hold
 	if len(items) > 0 {
 		b.flushes++
 	}
@@ -248,6 +268,9 @@ func (b *PutBatcher) flushLocked() error {
 		return pending
 	}
 	results, err := flush(items)
+	if hold != nil {
+		hold(held)
+	}
 	if err == nil && sink != nil {
 		sink(results)
 	}

@@ -67,6 +67,11 @@ type Client struct {
 	// history, when set, receives one per-server transfer observation
 	// per logical call — the client-side feed of the peer observatory.
 	history *obs.PeerHistory
+	// metrics, when set, receives client-side latency-decomposition
+	// phases (serialize, pool checkout, mux in-flight, dial, batch hold)
+	// as phase.client.* ops, plus the connection pool's wire.pool.*
+	// gauges and checkout-wait histogram.
+	metrics atomic.Pointer[obs.Registry]
 }
 
 // Dial connects and authenticates to the server at addr.
@@ -85,7 +90,7 @@ func DialWith(addr, user, password string, dialer func(addr string) (net.Conn, e
 		addr: addr, user: user, password: password, dial: dialer,
 		retry: resilience.DefaultPolicy, sleep: time.Sleep,
 	}
-	cl.pool = wire.NewPool(wire.PoolConfig{Dial: cl.dialMux})
+	cl.pool = wire.NewPool(wire.PoolConfig{Dial: cl.dialMux, Prefix: "wire.pool"})
 	// Authenticate eagerly so bad credentials and dead servers fail at
 	// Dial, matching the one-conn-per-client behaviour this replaces.
 	m, err := cl.pool.Get(addr)
@@ -100,6 +105,8 @@ func DialWith(addr, user, password string, dialer func(addr string) (net.Conn, e
 
 // dialMux establishes and authenticates one pooled connection.
 func (cl *Client) dialMux(addr string) (*wire.Mux, error) {
+	start := time.Now()
+	defer func() { cl.phase("conn", obs.PhaseDial, time.Since(start), "") }()
 	nc, err := cl.dial(addr)
 	if err != nil {
 		return nil, types.E("dial", addr, err)
@@ -152,6 +159,25 @@ func (cl *Client) SetPeerHistory(ph *obs.PeerHistory) {
 	cl.mu.Lock()
 	cl.history = ph
 	cl.mu.Unlock()
+}
+
+// SetMetrics attaches a telemetry registry: every call then records its
+// client-side latency phases (phase.client.<op>.<phase> histograms with
+// trace-ID tail exemplars) and the connection pool exports its
+// wire.pool.* stats into the same registry.
+func (cl *Client) SetMetrics(reg *obs.Registry) {
+	cl.metrics.Store(reg)
+	cl.pool.SetMetrics(reg)
+}
+
+// phase records one client-side latency phase (no-op without an
+// attached registry).
+func (cl *Client) phase(op, name string, d time.Duration, trace string) {
+	reg := cl.metrics.Load()
+	if reg == nil {
+		return
+	}
+	reg.Op(obs.PhasePrefix+"client."+op+"."+name).ObserveTrace(d, nil, trace)
 }
 
 // Retries reports how many retry attempts this client has performed.
@@ -264,7 +290,9 @@ func (cl *Client) callRedirect(op string, args any, sendData []byte, out any, ti
 }
 
 func (cl *Client) callOnce(addr, op string, args any, sendData []byte, out any, ticket, trace string, attempt int, deadline time.Time) ([]byte, *wire.Redirect, error) {
+	serStart := time.Now()
 	raw, err := json.Marshal(args)
+	cl.phase(op, obs.PhaseSerialize, time.Since(serStart), trace)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -283,7 +311,9 @@ func (cl *Client) callOnce(addr, op string, args any, sendData []byte, out any, 
 		}
 		req.TimeoutMillis = ms
 	}
+	coStart := time.Now()
 	m, err := cl.pool.Get(addr)
+	cl.phase(op, obs.PhasePoolCheckout, time.Since(coStart), trace)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -291,7 +321,9 @@ func (cl *Client) callOnce(addr, op string, args any, sendData []byte, out any, 
 	if sendData != nil {
 		data = bytes.NewReader(sendData)
 	}
+	callStart := time.Now()
 	res, err := m.Call(&req, data, deadline)
+	cl.phase(op, obs.PhaseMuxInflight, time.Since(callStart), trace)
 	if err != nil {
 		// Evict only broken conns; a strict-mux call timeout leaves the
 		// connection healthy (the late response is discarded by ID).

@@ -99,6 +99,9 @@ type IngestOpts struct {
 	// Meta is user metadata supplied at ingestion; it must satisfy the
 	// target collection's mandatory structural attributes.
 	Meta []types.AVU
+	// Span, when non-nil, receives latency-decomposition phase
+	// annotations (mcat.lookup, storage.write) along the ingest.
+	Span *obs.Span
 }
 
 // Ingest stores a new data object. The user needs Write on the target
@@ -111,6 +114,7 @@ func (b *Broker) Ingest(user string, opts IngestOpts) (types.DataObject, error) 
 }
 
 func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) {
+	lookup := time.Now()
 	path := types.CleanPath(opts.Path)
 	coll, name := types.Parent(path), types.Base(path)
 	if !types.ValidName(name) {
@@ -140,6 +144,9 @@ func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) 
 	if err != nil {
 		return types.DataObject{}, err
 	}
+	// Everything up to here resolved names, ACLs and resources against
+	// the catalog — attribute it to the mcat.lookup phase.
+	opts.Span.Phase(obs.PhaseMCATLookup, time.Since(lookup))
 	dataType := opts.DataType
 	if dataType == "" {
 		dataType = "generic"
@@ -165,6 +172,7 @@ func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) 
 			syncTarget, async = k, true
 		}
 	}
+	writeStart := time.Now()
 	var reps []types.Replica
 	wrote := 0
 	for i, m := range members {
@@ -193,6 +201,7 @@ func (b *Broker) ingest(user string, opts IngestOpts) (types.DataObject, error) 
 		}
 		reps = append(reps, rep)
 	}
+	opts.Span.Phase(obs.PhaseStorageWrite, time.Since(writeStart))
 	if wrote == 0 {
 		b.Cat.DeleteObject(path)
 		b.audit(user, "ingest", path, false, "no online member of "+opts.Resource)
@@ -285,7 +294,9 @@ func (b *Broker) GetTraced(user, path string, sp *obs.Span) ([]byte, error) {
 }
 
 func (b *Broker) get(user, path string, sp *obs.Span) ([]byte, error) {
+	lookup := time.Now()
 	o, err := b.checkRead(user, path, "get")
+	sp.Phase(obs.PhaseMCATLookup, time.Since(lookup))
 	if err != nil {
 		return nil, err
 	}

@@ -150,6 +150,9 @@ func (a *App) handleGrid(w http.ResponseWriter, r *http.Request, user string) {
 	fmt.Fprint(w, "<h3>Grid aggregate</h3>")
 	writeGridOpsTable(w, rep.Grid, nil, false)
 
+	fmt.Fprint(w, "<h3>Latency decomposition</h3>")
+	writeGridPhaseTable(w, rep.Grid)
+
 	for _, m := range rep.Members {
 		status := ""
 		switch {
@@ -171,6 +174,35 @@ func (a *App) handleGrid(w http.ResponseWriter, r *http.Request, user string) {
 		}
 	}
 	fmt.Fprint(w, "</body></html>")
+}
+
+// writeGridPhaseTable renders the merged window's per-phase latency
+// decomposition: one row per (family, op, phase) histogram, share-of-op
+// computed against the op's summed phase time so a single slow phase
+// stands out. Rows come from the phase.* ops RecordPhases folds in.
+func writeGridPhaseTable(w http.ResponseWriter, ws obs.WindowStats) {
+	rows := obs.PhaseRows(ws.Ops)
+	if len(rows) == 0 {
+		fmt.Fprint(w, "<p>no phase activity in the window.</p>")
+		return
+	}
+	// Sum per (family, op) for the share column.
+	totals := make(map[string]int64, len(rows))
+	for _, r := range rows {
+		totals[r.Family+"."+r.Op] += r.TotalMicros
+	}
+	fmt.Fprint(w, `<table border="1" cellpadding="3"><tr><th>side</th><th>op</th><th>phase</th><th>latency dist</th><th>count</th><th>total (&micro;s)</th><th>share</th><th>p50 (&micro;s)</th><th>p99 (&micro;s)</th></tr>`)
+	for _, r := range rows {
+		share := 0.0
+		if t := totals[r.Family+"."+r.Op]; t > 0 {
+			share = 100 * float64(r.TotalMicros) / float64(t)
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%.1f%%</td><td>%.1f</td><td>%.1f</td></tr>",
+			template.HTMLEscapeString(r.Family), template.HTMLEscapeString(r.Op),
+			template.HTMLEscapeString(r.Phase), latencySpark(r.Buckets),
+			r.Count, r.TotalMicros, share, r.P50Micros, r.P99Micros)
+	}
+	fmt.Fprint(w, "</table>")
 }
 
 // writeGridOpsTable renders one window's per-op rows; withActivity adds

@@ -15,6 +15,7 @@ import (
 	"gosrb/internal/auth"
 	"gosrb/internal/core"
 	"gosrb/internal/mcat"
+	"gosrb/internal/obs"
 	"gosrb/internal/storage"
 	"gosrb/internal/storage/dbfs"
 	"gosrb/internal/storage/memfs"
@@ -575,5 +576,52 @@ func TestMoreWebOps(t *testing.T) {
 	r.get("/logout")
 	if body, _ := r.get("/browse?path=/cultures"); !strings.Contains(body, "password") {
 		t.Error("session should be gone after logout")
+	}
+}
+
+// TestGridPhaseTable drives the /grid latency-decomposition table both
+// empty (a fresh window renders the no-activity note, not a bare
+// table) and populated (folded phases appear as rows with the op and
+// phase names escaped into the HTML).
+func TestGridPhaseTable(t *testing.T) {
+	r := newRig(t)
+	r.login("curator", "pw")
+
+	resp, err := r.http.Get(r.srv.URL + "/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "Latency decomposition") ||
+		!strings.Contains(string(body), "no phase activity in the window") {
+		t.Fatalf("fresh /grid missing the empty-state note:\n%s", body)
+	}
+
+	// Fold a decomposed span into the registry. The window diffs the
+	// live counters against the oldest retained rollup, so capture the
+	// empty baseline first.
+	reg := r.broker.Metrics()
+	reg.CaptureRollup(time.Now().Add(-time.Second))
+	sp := obs.StartSpan("", "get")
+	sp.Phase(obs.PhaseQueueWait, 2*time.Millisecond)
+	sp.Phase(obs.PhaseStorageRead, 5*time.Millisecond)
+	sp.Phase(obs.PhaseDispatch, 6*time.Millisecond)
+	reg.RecordPhases("server", "get", sp.Trace, sp.Events())
+
+	resp, err = r.http.Get(r.srv.URL + "/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	page := string(body)
+	for _, want := range []string{obs.PhaseQueueWait, obs.PhaseStorageRead, obs.PhaseDispatch, "server"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/grid phase table missing %q", want)
+		}
+	}
+	if strings.Contains(page, "no phase activity in the window") {
+		t.Error("/grid still shows the empty-state note with phases recorded")
 	}
 }

@@ -165,8 +165,17 @@ func (ir *IncidentRecorder) Capture(now time.Time, rule, reason, detail string, 
 			write("spans.json", b)
 		}
 	}
-	if b, err := json.MarshalIndent(reg.WindowAt(now, window), "", "  "); err == nil {
+	ws := reg.WindowAt(now, window)
+	if b, err := json.MarshalIndent(ws, "", "  "); err == nil {
 		write("window.json", b)
+	}
+	// Latency decomposition at capture time: the same window's phase
+	// histograms, so "where did the p99 go" is answerable from the
+	// bundle alone after the rollup ring has moved on.
+	if rows := PhaseRows(ws.Ops); len(rows) > 0 {
+		if b, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			write("phases.json", b)
+		}
 	}
 	if ir.cfg.Extra != nil {
 		names := make([]string, 0)

@@ -62,6 +62,16 @@ func (g *Gauge) Set(n int64) {
 	g.v.Store(n)
 }
 
+// Add adjusts the value by delta — the natural shape for occupancy
+// gauges (queue depth, waiters) incremented on entry and decremented
+// on exit.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 {
 	if g == nil {
@@ -75,12 +85,24 @@ func (g *Gauge) Value() int64 {
 // with the last bucket collecting everything beyond.
 const histBuckets = 28
 
+// Exemplar is one retained "this trace landed in this bucket" sample:
+// the most recent observation at or above the registry's exemplar
+// threshold. The whole struct is swapped atomically as a unit, so a
+// reader can never see a trace ID paired with another observation's
+// duration.
+type Exemplar struct {
+	TraceID string
+	Micros  int64
+}
+
 // Histogram is a fixed-bucket latency histogram with power-of-two
-// microsecond bucket bounds. Observations are lock-free.
+// microsecond bucket bounds. Observations are lock-free. Buckets may
+// carry a tail exemplar (see Exemplar).
 type Histogram struct {
 	count   atomic.Int64
 	sumNano atomic.Int64
 	buckets [histBuckets]atomic.Int64
+	ex      [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // bucketOf maps a duration to its bucket index.
@@ -117,6 +139,13 @@ type BucketCount struct {
 	Count       int64
 }
 
+// BucketExemplar is one bucket's retained tail exemplar in a snapshot.
+type BucketExemplar struct {
+	UpperMicros int64
+	TraceID     string
+	Micros      int64
+}
+
 // HistSnapshot is a point-in-time view of a histogram.
 type HistSnapshot struct {
 	Count       int64
@@ -124,7 +153,8 @@ type HistSnapshot struct {
 	P50Micros   float64
 	P90Micros   float64
 	P99Micros   float64
-	Buckets     []BucketCount `json:",omitempty"`
+	Buckets     []BucketCount    `json:",omitempty"`
+	Exemplars   []BucketExemplar `json:",omitempty"`
 }
 
 // Snapshot captures the histogram with interpolated quantiles.
@@ -151,6 +181,9 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	for k, n := range counts {
 		if n > 0 {
 			s.Buckets = append(s.Buckets, BucketCount{UpperMicros: BucketUpperMicros(k), Count: n})
+		}
+		if e := h.ex[k].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, BucketExemplar{UpperMicros: BucketUpperMicros(k), TraceID: e.TraceID, Micros: e.Micros})
 		}
 	}
 	return s
@@ -180,11 +213,14 @@ func quantile(counts []int64, total int64, q float64) float64 {
 }
 
 // Op bundles the three per-operation metrics — count, errors, latency —
-// so call sites record one line per exit path.
+// so call sites record one line per exit path. Ops minted by a Registry
+// share its exemplar threshold (exMin); zero-value Ops never retain
+// exemplars.
 type Op struct {
 	count Counter
 	errs  Counter
 	lat   Histogram
+	exMin *atomic.Int64
 }
 
 // Done records one completed operation that started at start.
@@ -205,6 +241,30 @@ func (o *Op) Observe(d time.Duration, err error) {
 		o.errs.Inc()
 	}
 	o.lat.Observe(d)
+}
+
+// ObserveTrace records one completed operation of duration d and, when
+// the duration clears the registry's exemplar threshold, retains trace
+// as the bucket's tail exemplar. An observation below the threshold (or
+// with an empty trace) never displaces a retained exemplar, so every
+// exemplar served on /metrics is guaranteed to be a genuine tail
+// sample.
+func (o *Op) ObserveTrace(d time.Duration, err error, trace string) {
+	if o == nil {
+		return
+	}
+	o.Observe(d, err)
+	if trace == "" || o.exMin == nil {
+		return
+	}
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if us < o.exMin.Load() {
+		return
+	}
+	o.lat.ex[bucketOf(d)].Store(&Exemplar{TraceID: trace, Micros: us})
 }
 
 // Count returns how many operations completed.
@@ -241,11 +301,17 @@ type Registry struct {
 	usage    *UsageTable
 	rollups  *RollupRing
 	peers    *PeerHistory
+	exMin    atomic.Int64 // exemplar threshold in microseconds
 }
+
+// DefaultExemplarThreshold is the observation floor below which
+// histogram buckets do not retain trace-ID exemplars: fast requests
+// are rarely the ones an operator needs to chase.
+const DefaultExemplarThreshold = time.Millisecond
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		ops:      make(map[string]*Op),
@@ -255,6 +321,30 @@ func NewRegistry() *Registry {
 		rollups:  NewRollupRing(DefaultRollupSlots),
 		peers:    NewPeerHistory(),
 	}
+	r.exMin.Store(DefaultExemplarThreshold.Microseconds())
+	return r
+}
+
+// SetExemplarThreshold sets the minimum observed duration at which
+// histogram buckets retain trace-ID exemplars. Zero retains an
+// exemplar for every traced observation.
+func (r *Registry) SetExemplarThreshold(d time.Duration) {
+	if r == nil {
+		return
+	}
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	r.exMin.Store(us)
+}
+
+// ExemplarThreshold reports the current exemplar retention floor.
+func (r *Registry) ExemplarThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.exMin.Load()) * time.Microsecond
 }
 
 // Counter returns (creating if absent) the named counter.
@@ -315,7 +405,7 @@ func (r *Registry) Op(name string) *Op {
 	if o, ok = r.ops[name]; ok {
 		return o
 	}
-	o = &Op{}
+	o = &Op{exMin: &r.exMin}
 	r.ops[name] = o
 	return o
 }

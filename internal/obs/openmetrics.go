@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteOpenMetrics dumps the registry in the OpenMetrics 1.0 text
+// exposition format. It differs from WritePrometheus in the ways the
+// stricter spec demands — counter families are declared under their
+// base name with `_total`-suffixed samples, histogram families carry a
+// UNIT line, and the stream is terminated by `# EOF` — and in one way
+// the spec enables: histogram bucket samples carry tail exemplars
+// (`# {trace_id="…"} <seconds>`), so a scrape can jump from a slow
+// bucket straight to `srb trace <id>` / `srb why <id>`. Served at
+// /metrics?format=openmetrics.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# TYPE srb_build_info gauge\n# HELP srb_build_info Build version, injected at link time; value is always 1.\n")
+	fmt.Fprintf(&b, "srb_build_info{version=%q} 1\n", buildVersion(s))
+	fmt.Fprintf(&b, "# TYPE srb_uptime_seconds gauge\n# HELP srb_uptime_seconds Seconds since the telemetry registry was created.\n")
+	fmt.Fprintf(&b, "srb_uptime_seconds %s\n", formatFloat(s.UptimeSeconds))
+
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n# HELP %s Counter %s.\n", name, name, k)
+		fmt.Fprintf(&b, "%s_total %d\n", name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n# HELP %s Gauge %s.\n", name, name, k)
+		fmt.Fprintf(&b, "%s %d\n", name, s.Gauges[k])
+	}
+
+	opNames := make([]string, 0, len(s.Ops))
+	for k := range s.Ops {
+		opNames = append(opNames, k)
+	}
+	sort.Strings(opNames)
+	for _, k := range opNames {
+		o := s.Ops[k]
+		base := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s_ops counter\n# HELP %s_ops Completed %s operations.\n", base, base, k)
+		fmt.Fprintf(&b, "%s_ops_total %d\n", base, o.Count)
+		fmt.Fprintf(&b, "# TYPE %s_errors counter\n# HELP %s_errors Failed %s operations.\n", base, base, k)
+		fmt.Fprintf(&b, "%s_errors_total %d\n", base, o.Errors)
+
+		hist := base + "_duration_seconds"
+		fmt.Fprintf(&b, "# TYPE %s histogram\n# UNIT %s seconds\n# HELP %s Latency of %s operations.\n", hist, hist, hist, k)
+		ex := make(map[int64]BucketExemplar, len(o.Exemplars))
+		for _, e := range o.Exemplars {
+			ex[e.UpperMicros] = e
+		}
+		var cum int64
+		for _, bk := range o.Buckets {
+			cum += bk.Count
+			// The last pow2 bucket is open-ended: its count (and any
+			// exemplar) belongs to +Inf, not a finite le bound.
+			if bk.UpperMicros >= BucketUpperMicros(histBuckets-1) {
+				continue
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d%s\n",
+				hist, formatFloat(float64(bk.UpperMicros)/1e6), cum, exemplarSuffix(ex, bk.UpperMicros))
+			delete(ex, bk.UpperMicros)
+		}
+		// Any exemplar left over (open-ended bucket, or a bucket whose
+		// counts live only in wider buckets) rides the +Inf sample; pick
+		// the slowest.
+		var tail *BucketExemplar
+		for upper := range ex {
+			e := ex[upper]
+			if tail == nil || e.Micros > tail.Micros {
+				tail = &e
+			}
+		}
+		inf := ""
+		if tail != nil {
+			inf = fmt.Sprintf(" # {trace_id=%q} %s", tail.TraceID, formatFloat(float64(tail.Micros)/1e6))
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d%s\n", hist, cum, inf)
+		fmt.Fprintf(&b, "%s_sum %s\n", hist, formatFloat(float64(o.TotalMicros)/1e6))
+		fmt.Fprintf(&b, "%s_count %d\n", hist, o.Count)
+	}
+
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for the
+// bucket with the given upper bound, or "" when none is retained.
+func exemplarSuffix(ex map[int64]BucketExemplar, upperMicros int64) string {
+	e, ok := ex[upperMicros]
+	if !ok || e.TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, formatFloat(float64(e.Micros)/1e6))
+}

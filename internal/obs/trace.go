@@ -24,10 +24,13 @@ func NewSpanID() string {
 // SpanEvent is one structured annotation inside a span: a retry, a
 // breaker trip or fast-fail, a replica failover, a cache hit, a
 // deadline exhaustion. AtMicros is the offset from the span's start.
+// Phase events additionally carry DurMicros, the measured duration of
+// the named phase (AtMicros then marks where the phase *ended*).
 type SpanEvent struct {
-	AtMicros int64
-	Kind     string
-	Detail   string `json:",omitempty"`
+	AtMicros  int64
+	Kind      string
+	Detail    string `json:",omitempty"`
+	DurMicros int64  `json:",omitempty"`
 }
 
 // Event kinds emitted by the client, server, replica manager and
@@ -44,6 +47,7 @@ const (
 	EventRepair       = "repair"           // a background repair task ran (detail: key + outcome)
 	EventScrub        = "scrub"            // the scrubber flagged a divergent/missing replica
 	EventSLO          = "slo"              // an SLO rule fired or resolved (detail: rule + observed)
+	EventPhase        = "phase"            // a named latency phase finished (detail: phase name, DurMicros: length)
 )
 
 // Span is one timed, trace-scoped unit of work. Spans form a tree: the
@@ -73,7 +77,12 @@ func StartSpanFrom(trace, parent, op string) *Span {
 	if trace == "" {
 		trace = NewTraceID()
 	}
-	return &Span{Trace: trace, ID: NewSpanID(), Parent: parent, Op: op, Start: time.Now()}
+	return &Span{
+		Trace: trace, ID: NewSpanID(), Parent: parent, Op: op, Start: time.Now(),
+		// A dispatched request records ~5 phase stamps plus the odd
+		// annotation; pre-sizing keeps the hot path realloc-free.
+		events: make([]SpanEvent, 0, 8),
+	}
 }
 
 // TraceID returns the span's trace ID ("" for a nil span).
@@ -103,6 +112,24 @@ func (s *Span) Event(kind, detail string) {
 	at := time.Since(s.Start).Microseconds()
 	s.mu.Lock()
 	s.events = append(s.events, SpanEvent{AtMicros: at, Kind: kind, Detail: detail})
+	s.mu.Unlock()
+}
+
+// Phase records one named latency phase of duration d, stamped at the
+// phase's end. Phase names containing "/" are sub-phases of the segment
+// before the slash ("dispatch/storage.read" nests under "dispatch");
+// top-level phases are expected to partition the span's wall time, so a
+// waterfall can show where every microsecond went. Safe on a nil span.
+func (s *Span) Phase(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	at := time.Since(s.Start).Microseconds()
+	s.mu.Lock()
+	s.events = append(s.events, SpanEvent{AtMicros: at, Kind: EventPhase, Detail: name, DurMicros: d.Microseconds()})
 	s.mu.Unlock()
 }
 

@@ -171,19 +171,24 @@ func (m *Manager) OpenReadEv(path, preferResource string, sp *obs.Span) (storage
 	}
 	var lastErr error
 	for i, r := range cands {
+		attempt := time.Now()
 		d, err := m.drivers.Driver(r.Resource)
 		if err != nil {
 			// No local driver usually means a remote resource; that is
 			// not the resource failing, so the breaker stays untouched
 			// and a real failure from another replica keeps precedence
 			// as the reported (retryable) cause.
+			sp.Phase(obs.PhaseReplicaAttempt, time.Since(attempt))
 			if lastErr == nil {
 				lastErr = err
 			}
 			continue
 		}
+		openStart := time.Now()
 		f, err := d.Open(r.PhysicalPath)
+		openDur := time.Since(openStart)
 		if err != nil {
+			sp.Phase(obs.PhaseReplicaAttempt, time.Since(attempt))
 			if resilience.Retryable(err) {
 				if m.breaker(r.Resource).Failure() {
 					sp.Event(obs.EventBreakerTrip, "resource."+r.Resource)
@@ -192,6 +197,8 @@ func (m *Manager) OpenReadEv(path, preferResource string, sp *obs.Span) (storage
 			lastErr = err
 			continue
 		}
+		sp.Phase(obs.PhaseStorageOpen, openDur)
+		sp.Phase(obs.PhaseReplicaAttempt, time.Since(attempt))
 		m.breaker(r.Resource).Success()
 		if i > 0 {
 			m.failover.Inc()
@@ -222,11 +229,14 @@ func (m *Manager) ReadAllEv(path, preferResource string, sp *obs.Span) ([]byte, 
 	start := time.Now()
 	f, r, err := m.OpenReadEv(path, preferResource, sp)
 	if err != nil {
+		sp.Phase(obs.PhaseStorageRead, time.Since(start))
 		return nil, r, err
 	}
 	defer f.Close()
 	data, err := io.ReadAll(f)
-	m.peers.Record("", r.Resource, time.Since(start), int64(len(data)), err != nil)
+	dur := time.Since(start)
+	sp.Phase(obs.PhaseStorageRead, dur)
+	m.peers.Record("", r.Resource, dur, int64(len(data)), err != nil)
 	if err != nil {
 		return nil, r, types.E("read", path, err)
 	}

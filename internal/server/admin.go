@@ -35,12 +35,18 @@ type AdminEnv struct {
 	// wires the federated fan-out here). nil degrades to a local-only
 	// single-member grid view.
 	GridStat func(window time.Duration) wire.GridStatReply
+	// PoolStats, when set, reports the daemon's federation connection
+	// pool on /pool (srbd wires Server.PeerPoolStats; mysrbd, which
+	// opens no peer connections, leaves it nil and /pool 404s).
+	PoolStats func() wire.PoolStats
 }
 
 // NewAdminHandler builds the admin mux over env. Routes:
 //
 //	/metrics       Prometheus text exposition format; append
-//	               ?format=text for the legacy "name value" dump, or
+//	               ?format=text for the legacy "name value" dump,
+//	               ?format=openmetrics for OpenMetrics with trace-ID
+//	               tail exemplars on histogram buckets, or
 //	               ?window=5m for windowed rates/quantiles from the
 //	               rollup ring (audit drops refreshed per scrape)
 //	/healthz       readiness probe: 200 when healthy, 503 with one
@@ -76,11 +82,15 @@ func NewAdminHandler(env AdminEnv) http.Handler {
 			obs.WriteWindowText(w, reg.Window(window))
 			return
 		}
-		if r.URL.Query().Get("format") == "text" {
+		switch r.URL.Query().Get("format") {
+		case "text":
 			reg.WriteText(w)
-			return
+		case "openmetrics":
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			obs.WriteOpenMetrics(w, reg.Snapshot())
+		default:
+			obs.WritePrometheus(w, reg.Snapshot())
 		}
-		obs.WritePrometheus(w, reg.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -115,6 +125,38 @@ func NewAdminHandler(env AdminEnv) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("/phases", func(w http.ResponseWriter, r *http.Request) {
+		window := 5 * time.Minute
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad window (want a duration like 5m)", http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		ws := b.Metrics().Window(window)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Server         string
+			WindowSeconds  float64
+			CoveredSeconds float64
+			ExemplarMicros int64
+			Phases         []obs.PhaseRow
+		}{env.Name, ws.WindowSeconds, ws.CoveredSeconds,
+			b.Metrics().ExemplarThreshold().Microseconds(), obs.PhaseRows(ws.Ops)})
+	})
+	mux.HandleFunc("/pool", func(w http.ResponseWriter, r *http.Request) {
+		if env.PoolStats == nil {
+			http.Error(w, "no federation pool on this daemon", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Server   string
+			PeerPool wire.PoolStats
+		}{env.Name, env.PoolStats()})
 	})
 	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -275,9 +317,10 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 		return "", err
 	}
 	h := NewAdminHandler(AdminEnv{
-		Name:     s.name,
-		Broker:   s.broker,
-		GridStat: s.GridStat,
+		Name:      s.name,
+		Broker:    s.broker,
+		GridStat:  s.GridStat,
+		PoolStats: s.PeerPoolStats,
 	})
 	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	s.mu.Lock()

@@ -41,6 +41,16 @@ func (s *Server) dispatch(ss *session, req *wire.Request) error {
 	// reassembles into one tree. A positive Attempt marks a client-side
 	// retry of the same logical call.
 	sp := obs.StartSpanFrom(req.Trace, req.Span, req.Op)
+	var queueWait time.Duration
+	if !ss.enqueued.IsZero() {
+		// Pipelined request: backdate the span to when the reader loop
+		// enqueued it, so queue.wait + dispatch partition the span's wall
+		// clock exactly and queue pressure shows up in the trace, not as
+		// mystery latency before it.
+		queueWait = time.Since(ss.enqueued)
+		sp.Start = ss.enqueued
+		sp.Phase(obs.PhaseQueueWait, queueWait)
+	}
 	ss.span = sp
 	if req.Attempt > 0 {
 		sp.Event(obs.EventRetry, fmt.Sprintf("client attempt %d", req.Attempt+1))
@@ -56,8 +66,10 @@ func (s *Server) dispatch(ss *session, req *wire.Request) error {
 		sp.Event(obs.EventDeadline, "budget exhausted")
 	}
 	elapsed := sp.Elapsed()
+	sp.Phase(obs.PhaseDispatch, elapsed-queueWait)
 	reg.Op("server."+req.Op).Observe(elapsed, opErr)
 	sp.End(reg.Traces(), s.name, ss.remote, opErr)
+	reg.RecordPhases("server", req.Op, req.Trace, sp.Events())
 	ss.span = nil
 	if ss.acctUser != "" {
 		reg.Usage().Record(ss.acctUser, collectionOf(req.Args), req.Trace, req.Op,
@@ -178,7 +190,9 @@ func (s *Server) dispatchOp(ss *session, req *wire.Request) error {
 			}
 			return ss.rawReply(body)
 		}
-		o, err := b.Ingest(user, toIngestOpts(a, buf.Bytes()))
+		opts := toIngestOpts(a, buf.Bytes())
+		opts.Span = ss.span
+		o, err := b.Ingest(user, opts)
 		if err != nil {
 			return ss.fail(err)
 		}

@@ -342,6 +342,10 @@ type session struct {
 	// serving the current request, for the usage accounting ledger.
 	bytesIn  int64
 	bytesOut int64
+	// enqueued is when the reader loop finished reading a pipelined
+	// request (zero on the serial path). The dispatch shim backdates the
+	// request span to it and attributes the gap to the queue.wait phase.
+	enqueued time.Time
 }
 
 // fork builds the per-request session for one dispatched request.
@@ -467,6 +471,7 @@ func (s *Server) handleConn(nc net.Conn) error {
 	base.w = &connWriter{c: c, nc: nc}
 	reg := s.broker.Metrics()
 	depthHist := reg.Op("server.pipeline.depth")
+	pipeGauge := reg.Gauge("server.pipeline.inflight")
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	sem := make(chan struct{}, maxPipelined)
@@ -500,11 +505,13 @@ func (s *Server) handleConn(nc net.Conn) error {
 		// runs (depth encoded as microseconds in the pow-2 buckets).
 		depth := inflight.Add(1)
 		depthHist.Observe(time.Duration(depth)*time.Microsecond, nil)
+		pipeGauge.Add(1)
+		ss.enqueued = time.Now()
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(req wire.Request, ss *session) {
 			defer wg.Done()
-			defer func() { <-sem; inflight.Add(-1) }()
+			defer func() { <-sem; inflight.Add(-1); pipeGauge.Add(-1) }()
 			if err := s.dispatch(ss, &req); err != nil {
 				// Transport failure writing the response: the writer
 				// latched it and closed the conn, unblocking the reader.
@@ -670,11 +677,13 @@ func (s *Server) peerDo(peerName, addr string, deadline time.Time, req *wire.Req
 	pc := &peerConn{m: m, deadline: deadline}
 	start := time.Now()
 	err = fn(pc)
+	hop := time.Since(start)
+	sp.Phase(obs.PhaseFederationHop, hop)
 	failed := err != nil && resilience.Transport(err)
 	// Feed the transfer observatory: every peer round trip contributes
 	// latency, moved bytes and transport-level outcome to the per-peer
 	// history (an application error proves the peer alive).
-	s.broker.Metrics().Peers().Record(peerName, "", time.Since(start), pc.bytes, failed)
+	s.broker.Metrics().Peers().Record(peerName, "", hop, pc.bytes, failed)
 	if failed {
 		s.peerPool.Fail(m)
 		if br.Failure() {
@@ -908,7 +917,8 @@ func (s *Server) Telemetry() wire.OpStatsReply {
 	reg := s.broker.Metrics()
 	reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
 	s.broker.Breakers().Publish()
-	return wire.OpStatsReply{Server: s.name, Snapshot: reg.Snapshot()}
+	pool := s.peerPool.Stats()
+	return wire.OpStatsReply{Server: s.name, Snapshot: reg.Snapshot(), PeerPool: &pool}
 }
 
 // gatherTrace collects every retained span of one trace: this server's

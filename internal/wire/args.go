@@ -318,10 +318,12 @@ type StatsReply struct {
 	Users       int
 }
 
-// OpStatsReply carries one server's telemetry snapshot.
+// OpStatsReply carries one server's telemetry snapshot, plus the
+// occupancy of its federation connection pool.
 type OpStatsReply struct {
 	Server   string
 	Snapshot obs.Snapshot
+	PeerPool *PoolStats `json:",omitempty"`
 }
 
 // TraceArgs asks for every retained span of one trace.

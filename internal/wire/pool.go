@@ -73,10 +73,12 @@ type Pool struct {
 	dialing map[string]int
 	closed  bool
 
-	gConns  *obs.Gauge
-	dialed  *obs.Counter
-	evicted *obs.Counter
-	reaped  *obs.Counter
+	gConns   *obs.Gauge
+	gWaiting *obs.Gauge
+	checkout *obs.Op
+	dialed   *obs.Counter
+	evicted  *obs.Counter
+	reaped   *obs.Counter
 }
 
 // NewPool builds a pool; cfg.Dial is required.
@@ -103,6 +105,8 @@ func NewPool(cfg PoolConfig) *Pool {
 	}
 	if cfg.Metrics != nil {
 		p.gConns = cfg.Metrics.Gauge(cfg.Prefix + ".conns")
+		p.gWaiting = cfg.Metrics.Gauge(cfg.Prefix + ".waiting")
+		p.checkout = cfg.Metrics.Op(cfg.Prefix + ".checkout_wait_us")
 		p.dialed = cfg.Metrics.Counter(cfg.Prefix + ".dialed")
 		p.evicted = cfg.Metrics.Counter(cfg.Prefix + ".evicted")
 		p.reaped = cfg.Metrics.Counter(cfg.Prefix + ".reaped")
@@ -159,7 +163,48 @@ func (p *Pool) sweepLocked(addr string) {
 // Get checks out a connection to addr, dialing when the pool has
 // spare capacity and every existing connection is loaded past the
 // in-flight preference. Always pair with Put or Fail.
+//
+// Every checkout — including one a closed gate rejects immediately —
+// records into <prefix>.checkout_wait_us, so pool starvation (long
+// waits) is distinguishable from breaker rejection (fast errors) in
+// the same histogram; <prefix>.waiting gauges checkouts in progress.
 func (p *Pool) Get(addr string) (*Mux, error) {
+	start := time.Now()
+	p.mu.Lock()
+	waiting, checkout := p.gWaiting, p.checkout
+	p.mu.Unlock()
+	waiting.Add(1)
+	m, err := p.get(addr)
+	waiting.Add(-1)
+	checkout.Observe(time.Since(start), err)
+	return m, err
+}
+
+// SetMetrics attaches a registry after construction (the client library
+// builds its pool before the caller can hand one over). Lifetime
+// dial/evict/reap counts recorded so far carry into the registry-backed
+// counters; attach once, before sustained traffic.
+func (p *Pool) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pre := p.cfg.Prefix
+	dialed, evicted, reaped := p.dialed.Value(), p.evicted.Value(), p.reaped.Value()
+	p.gConns = reg.Gauge(pre + ".conns")
+	p.gWaiting = reg.Gauge(pre + ".waiting")
+	p.checkout = reg.Op(pre + ".checkout_wait_us")
+	p.dialed = reg.Counter(pre + ".dialed")
+	p.evicted = reg.Counter(pre + ".evicted")
+	p.reaped = reg.Counter(pre + ".reaped")
+	p.dialed.Add(dialed)
+	p.evicted.Add(evicted)
+	p.reaped.Add(reaped)
+	p.publishLocked()
+}
+
+func (p *Pool) get(addr string) (*Mux, error) {
 	if gate := p.gate(addr); gate != nil && !gate.Allow() {
 		return nil, types.E("dial", addr, fmt.Errorf("connection gate open (breaker): %w", types.ErrOffline))
 	}

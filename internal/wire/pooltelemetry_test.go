@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"gosrb/internal/obs"
+	"gosrb/internal/types"
+)
+
+type staticGate bool
+
+func (g staticGate) Allow() bool { return bool(g) }
+
+// TestPoolCheckoutWaitRecordsFastFail pins the satellite guarantee: a
+// checkout an open breaker rejects immediately still lands in
+// <prefix>.checkout_wait_us (as an error observation), so breaker
+// rejection and pool starvation are distinguishable inside the same
+// histogram rather than the former being invisible.
+func TestPoolCheckoutWaitRecordsFastFail(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetExemplarThreshold(0)
+	dial, _ := pipeDialer(nil)
+	open := staticGate(false)
+	allow := &open
+	p := NewPool(PoolConfig{
+		Dial:    dial,
+		Metrics: reg,
+		Prefix:  "wire.pool",
+		Gate:    func(addr string) Gate { return *allow },
+	})
+	defer p.Close()
+
+	if _, err := p.Get("addr"); !errors.Is(err, types.ErrOffline) {
+		t.Fatalf("gated checkout err = %v, want ErrOffline", err)
+	}
+	co := reg.Op("wire.pool.checkout_wait_us").Snapshot()
+	if co.Count != 1 || co.Errors != 1 {
+		t.Fatalf("fast-fail checkout not recorded: count=%d errors=%d, want 1/1", co.Count, co.Errors)
+	}
+
+	*allow = staticGate(true)
+	m, err := p.Get("addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(m)
+	co = reg.Op("wire.pool.checkout_wait_us").Snapshot()
+	if co.Count != 2 || co.Errors != 1 {
+		t.Fatalf("successful checkout not recorded: count=%d errors=%d, want 2/1", co.Count, co.Errors)
+	}
+	if w := reg.Gauge("wire.pool.waiting").Value(); w != 0 {
+		t.Fatalf("waiting gauge %d after checkouts drained, want 0", w)
+	}
+}
+
+// TestPoolSetMetrics attaches a registry after construction (the client
+// library's order of operations) and checks lifetime counters carry
+// over and new checkouts record into the attached registry.
+func TestPoolSetMetrics(t *testing.T) {
+	dial, dials := pipeDialer(nil)
+	p := NewPool(PoolConfig{Dial: dial, Prefix: "wire.pool"})
+	defer p.Close()
+
+	m, err := p.Get("addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Fail(m) // evict so the pre-attach eviction count carries too
+	if dials.Load() != 1 {
+		t.Fatalf("dials = %d, want 1", dials.Load())
+	}
+
+	reg := obs.NewRegistry()
+	p.SetMetrics(reg)
+	snap := reg.Snapshot()
+	if got := snap.Counters["wire.pool.dialed"]; got != 1 {
+		t.Fatalf("carried dialed = %d, want 1", got)
+	}
+	if got := snap.Counters["wire.pool.evicted"]; got != 1 {
+		t.Fatalf("carried evicted = %d, want 1", got)
+	}
+
+	m, err = p.Get("addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(m)
+	if co := reg.Op("wire.pool.checkout_wait_us").Snapshot(); co.Count != 1 {
+		t.Fatalf("post-attach checkout count = %d, want 1", co.Count)
+	}
+	if got := reg.Gauge("wire.pool.conns").Value(); got != 1 {
+		t.Fatalf("conns gauge = %d, want 1", got)
+	}
+}
