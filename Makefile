@@ -10,11 +10,11 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X gosrb/internal/obs.Version=$(VERSION)"
 
-.PHONY: all check lint vet build test race test-faults test-repair test-wire test-phases bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate bench-wire bench-wire-gate bench-phases bench-phases-gate clean
+.PHONY: all check lint vet build test race test-faults test-repair test-wire test-phases test-mcat bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate bench-wire bench-wire-gate bench-phases bench-phases-gate bench-mcat bench-mcat-gate clean
 
 all: check
 
-check: lint build race test-faults test-repair test-wire test-phases bench-obs-gate bench-grid-gate bench-flight-gate bench-wire-gate bench-phases-gate
+check: lint build race test-faults test-repair test-wire test-phases test-mcat bench-obs-gate bench-grid-gate bench-flight-gate bench-wire-gate bench-phases-gate bench-mcat-gate
 
 # Static analysis: go vet always, then a pinned staticcheck. The pin
 # keeps every checkout on the same analyzer; when the binary is absent
@@ -81,6 +81,14 @@ test-wire:
 # phase-attribution chaos e2e rides test-faults' 10x TestChaos loop.)
 test-phases:
 	$(GO) test -race -count=10 -run 'TestExemplar' ./internal/obs/
+
+# Sharded-catalog sweep: ring routing, scatter-gather, replication and
+# reshard persistence, repeated under -race — the scatter fan-out, the
+# journal-observer replication feed, and the deadline-partial path are
+# all cross-goroutine. (The shard failover chaos e2e rides test-faults'
+# 10x TestChaos loop.)
+test-mcat:
+	$(GO) test -race -count=10 ./internal/mcat/shard/
 
 # Full benchmark sweep (experiments E1–E10 plus the wire and broker
 # concurrency benches).
@@ -153,7 +161,19 @@ bench-phases:
 bench-phases-gate:
 	BENCH_PHASES_GATE=1 $(GO) test -run TestPhasesBenchGate -v .
 
+# Sharded-catalog report: mixed register / deep-scoped query
+# throughput on a monolithic catalog vs the 4-shard router and writes
+# BENCH_mcat.json — the partitioning payoff is a 1/N candidate scan,
+# not parallelism, so it holds on one core.
+bench-mcat:
+	BENCH_MCAT=1 $(GO) test -run TestMcatBenchReport -v .
+
+# Partitioning floor: the 4-shard catalog must clear 2x monolithic
+# throughput on the mixed workload.
+bench-mcat-gate:
+	BENCH_MCAT_GATE=1 $(GO) test -run TestMcatBenchGate -v .
+
 clean:
-	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json BENCH_wire.json BENCH_phases.json
+	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json BENCH_wire.json BENCH_phases.json BENCH_mcat.json
 	rm -rf bin
 	$(GO) clean -testcache

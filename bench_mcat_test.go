@@ -1,0 +1,217 @@
+// Sharded-catalog bench: mixed register/query throughput on a
+// monolithic catalog vs a 4-way sharded router. The workload is ~30%
+// object registration and ~70% deep-scoped metadata queries over an
+// attribute whose values are spread across every collection — the
+// worst case for a monolithic scan (the non-equality condition defeats
+// the inverted index) and the best case for routing: a deep scope pins
+// the query to one home shard, which holds ~1/N of the objects, so the
+// candidate scan shrinks by the shard count even on a single core.
+// `make bench-mcat` writes BENCH_mcat.json; `make bench-mcat-gate` (in
+// `make check`) holds the ≥2x floor.
+package gosrb_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"gosrb/internal/mcat"
+	"gosrb/internal/mcat/shard"
+	"gosrb/internal/types"
+)
+
+const (
+	mcatBenchShards       = 4
+	mcatBenchColls        = 64  // deep collections /proj/cNN
+	mcatBenchObjsPerColl  = 25  // seeded objects per collection
+	mcatBenchOps          = 600 // measured mixed ops per round
+	mcatBenchWorkers      = 4   // concurrent clients
+	mcatBenchRegisterMod  = 10  // i%10 < 3 → register: the ~30% write mix
+	mcatBenchRegisterHits = 3
+)
+
+// mcatBenchRig builds an n-shard catalog seeded with the bench corpus.
+func mcatBenchRig(tb testing.TB, n int) *shard.Router {
+	tb.Helper()
+	r := shard.NewRouter(n, "admin", "local")
+	r.EnableMemoryJournals()
+	if err := r.MkColl("/proj", "admin"); err != nil {
+		tb.Fatal(err)
+	}
+	for c := 0; c < mcatBenchColls; c++ {
+		coll := fmt.Sprintf("/proj/c%02d", c)
+		if err := r.MkColl(coll, "admin"); err != nil {
+			tb.Fatal(err)
+		}
+		for o := 0; o < mcatBenchObjsPerColl; o++ {
+			path := fmt.Sprintf("%s/f%03d.dat", coll, o)
+			if _, err := r.RegisterObject(&types.DataObject{
+				Collection: coll, Name: fmt.Sprintf("f%03d.dat", o),
+				Owner: "admin", Size: int64(o), DataType: "generic",
+			}); err != nil {
+				tb.Fatal(err)
+			}
+			if err := r.AddMeta(path, types.MetaUser,
+				types.AVU{Name: "experiment", Value: fmt.Sprintf("e%d", o%8)}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return r
+}
+
+// mcatBenchRound drives one measured round of the mixed workload from
+// mcatBenchWorkers concurrent clients. Every op is deterministic in
+// (round, worker, index): registers mint round-unique paths so rounds
+// never collide, queries scope to one deep collection — the shape the
+// router sends to a single home shard. Returns the round's duration.
+func mcatBenchRound(tb testing.TB, r *shard.Router, round int) time.Duration {
+	tb.Helper()
+	perWorker := mcatBenchOps / mcatBenchWorkers
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, mcatBenchWorkers)
+	for w := 0; w < mcatBenchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				coll := fmt.Sprintf("/proj/c%02d", (w*perWorker+i)%mcatBenchColls)
+				if i%mcatBenchRegisterMod < mcatBenchRegisterHits {
+					name := fmt.Sprintf("r%03d-w%d-i%03d.dat", round, w, i)
+					if _, err := r.RegisterObject(&types.DataObject{
+						Collection: coll, Name: name,
+						Owner: "admin", Size: int64(i), DataType: "generic",
+					}); err != nil {
+						errs <- err
+						return
+					}
+					if err := r.AddMeta(coll+"/"+name, types.MetaUser,
+						types.AVU{Name: "experiment", Value: fmt.Sprintf("e%d", i%8)}); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				hits, err := r.RunQuery(mcat.Query{
+					Scope: coll,
+					Conds: []mcat.Condition{{Attr: "experiment", Op: "like", Value: "e%"}},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(hits) < mcatBenchObjsPerColl {
+					errs <- fmt.Errorf("query %s: %d hits, want >= %d", coll, len(hits), mcatBenchObjsPerColl)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		tb.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func mcatOpsPerSec(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(mcatBenchOps) / d.Seconds()
+}
+
+// TestMcatBenchReport measures monolithic vs sharded throughput and
+// writes BENCH_mcat.json (the Makefile's bench-mcat target,
+// BENCH_MCAT=1).
+func TestMcatBenchReport(t *testing.T) {
+	if os.Getenv("BENCH_MCAT") == "" {
+		t.Skip("set BENCH_MCAT=1 to emit BENCH_mcat.json")
+	}
+	mono := mcatBenchRig(t, 1)
+	sharded := mcatBenchRig(t, mcatBenchShards)
+	// Warm-up round per cell, off the clock.
+	mcatBenchRound(t, mono, 0)
+	mcatBenchRound(t, sharded, 0)
+	// Best-of-3, paired: both cells measured back to back each round so
+	// background load distorts them equally.
+	var bestMono, bestSharded time.Duration
+	for round := 1; round <= 3; round++ {
+		m := mcatBenchRound(t, mono, round)
+		s := mcatBenchRound(t, sharded, round)
+		if round == 1 || m < bestMono {
+			bestMono = m
+		}
+		if round == 1 || s < bestSharded {
+			bestSharded = s
+		}
+	}
+	report := struct {
+		Benchmark        string  `json:"benchmark"`
+		Shards           int     `json:"shards"`
+		Collections      int     `json:"collections"`
+		SeededObjects    int     `json:"seeded_objects"`
+		OpsPerRound      int     `json:"ops_per_round"`
+		RegisterPct      int     `json:"register_pct"`
+		MonoOpsPerSec    float64 `json:"mono_ops_per_sec"`
+		ShardedOpsPerSec float64 `json:"sharded_ops_per_sec"`
+		ShardedSpeedup   float64 `json:"sharded_speedup"`
+	}{
+		Benchmark:        "mcat-sharded-throughput",
+		Shards:           mcatBenchShards,
+		Collections:      mcatBenchColls,
+		SeededObjects:    mcatBenchColls * mcatBenchObjsPerColl,
+		OpsPerRound:      mcatBenchOps,
+		RegisterPct:      100 * mcatBenchRegisterHits / mcatBenchRegisterMod,
+		MonoOpsPerSec:    mcatOpsPerSec(bestMono),
+		ShardedOpsPerSec: mcatOpsPerSec(bestSharded),
+		ShardedSpeedup:   bestMono.Seconds() / bestSharded.Seconds(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_mcat.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("monolithic %.0f ops/s, %d-shard %.0f ops/s (%.1fx)",
+		report.MonoOpsPerSec, mcatBenchShards, report.ShardedOpsPerSec, report.ShardedSpeedup)
+}
+
+// TestMcatBenchGate holds the partitioning floor: the 4-shard catalog
+// must clear 2x monolithic throughput on the mixed workload. Five
+// paired rounds, keeping each cell's best — the scheduler-least-
+// distorted measurement. Gated behind BENCH_MCAT_GATE=1 (`make
+// bench-mcat-gate`, part of `make check`).
+func TestMcatBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_MCAT_GATE") == "" {
+		t.Skip("set BENCH_MCAT_GATE=1 to check the sharded throughput floor")
+	}
+	mono := mcatBenchRig(t, 1)
+	sharded := mcatBenchRig(t, mcatBenchShards)
+	mcatBenchRound(t, mono, 0)
+	mcatBenchRound(t, sharded, 0)
+	const floor = 2.0
+	var bestMono, bestSharded time.Duration
+	for round := 1; round <= 5; round++ {
+		m := mcatBenchRound(t, mono, round)
+		s := mcatBenchRound(t, sharded, round)
+		if round == 1 || m < bestMono {
+			bestMono = m
+		}
+		if round == 1 || s < bestSharded {
+			bestSharded = s
+		}
+	}
+	speedup := bestMono.Seconds() / bestSharded.Seconds()
+	t.Logf("%d-shard speedup over monolithic: %.2fx (mono %.0f ops/s, sharded %.0f ops/s)",
+		mcatBenchShards, speedup, mcatOpsPerSec(bestMono), mcatOpsPerSec(bestSharded))
+	if speedup < floor {
+		t.Errorf("sharded speedup %.2fx is under the %.0fx floor", speedup, floor)
+	}
+}

@@ -94,6 +94,8 @@ commands:
   usage [-json] [user [collection]]  per-user/collection usage accounting
   repair status [-json]              background repair engine: queue
                                      backlog, worker health, job runs
+  shards [-json]                     catalog shards: role, replication
+                                     position, staleness, entry counts
   scrub <path>                       re-hash replicas against the catalog
                                      checksum and repair divergence
                                      (object: write perm; subtree: admin)
@@ -513,6 +515,33 @@ func run(cl *client.Client, cmd string, args []string) error {
 		}
 		return nil
 
+	case "shards":
+		rep, err := cl.Shards()
+		if err != nil {
+			return err
+		}
+		if len(args) > 0 && args[0] == "-json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		fmt.Printf("server: %s (%d shard(s))\n", rep.Server, len(rep.Shards))
+		for _, sh := range rep.Shards {
+			line := fmt.Sprintf("shard %-3d %-8s objects=%-6d colls=%-6d meta=%-6d applied=%d head=%d",
+				sh.Shard, sh.Role, sh.Objects, sh.Collections, sh.MetaEntries, sh.Applied, sh.Head)
+			if sh.Leader != "" {
+				line += " leader=" + sh.Leader
+			}
+			if sh.Stale {
+				line += " STALE"
+			}
+			if sh.PullFails > 0 {
+				line += fmt.Sprintf(" pullfails=%d", sh.PullFails)
+			}
+			fmt.Println(line)
+		}
+		return nil
+
 	case "scrub":
 		rep, err := cl.Scrub(need(args, 0, "path"))
 		if err != nil {
@@ -689,12 +718,15 @@ func run(cl *client.Client, cmd string, args []string) error {
 			}
 			q.Conds = append(q.Conds, c)
 		}
-		hits, err := cl.Query(q)
+		hits, partial, err := cl.QueryPartial(q)
 		if err != nil {
 			return err
 		}
 		for _, h := range hits {
 			fmt.Println(h.Path)
+		}
+		if len(partial) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: partial result, no answer from %s\n", strings.Join(partial, ", "))
 		}
 		fmt.Fprintf(os.Stderr, "%d objects\n", len(hits))
 		return nil

@@ -27,8 +27,9 @@ import (
 	"time"
 
 	"gosrb/internal/auth"
+	"gosrb/internal/client"
 	"gosrb/internal/core"
-	"gosrb/internal/mcat"
+	"gosrb/internal/mcat/shard"
 	"gosrb/internal/obs"
 	"gosrb/internal/repair"
 	"gosrb/internal/resilience"
@@ -57,13 +58,17 @@ func main() {
 		adminPw   = flag.String("admin-pw", os.Getenv("SRB_ADMIN_PW"), "administrator password (or $SRB_ADMIN_PW)")
 		catalog   = flag.String("catalog", "", "MCAT snapshot file to load at start and save on exit")
 		journal   = flag.String("journal", "", "MCAT append log; replayed over the snapshot at start, rotated at each snapshot")
-		mode      = flag.String("mode", "proxy", "federation mode: proxy or redirect")
-		saveEvery = flag.Duration("save-every", time.Minute, "catalog autosave interval (0 disables)")
-		syncEvery = flag.Duration("sync-every", time.Minute, "dirty-replica sweep interval (0 disables)")
-		dialTO    = flag.Duration("dial-timeout", resilience.DialTimeout, "TCP dial timeout for federation peers")
-		brkTrip   = flag.Int("breaker-threshold", resilience.DefaultBreakerConfig.Threshold, "consecutive failures before a peer/resource circuit breaker opens")
-		brkCool   = flag.Duration("breaker-cooldown", resilience.DefaultBreakerConfig.Cooldown, "how long an open circuit breaker waits before a half-open probe")
-		slowOp    = flag.Duration("slow-op", 0, "log the full span tree of any operation slower than this (0 disables)")
+
+		mcatShards    = flag.Int("mcat-shards", 1, "MCAT partition count; 1 keeps the monolithic catalog and its on-disk layout, N shards the namespace across <catalog>.shard<i> files with scatter-gather queries")
+		mcatFollow    = flag.String("mcat-follow", "", "leader daemon address: this daemon's catalog becomes a read-only follower replicating every shard's journal stream from it (admin credentials must match)")
+		mcatSyncEvery = flag.Duration("mcat-sync-every", 2*time.Second, "follower replication pull interval (with -mcat-follow)")
+		mode          = flag.String("mode", "proxy", "federation mode: proxy or redirect")
+		saveEvery     = flag.Duration("save-every", time.Minute, "catalog autosave interval (0 disables)")
+		syncEvery     = flag.Duration("sync-every", time.Minute, "dirty-replica sweep interval (0 disables)")
+		dialTO        = flag.Duration("dial-timeout", resilience.DialTimeout, "TCP dial timeout for federation peers")
+		brkTrip       = flag.Int("breaker-threshold", resilience.DefaultBreakerConfig.Threshold, "consecutive failures before a peer/resource circuit breaker opens")
+		brkCool       = flag.Duration("breaker-cooldown", resilience.DefaultBreakerConfig.Cooldown, "how long an open circuit breaker waits before a half-open probe")
+		slowOp        = flag.Duration("slow-op", 0, "log the full span tree of any operation slower than this (0 disables)")
 
 		repairWorkers = flag.Int("repair-workers", 2, "background repair worker goroutines draining the async-replication/scrub queue (0 leaves the queue undrained)")
 		scrubEvery    = flag.Duration("scrub-interval", 0, "anti-entropy scrub interval: re-hash every replica against the catalog checksum and repair divergence (0 disables)")
@@ -91,69 +96,38 @@ func main() {
 		logger.Printf("warning: using default admin password; set -admin-pw")
 	}
 
-	cat := mcat.New(*adminUser, "local")
-	if *catalog != "" {
-		if err := cat.LoadFile(*catalog); err == nil {
-			logger.Printf("catalog loaded from %s", *catalog)
-		} else {
-			logger.Printf("starting with a fresh catalog (%v)", err)
-		}
+	// The catalog boots through the shard store. With -mcat-shards 1
+	// (the default) this is exactly the old monolithic sequence — same
+	// snapshot file, same journal file, same replay order; with N it
+	// loads the journaled shard map and the per-shard file layout,
+	// rebalancing first when the configured count changed.
+	store, err := shard.Open(shard.OpenOptions{
+		Shards:      *mcatShards,
+		CatalogPath: *catalog,
+		JournalPath: *journal,
+		Admin:       *adminUser,
+		Domain:      "local",
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("mcat: %v", err)
 	}
-	var jnl *mcat.Journal
-	if *journal != "" {
-		// Recovery: the journal tail holds mutations after the last
-		// snapshot; replay it, then keep appending.
-		if n, err := cat.ReplayFile(*journal); err != nil {
-			logger.Fatalf("journal replay: %v", err)
-		} else if n > 0 {
-			logger.Printf("replayed %d journal entries", n)
-		}
-		// A crash between journal swap and rename leaves a .new tail.
-		if n, err := cat.ReplayFile(*journal + ".new"); err != nil {
-			logger.Fatalf("journal replay (.new): %v", err)
-		} else if n > 0 {
-			logger.Printf("replayed %d entries from interrupted rotation", n)
-			os.Remove(*journal + ".new")
-		}
-		var err error
-		jnl, err = mcat.OpenJournalFile(*journal)
-		if err != nil {
-			logger.Fatalf("journal: %v", err)
-		}
-		cat.SetJournal(jnl)
-	}
-	// snapshot saves the catalog and rotates the journal. A fresh
-	// journal is swapped in *before* the save, so mutations concurrent
-	// with the snapshot land in the new journal; because replay is
-	// idempotent, an entry captured by both the snapshot and the new
-	// journal is harmless on recovery.
+	cat := store.Router()
+	// snapshot saves every shard and rotates its journal; the fresh
+	// journal swaps in *before* each save, so mutations concurrent with
+	// the snapshot land in the new journal (replay is idempotent, so an
+	// entry captured by both is harmless on recovery).
 	snapshot := func() {
-		if *catalog == "" {
-			return
-		}
-		if jnl != nil {
-			fresh, err := mcat.OpenJournalFile(*journal + ".new")
-			if err != nil {
-				logger.Printf("journal rotate: %v", err)
-			} else {
-				old := jnl
-				jnl = fresh
-				cat.SetJournal(jnl)
-				old.Close()
-			}
-		}
-		if err := cat.SaveFile(*catalog); err != nil {
+		if err := store.Snapshot(); err != nil {
 			logger.Printf("snapshot: %v", err)
-			return
-		}
-		if jnl != nil {
-			if err := os.Rename(*journal+".new", *journal); err != nil {
-				logger.Printf("journal rotate: %v", err)
-			}
 		}
 	}
 	broker := core.New(cat, *name)
 	broker.Metrics().SetExemplarThreshold(*exemplarMin)
+	cat.SetMetrics(broker.Metrics())
+	// Corrupt or truncated journal lines skipped during boot replay are
+	// kept visible as a metric, not just a boot log line.
+	broker.Metrics().Counter("mcat.journal.replay.skipped").Add(int64(store.ReplaySkipped))
 
 	// Durable telemetry: restore the previous run's windowed history,
 	// usage and peer observatory before any job captures new rollups, so
@@ -362,6 +336,32 @@ func main() {
 		})
 		logger.Printf("flight recorder on %s (retention %s)", *telemetryDir, *telemetryRet)
 	}
+	// Follower mode: every shard of this daemon's catalog replicates
+	// the same-numbered shard of the leader daemon, pulling journal
+	// entries (or a snapshot when too far behind) on a repair-engine
+	// job. Repeated pull failures promote the shards to leader.
+	if *mcatFollow != "" {
+		leader := *mcatFollow
+		for i := 0; i < cat.N(); i++ {
+			cat.SetFollower(i, leader)
+		}
+		cat.SetPuller(func(peer string, shardIdx int, after uint64) (shard.PullResult, error) {
+			cl, err := client.Dial(peer, *adminUser, *adminPw)
+			if err != nil {
+				return shard.PullResult{}, err
+			}
+			defer cl.Close()
+			rep, err := cl.ShardPull(shardIdx, after)
+			if err != nil {
+				return shard.PullResult{}, err
+			}
+			return shard.PullResult{Entries: rep.Entries, Snapshot: rep.Snapshot, Seq: rep.Seq}, nil
+		}, shard.DefaultPromoteAfter)
+		eng.AddJob("shard.sync", *mcatSyncEvery, 0.1, func(sp *obs.Span) error {
+			return cat.SyncOnce()
+		})
+		logger.Printf("mcat follower of %s (pull every %s)", leader, *mcatSyncEvery)
+	}
 	broker.SetRepair(eng)
 	eng.Start()
 	if n, _ := cat.RepairBacklog(); n > 0 {
@@ -415,7 +415,7 @@ func main() {
 		totalErrs += o.Errors
 	}
 	logger.Printf("final stats: uptime=%.0fs ops=%d errors=%d audit_dropped=%d",
-		snap.UptimeSeconds, totalOps, totalErrs, cat.Audit.Dropped())
+		snap.UptimeSeconds, totalOps, totalErrs, cat.AuditLog().Dropped())
 	if telem != nil {
 		var alog *obs.AlertLog
 		if ev := broker.SLO(); ev != nil {
@@ -426,9 +426,7 @@ func main() {
 		}
 	}
 	snapshot()
-	if jnl != nil {
-		jnl.Close()
-	}
+	store.Close()
 	if *catalog != "" {
 		logger.Printf("catalog saved to %s", *catalog)
 	}

@@ -555,8 +555,33 @@ func (cl *Client) Annotations(path string) ([]types.Annotation, error) {
 
 // Query runs a conjunctive metadata query.
 func (cl *Client) Query(q mcat.Query) ([]mcat.Hit, error) {
-	var out []mcat.Hit
+	hits, _, err := cl.QueryPartial(q)
+	return hits, err
+}
+
+// QueryPartial is Query with partial-result reporting: partial names
+// the catalog shards (as "shard-N") that missed the scatter-gather
+// deadline or were stale followers, whose hits are therefore missing.
+func (cl *Client) QueryPartial(q mcat.Query) ([]mcat.Hit, []string, error) {
+	var out wire.QueryReply
 	_, err := cl.call(wire.OpQuery, wire.QueryArgs{Q: q}, nil, &out)
+	return out.Hits, out.Partial, err
+}
+
+// Shards reports the server's catalog shard statuses (one implicit
+// leader row when the catalog is monolithic).
+func (cl *Client) Shards() (wire.ShardsReply, error) {
+	var out wire.ShardsReply
+	_, err := cl.call(wire.OpShards, wire.ShardsArgs{}, nil, &out)
+	return out, err
+}
+
+// ShardPull fetches shard shardIdx's replication entries after sequence
+// after from a leader daemon (peer/admin only): journal lines, or a
+// full snapshot when the follower is too far behind the retained log.
+func (cl *Client) ShardPull(shardIdx int, after uint64) (wire.ShardPullReply, error) {
+	var out wire.ShardPullReply
+	_, err := cl.call(wire.OpShardPull, wire.ShardPullArgs{Shard: shardIdx, After: after}, nil, &out)
 	return out, err
 }
 

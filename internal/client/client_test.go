@@ -179,7 +179,7 @@ func TestAllMethodsAgainstFake(t *testing.T) {
 			resp, _ := wire.OkResponse([]types.Annotation{{Author: "u", Text: "t"}}, false)
 			return c.WriteJSON(wire.MsgResponse, resp)
 		case wire.OpQuery:
-			resp, _ := wire.OkResponse([]mcat.Hit{{Path: "/x"}}, false)
+			resp, _ := wire.OkResponse(wire.QueryReply{Hits: []mcat.Hit{{Path: "/x"}}}, false)
 			return c.WriteJSON(wire.MsgResponse, resp)
 		case wire.OpQueryAttrs:
 			resp, _ := wire.OkResponse([]string{"a"}, false)

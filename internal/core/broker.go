@@ -13,7 +13,7 @@ import (
 	"time"
 
 	"gosrb/internal/acl"
-	"gosrb/internal/mcat"
+	"gosrb/internal/mcat/shard"
 	"gosrb/internal/metadata"
 	"gosrb/internal/obs"
 	"gosrb/internal/repair"
@@ -35,8 +35,9 @@ type CommandFunc func(args []string) ([]byte, error)
 // Broker brokers access to the data grid.
 type Broker struct {
 	// Cat is the metadata catalog, exposed for read-side integrations
-	// (MySRB renders listings straight from it).
-	Cat *mcat.Catalog
+	// (MySRB renders listings straight from it). It is the abstract
+	// catalog contract: a monolithic *mcat.Catalog or the shard router.
+	Cat shard.Catalog
 
 	rm      *replica.Manager
 	extract *metadata.Registry
@@ -110,9 +111,11 @@ func newBrokerOps(r *obs.Registry) brokerOps {
 	}
 }
 
-// New returns a broker over the catalog. serverName identifies this
-// broker's server in the federation (resources it owns carry it).
-func New(cat *mcat.Catalog, serverName string) *Broker {
+// New returns a broker over the catalog — a monolithic *mcat.Catalog
+// or a sharded router; the broker cannot tell the difference.
+// serverName identifies this broker's server in the federation
+// (resources it owns carry it).
+func New(cat shard.Catalog, serverName string) *Broker {
 	b := &Broker{
 		Cat:        cat,
 		extract:    metadata.NewRegistry(),
@@ -364,14 +367,14 @@ func (b *Broker) contLock(path string) *sync.Mutex {
 
 // audit records one operation outcome.
 func (b *Broker) audit(user, op, target string, ok bool, detail string) {
-	b.Cat.Audit.Op(user, op, target, ok, detail)
+	b.Cat.AuditLog().Op(user, op, target, ok, detail)
 }
 
 // auditTraced records one operation outcome stamped with the trace ID
 // of the span the operation ran under (nil span = plain record), so
 // the audit trail joins to the span-tree and usage-accounting streams.
 func (b *Broker) auditTraced(sp *obs.Span, user, op, target string, ok bool, detail string) {
-	b.Cat.Audit.OpTraced(sp.TraceID(), user, op, target, ok, detail)
+	b.Cat.AuditLog().OpTraced(sp.TraceID(), user, op, target, ok, detail)
 }
 
 // ---- permission and lock helpers ----

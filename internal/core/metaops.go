@@ -268,6 +268,29 @@ func (b *Broker) query(user string, q mcat.Query) ([]mcat.Hit, error) {
 	return out, nil
 }
 
+// QueryPartial is Query with partial-result reporting: when the
+// catalog is sharded and a shard misses its deadline or is a stale
+// follower, its name lands in partial and the hits from the shards
+// that did answer are still returned. A monolithic catalog never
+// reports partial shards.
+func (b *Broker) QueryPartial(user string, q mcat.Query) ([]mcat.Hit, []string, error) {
+	start := time.Now()
+	hits, partial, err := b.Cat.QueryPartial(q)
+	if err != nil {
+		b.ops.query.Done(start, err)
+		return nil, partial, err
+	}
+	out := hits[:0:0]
+	for _, h := range hits {
+		if b.Cat.EffectiveLevel(h.Path, user) >= acl.Read {
+			out = append(out, h)
+		}
+	}
+	b.audit(user, "query", q.Scope, true, fmt.Sprintf("%d conds, %d hits, %d partial shards", len(q.Conds), len(out), len(partial)))
+	b.ops.query.Done(start, nil)
+	return out, partial, nil
+}
+
 // QueryAttrNames feeds the query builder's attribute drop-down.
 func (b *Broker) QueryAttrNames(user, scope string) []string {
 	return b.Cat.QueryAttrNames(scope)

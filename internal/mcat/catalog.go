@@ -36,10 +36,15 @@ type metaEntry struct {
 type Catalog struct {
 	mu sync.RWMutex
 
-	nextID  types.ObjectID
-	objects map[string]*types.DataObject // logical path -> object
-	byID    map[types.ObjectID]string    // id -> logical path
-	colls   map[string]*types.Collection // logical path -> collection
+	nextID types.ObjectID
+	// idOffset/idStride partition the object-ID space when several
+	// catalogs share one namespace (shard i of N allocates IDs ≡ i+1
+	// mod N). Zero stride means the default single-catalog allocation.
+	idOffset types.ObjectID
+	idStride types.ObjectID
+	objects  map[string]*types.DataObject // logical path -> object
+	byID     map[types.ObjectID]string    // id -> logical path
+	colls    map[string]*types.Collection // logical path -> collection
 
 	// children indexes the direct members of each collection:
 	// childColls[parent] and childObjs[parent] map base name -> path.
@@ -110,6 +115,41 @@ func (c *Catalog) SetClock(now func() time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now = now
+}
+
+// AuditLog returns the catalog's audit trail. Callers that hold a
+// Catalog interface value (the shard router satisfies the same
+// contract) reach the trail through this accessor rather than the
+// concrete Audit field.
+func (c *Catalog) AuditLog() *audit.Log { return c.Audit }
+
+// SetIDAlloc partitions object-ID allocation: every ID handed out from
+// now on satisfies id ≡ offset (mod stride). Shard i of an N-shard
+// catalog uses (i+1, N) so IDs stay unique across shards without
+// coordination. stride <= 1 restores the default dense allocation.
+func (c *Catalog) SetIDAlloc(offset, stride int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if stride <= 1 {
+		c.idOffset, c.idStride = 0, 0
+		return
+	}
+	c.idOffset = types.ObjectID(((offset % stride) + stride) % stride)
+	c.idStride = types.ObjectID(stride)
+	c.nextID = c.alignIDLocked(c.nextID)
+}
+
+// alignIDLocked returns the smallest id >= min in this catalog's ID
+// class. With no stride configured it is the identity.
+func (c *Catalog) alignIDLocked(min types.ObjectID) types.ObjectID {
+	if c.idStride <= 1 {
+		return min
+	}
+	rem := ((min-c.idOffset)%c.idStride + c.idStride) % c.idStride
+	if rem == 0 {
+		return min
+	}
+	return min + c.idStride - rem
 }
 
 // ---- users and groups ----

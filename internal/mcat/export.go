@@ -1,0 +1,128 @@
+package mcat
+
+import (
+	"gosrb/internal/acl"
+	"gosrb/internal/types"
+)
+
+// Path-state export/import is the carrying half of cross-shard
+// migration: when an object or a collection subtree changes its home
+// partition, everything that rides on the path — permissions,
+// descriptive metadata, structural rules, annotations and file-based
+// metadata pointers — must travel with it. The importer reapplies the
+// state through the normal mutators so every piece is journaled and
+// replicates like any other write.
+
+// PathState bundles the satellite state of one logical path.
+type PathState struct {
+	ACL        acl.List
+	Meta       map[types.MetaClass][]types.AVU
+	Structural []types.StructuralAttr
+	Annots     []types.Annotation
+	FileMeta   []string
+}
+
+// Empty reports whether the state carries nothing worth importing.
+func (st PathState) Empty() bool {
+	return len(st.ACL) == 0 && len(st.Meta) == 0 && len(st.Structural) == 0 &&
+		len(st.Annots) == 0 && len(st.FileMeta) == 0
+}
+
+// ExportPathState captures the satellite state of path. Structural
+// attributes are the path's own definitions only (not the inherited
+// view), so importing onto the same relative position reproduces the
+// original inheritance.
+func (c *Catalog) ExportPathState(path string) PathState {
+	path = types.CleanPath(path)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := PathState{
+		ACL:        c.acls[path].Clone(),
+		Structural: append([]types.StructuralAttr(nil), c.structural[path]...),
+		Annots:     append([]types.Annotation(nil), c.annots[path]...),
+		FileMeta:   append([]string(nil), c.fileMeta[path]...),
+	}
+	if entries := c.meta[path]; len(entries) > 0 {
+		st.Meta = make(map[types.MetaClass][]types.AVU)
+		for _, e := range entries {
+			st.Meta[e.Class] = append(st.Meta[e.Class], e.AVU)
+		}
+	}
+	return st
+}
+
+// ImportPathState reapplies exported state to path, which must already
+// exist here. Each piece goes through the ordinary mutator so it is
+// journaled individually; a failure leaves the pieces applied so far in
+// place and reports the first error.
+func (c *Catalog) ImportPathState(path string, st PathState) error {
+	path = types.CleanPath(path)
+	for _, e := range st.ACL {
+		if err := c.SetACL(path, e.Grantee, e.Level); err != nil {
+			return err
+		}
+	}
+	for class, avus := range st.Meta {
+		for _, avu := range avus {
+			if err := c.AddMeta(path, class, avu); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range st.Structural {
+		if err := c.SetStructural(path, a); err != nil {
+			return err
+		}
+	}
+	for _, an := range st.Annots {
+		if err := c.AddAnnotation(path, an); err != nil {
+			return err
+		}
+	}
+	for _, f := range st.FileMeta {
+		if err := c.AttachFileMeta(path, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResourceACLList returns the explicit ACL of a resource (nil when
+// none was granted) so migrations can carry resource permissions.
+func (c *Catalog) ResourceACLList(resource string) acl.List {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.acls["resource:"+resource].Clone()
+}
+
+// AdoptColl inserts a fully-formed collection preserving its identity
+// (owner, creation time, link target) — the receiving side of a
+// subtree migration. The parent must already exist. The entry is
+// journaled as a "mkcoll" of the whole collection so replay restores
+// it exactly.
+func (c *Catalog) AdoptColl(col types.Collection) error {
+	col.Path = types.CleanPath(col.Path)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if col.Path == "/" {
+		return types.E("adoptcoll", col.Path, types.ErrExists)
+	}
+	if !types.ValidName(types.Base(col.Path)) {
+		return types.E("adoptcoll", col.Path, types.ErrInvalid)
+	}
+	if _, ok := c.colls[col.Path]; ok {
+		return types.E("adoptcoll", col.Path, types.ErrExists)
+	}
+	if _, ok := c.objects[col.Path]; ok {
+		return types.E("adoptcoll", col.Path, types.ErrExists)
+	}
+	parent := types.Parent(col.Path)
+	if _, ok := c.colls[parent]; !ok {
+		return types.E("adoptcoll", parent, types.ErrNotFound)
+	}
+	cp := col
+	c.colls[col.Path] = &cp
+	c.addChildColl(parent, col.Path)
+	c.log(journalEntry{Op: "mkcoll", Coll: &cp})
+	return nil
+}

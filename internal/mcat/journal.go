@@ -47,17 +47,26 @@ type journalEntry struct {
 type Journal struct {
 	mu  sync.Mutex
 	w   io.Writer
-	enc *json.Encoder
 	f   *os.File // when file-backed, for Sync
+	obs func(line []byte)
 }
 
 // NewJournal wraps a writer as an append log.
 func NewJournal(w io.Writer) *Journal {
-	j := &Journal{w: w, enc: json.NewEncoder(w)}
+	j := &Journal{w: w}
 	if f, ok := w.(*os.File); ok {
 		j.f = f
 	}
 	return j
+}
+
+// SetObserver installs a hook that sees every appended entry as its
+// encoded JSON line (no trailing newline). The shard replication log
+// subscribes here, so the journal doubles as the replication stream.
+func (j *Journal) SetObserver(fn func(line []byte)) {
+	j.mu.Lock()
+	j.obs = fn
+	j.mu.Unlock()
 }
 
 // OpenJournalFile opens (creating or appending) a file-backed journal.
@@ -80,9 +89,26 @@ func (j *Journal) Close() error {
 }
 
 func (j *Journal) append(e *journalEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	return j.AppendRaw(line)
+}
+
+// AppendRaw appends one pre-encoded journal line verbatim. The shard
+// replication path uses it so a follower's journal holds byte-identical
+// copies of the leader's entries.
+func (j *Journal) AppendRaw(line []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.enc.Encode(e)
+	if _, err := j.w.Write(append(append(make([]byte, 0, len(line)+1), line...), '\n')); err != nil {
+		return err
+	}
+	if j.obs != nil {
+		j.obs(line)
+	}
+	return nil
 }
 
 // Sync flushes a file-backed journal to stable storage.
@@ -113,11 +139,36 @@ func (c *Catalog) log(e journalEntry) {
 	}
 }
 
+// ReplayStats reports one replay pass: how many entries took effect
+// and how many lines were corrupt (unparseable or truncated) and had
+// to be skipped. A non-zero Corrupt count must be surfaced — a journal
+// that silently loses lines cannot be trusted as a replication log.
+type ReplayStats struct {
+	Applied int
+	Corrupt int
+}
+
 // Replay applies a journal stream to the catalog. It is used after
 // loading the most recent snapshot; entries that conflict with existing
 // state (e.g. replays of mutations already captured by the snapshot)
-// are skipped rather than fatal.
+// are skipped rather than fatal. A corrupt (unparseable) line aborts
+// the replay with an error; use ReplayCounted for the tolerant variant
+// that skips and counts corruption instead.
 func (c *Catalog) Replay(r io.Reader) (applied int, err error) {
+	st, err := c.replay(r, true)
+	return st.Applied, err
+}
+
+// ReplayCounted applies a journal stream, skipping corrupt or
+// truncated lines rather than aborting, and reports how many entries
+// applied and how many lines were skipped. Recovery and replication
+// paths use it so one torn tail write cannot strand the entries behind
+// it — but the skip count is surfaced (log + metric) by every caller.
+func (c *Catalog) ReplayCounted(r io.Reader) (ReplayStats, error) {
+	return c.replay(r, false)
+}
+
+func (c *Catalog) replay(r io.Reader, strict bool) (st ReplayStats, err error) {
 	// Detach the journal while replaying: replayed mutations must not be
 	// re-logged.
 	c.mu.Lock()
@@ -138,16 +189,21 @@ func (c *Catalog) Replay(r io.Reader) (applied int, err error) {
 		}
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil {
-			return applied, types.E("replay", "", err)
+			if strict {
+				return st, types.E("replay", "", err)
+			}
+			st.Corrupt++
+			continue
 		}
 		if c.apply(&e) {
-			applied++
+			st.Applied++
 		}
 	}
-	return applied, sc.Err()
+	return st, sc.Err()
 }
 
-// ReplayFile replays a journal file; a missing file applies nothing.
+// ReplayFile replays a journal file strictly (corruption aborts); a
+// missing file applies nothing.
 func (c *Catalog) ReplayFile(path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -158,6 +214,46 @@ func (c *Catalog) ReplayFile(path string) (int, error) {
 	}
 	defer f.Close()
 	return c.Replay(f)
+}
+
+// ReplayFileCounted replays a journal file tolerantly (see
+// ReplayCounted); a missing file applies nothing.
+func (c *Catalog) ReplayFileCounted(path string) (ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ReplayStats{}, nil
+		}
+		return ReplayStats{}, types.E("replay", path, err)
+	}
+	defer f.Close()
+	return c.ReplayCounted(f)
+}
+
+// ApplyEntry applies one encoded journal line to the catalog — the
+// follower side of shard replication. The entry is applied with the
+// journal detached (no re-log through the mutation methods) and then,
+// if it took effect, appended verbatim to the attached journal so the
+// follower's own log stays a byte-identical copy of the leader's.
+// The caller must be the shard's sole writer while replication is
+// active; the router's role guard enforces that for routed traffic.
+func (c *Catalog) ApplyEntry(line []byte) (bool, error) {
+	var e journalEntry
+	if err := json.Unmarshal(line, &e); err != nil {
+		return false, types.E("replicate", "", err)
+	}
+	c.mu.Lock()
+	saved := c.journal
+	c.journal = nil
+	c.mu.Unlock()
+	applied := c.apply(&e)
+	c.mu.Lock()
+	c.journal = saved
+	c.mu.Unlock()
+	if applied && saved != nil {
+		_ = saved.AppendRaw(line)
+	}
+	return applied, nil
 }
 
 // apply executes one journal entry, reporting whether it took effect.
@@ -273,7 +369,7 @@ func (c *Catalog) restoreObject(o *types.DataObject) bool {
 	c.byID[cp.ID] = path
 	c.addChildObj(o.Collection, path)
 	if cp.ID >= c.nextID {
-		c.nextID = cp.ID + 1
+		c.nextID = c.alignIDLocked(cp.ID + 1)
 	}
 	return true
 }

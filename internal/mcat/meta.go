@@ -534,3 +534,7 @@ func (c *Catalog) rekeyPathState(oldPath, newPath string) {
 		delete(c.structural, oldPath)
 	}
 }
+
+// QueryableClass reports whether a metadata class feeds the inverted
+// query index (user and type metadata, per the paper's query model).
+func QueryableClass(cl types.MetaClass) bool { return queryableClass(cl) }

@@ -272,7 +272,7 @@ func (c *Catalog) RegisterObject(o *types.DataObject) (types.ObjectID, error) {
 		return 0, types.E("register", path, types.ErrExists)
 	}
 	o.ID = c.nextID
-	c.nextID++
+	c.nextID = c.alignIDLocked(c.nextID + 1)
 	if o.CreatedAt.IsZero() {
 		o.CreatedAt = c.now()
 	}
@@ -285,6 +285,42 @@ func (c *Catalog) RegisterObject(o *types.DataObject) (types.ObjectID, error) {
 	c.addChildObj(o.Collection, path)
 	c.log(journalEntry{Op: "register", Object: cp})
 	return cp.ID, nil
+}
+
+// AdoptObject registers a fully-formed object preserving its identity
+// (ID, replicas, timestamps) — the receiving side of a cross-shard
+// migration. Unlike RegisterObject it allocates nothing; the entry is
+// journaled as a "register" of the whole object so replay restores it
+// exactly.
+func (c *Catalog) AdoptObject(o *types.DataObject) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o.Collection = types.CleanPath(o.Collection)
+	if !types.ValidName(o.Name) || o.ID == 0 {
+		return types.E("adopt", o.Name, types.ErrInvalid)
+	}
+	if _, ok := c.colls[o.Collection]; !ok {
+		return types.E("adopt", o.Collection, types.ErrNotFound)
+	}
+	path := o.Path()
+	if _, ok := c.objects[path]; ok {
+		return types.E("adopt", path, types.ErrExists)
+	}
+	if _, ok := c.colls[path]; ok {
+		return types.E("adopt", path, types.ErrExists)
+	}
+	if other, ok := c.byID[o.ID]; ok {
+		return types.E("adopt", other, types.ErrExists)
+	}
+	cp := cloneObject(o)
+	c.objects[path] = cp
+	c.byID[cp.ID] = path
+	c.addChildObj(o.Collection, path)
+	if cp.ID >= c.nextID {
+		c.nextID = c.alignIDLocked(cp.ID + 1)
+	}
+	c.log(journalEntry{Op: "register", Object: cp})
+	return nil
 }
 
 // GetObject returns a copy of the object at path (links not followed).

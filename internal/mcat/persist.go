@@ -65,7 +65,7 @@ func (c *Catalog) Load(r io.Reader) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.nextID = s.NextID
+	c.nextID = c.alignIDLocked(s.NextID)
 	c.objects = orEmptyObjects(s.Objects)
 	c.colls = orEmptyColls(s.Colls)
 	c.resources = orEmptyResources(s.Resources)

@@ -36,6 +36,16 @@ type Hit struct {
 	Values map[string][]string
 }
 
+// QueryPartial runs a query and reports which partitions, if any,
+// could not answer. A monolithic catalog always answers completely, so
+// the partial list is nil; the shard router overrides this with real
+// per-shard outcomes. The method exists so every Catalog implementation
+// shares one query contract.
+func (c *Catalog) QueryPartial(q Query) ([]Hit, []string, error) {
+	hits, err := c.RunQuery(q)
+	return hits, nil, err
+}
+
 // validOps is the operator set of the MySRB query builder.
 var validOps = map[string]bool{
 	"=": true, "<>": true, ">": true, ">=": true, "<": true, "<=": true,

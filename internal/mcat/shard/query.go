@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gosrb/internal/mcat"
+	"gosrb/internal/types"
+)
+
+// Query routing. A scope of depth >= 2 pins the whole answer to one
+// shard — every path under the scope shares its routing key — so such
+// queries run 1/N of the work of a monolithic scan. Wider scopes
+// scatter to every shard under a per-shard deadline and gather; shards
+// that miss the deadline (or are known-stale followers) are reported
+// in the partial list by name rather than stalling the query.
+
+// RunQuery satisfies the strict half of the query contract: a shard
+// that cannot answer turns the whole query into an error. Callers that
+// can use incomplete answers call QueryPartial.
+func (r *Router) RunQuery(q mcat.Query) ([]mcat.Hit, error) {
+	hits, partial, err := r.QueryPartial(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(partial) > 0 {
+		return nil, types.E("query", fmt.Sprintf("shards %v", partial), types.ErrTimeout)
+	}
+	return hits, nil
+}
+
+// QueryPartial runs the query and reports the shards, if any, whose
+// answers are missing or suspect.
+func (r *Router) QueryPartial(q mcat.Query) ([]mcat.Hit, []string, error) {
+	if r.n == 1 {
+		return r.shards[0].cat.QueryPartial(q)
+	}
+	scope := types.CleanPath(q.Scope)
+	if types.Depth(scope) >= 2 {
+		if r.singleQ != nil {
+			r.singleQ.Inc()
+		}
+		i := r.homeIdx(scope)
+		hits, err := r.shards[i].cat.RunQuery(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		var partial []string
+		if r.isStale(i) {
+			partial = []string{r.shardName(i)}
+			r.notePartial()
+		}
+		return hits, partial, nil
+	}
+
+	if r.scatterQ != nil {
+		r.scatterQ.Inc()
+	}
+	type result struct {
+		idx  int
+		hits []mcat.Hit
+		err  error
+	}
+	fanStart := time.Now()
+	ch := make(chan result, r.n)
+	for i := range r.shards {
+		go func(i int, c *mcat.Catalog) {
+			hits, err := c.RunQuery(q)
+			ch <- result{idx: i, hits: hits, err: err}
+		}(i, r.shards[i].cat)
+	}
+
+	answered := make(map[int][]mcat.Hit)
+	var firstErr error
+	deadline := time.NewTimer(r.qTimeout)
+	defer deadline.Stop()
+	pending := r.n
+collect:
+	for pending > 0 {
+		select {
+		case res := <-ch:
+			pending--
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				continue
+			}
+			answered[res.idx] = res.hits
+		case <-deadline.C:
+			break collect
+		}
+	}
+	if r.fanoutOp != nil {
+		r.fanoutOp.Observe(time.Since(fanStart), nil)
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	var partial []string
+	for i := range r.shards {
+		if _, ok := answered[i]; !ok || r.isStale(i) {
+			partial = append(partial, r.shardName(i))
+		}
+	}
+	if len(partial) > 0 {
+		r.notePartial()
+	}
+
+	mergeStart := time.Now()
+	seen := make(map[string]mcat.Hit)
+	for _, hits := range answered {
+		for _, h := range hits {
+			if _, ok := seen[h.Path]; !ok {
+				seen[h.Path] = h
+			}
+		}
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	if q.Limit > 0 && len(paths) > q.Limit {
+		paths = paths[:q.Limit]
+	}
+	out := make([]mcat.Hit, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, seen[p])
+	}
+	if r.mergeOp != nil {
+		r.mergeOp.Observe(time.Since(mergeStart), nil)
+	}
+	return out, partial, nil
+}
+
+// QueryAttrNames unions the queryable attribute names across the
+// shards covering the scope.
+func (r *Router) QueryAttrNames(scope string) []string {
+	scope = types.CleanPath(scope)
+	if r.n == 1 || types.Depth(scope) >= 2 {
+		return r.shards[r.homeIdx(scope)].cat.QueryAttrNames(scope)
+	}
+	seen := make(map[string]bool)
+	for _, st := range r.shards {
+		for _, n := range st.cat.QueryAttrNames(scope) {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Router) isStale(i int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards[i].stale
+}
+
+func (r *Router) shardName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+func (r *Router) notePartial() {
+	if r.partialQ != nil {
+		r.partialQ.Inc()
+	}
+}

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyOfAndSpine(t *testing.T) {
+	cases := []struct {
+		path  string
+		key   string
+		spine bool
+	}{
+		{"/", "/", true},
+		{"/home", "/home", true},
+		{"/home/alice", "/home/alice", false},
+		{"/home/alice/deep/f.txt", "/home/alice", false},
+		{"/projects/p1/data", "/projects/p1", false},
+	}
+	for _, c := range cases {
+		if got := KeyOf(c.path); got != c.key {
+			t.Errorf("KeyOf(%s) = %s, want %s", c.path, got, c.key)
+		}
+		if got := Spine(c.path); got != c.spine {
+			t.Errorf("Spine(%s) = %v, want %v", c.path, got, c.spine)
+		}
+	}
+}
+
+// Routing must be a pure function of the key and the map parameters:
+// the same key lands on the same shard across map rebuilds and across
+// a save/load round trip — the property that lets a restarted daemon
+// find every entry where it left it.
+func TestRoutingStableAcrossRebuildAndReload(t *testing.T) {
+	m1 := NewMap(4, DefaultVNodes)
+	m2 := NewMap(4, DefaultVNodes)
+	mapFile := filepath.Join(t.TempDir(), "m.shardmap")
+	if err := m1.SaveFile(mapFile); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := LoadMapFile(mapFile)
+	if err != nil || m3 == nil {
+		t.Fatalf("LoadMapFile: %v (%v)", m3, err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("/home/user%d", i)
+		a, b, c := m1.Shard(key), m2.Shard(key), m3.Shard(key)
+		if a != b || a != c {
+			t.Fatalf("Shard(%s): rebuild=%d reload=%d original=%d", key, b, c, a)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("Shard(%s) = %d out of range", key, a)
+		}
+	}
+}
+
+// Consistent hashing: growing the ring from n to n+1 shards must move
+// roughly 1/(n+1) of the keys — not reshuffle everything the way
+// mod-N hashing would.
+func TestAddingShardMovesExpectedFraction(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{2, 4, 8} {
+		before := NewMap(n, DefaultVNodes)
+		after := NewMap(n+1, DefaultVNodes)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("/proj/col%d", i)
+			if before.Shard(key) != after.Shard(key) {
+				moved++
+			}
+		}
+		frac := float64(moved) / keys
+		want := 1.0 / float64(n+1)
+		// Generous tolerance: vnode placement is uneven, but anything
+		// near full reshuffle (mod-N behaviour would move ~n/(n+1))
+		// must fail.
+		if frac > 2.5*want {
+			t.Errorf("%d->%d shards moved %.1f%% of keys, want about %.1f%%", n, n+1, 100*frac, 100*want)
+		}
+		if moved == 0 {
+			t.Errorf("%d->%d shards moved no keys at all", n, n+1)
+		}
+	}
+}
+
+// Key distribution should be roughly balanced across shards.
+func TestRingBalance(t *testing.T) {
+	const keys = 10000
+	m := NewMap(4, DefaultVNodes)
+	counts := make([]int, 4)
+	for i := 0; i < keys; i++ {
+		counts[m.Shard(fmt.Sprintf("/data/set%d", i))]++
+	}
+	for i, c := range counts {
+		if c < keys/4/3 {
+			t.Errorf("shard %d owns only %d/%d keys: %v", i, c, keys, counts)
+		}
+	}
+}
+
+func TestSingleShardMapIsIdentity(t *testing.T) {
+	m := NewMap(1, DefaultVNodes)
+	for _, k := range []string{"/", "/a", "/b/c", "/x/y/z"} {
+		if got := m.Shard(k); got != 0 {
+			t.Errorf("Shard(%s) = %d on a 1-shard map", k, got)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"gosrb/internal/types"
+)
+
+// Renames that stay inside one routing key delegate to the home shard
+// unchanged. When a rename lands a path on a different shard, the
+// entry — and for collections the whole subtree — migrates: copy to
+// the destination shard preserving identity (IDs, replicas,
+// timestamps, per-path state), then delete from the source. Every step
+// flows through journaled mutators, so replication and crash replay
+// see an ordinary delete on one shard and an adoption on the other.
+
+func (r *Router) MoveObject(oldPath, newColl, newName string) error {
+	oldPath = types.CleanPath(oldPath)
+	newPath := types.Join(newColl, newName)
+	si, di := r.homeIdx(oldPath), r.homeIdx(newPath)
+	if si == di {
+		if err := r.writable(si, "move", oldPath); err != nil {
+			return err
+		}
+		return r.shards[si].cat.MoveObject(oldPath, newColl, newName)
+	}
+	if err := r.writable(si, "move", oldPath); err != nil {
+		return err
+	}
+	if err := r.writable(di, "move", newPath); err != nil {
+		return err
+	}
+	src, dst := r.shards[si].cat, r.shards[di].cat
+	o, err := src.GetObject(oldPath)
+	if err != nil {
+		return err
+	}
+	st := src.ExportPathState(oldPath)
+	for _, fm := range st.FileMeta {
+		if r.homeIdx(fm) != di {
+			return types.E("move", oldPath, fmt.Errorf("attached metadata file %s cannot follow across shards: %w", fm, types.ErrUnsupported))
+		}
+	}
+	if !dst.CollExists(types.CleanPath(newColl)) {
+		return types.E("move", newColl, types.ErrNotFound)
+	}
+	if err := src.DeleteObject(oldPath); err != nil {
+		return err
+	}
+	orig := o
+	o.Collection, o.Name = types.CleanPath(newColl), newName
+	if err := dst.AdoptObject(&o); err != nil {
+		// Put the object back where it was; state is still keyed to
+		// oldPath only after reimport.
+		if rerr := src.AdoptObject(&orig); rerr == nil {
+			src.ImportPathState(oldPath, st)
+		}
+		return err
+	}
+	st.Structural = nil // objects carry no structural attributes
+	if err := dst.ImportPathState(o.Path(), st); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (r *Router) MoveColl(oldPath, newPath string) error {
+	oldPath, newPath = types.CleanPath(oldPath), types.CleanPath(newPath)
+	si, di := r.homeIdx(oldPath), r.homeIdx(newPath)
+	if r.n == 1 || (si == di && !Spine(oldPath) && !Spine(newPath)) {
+		if err := r.writable(si, "movecoll", oldPath); err != nil {
+			return err
+		}
+		return r.shards[si].cat.MoveColl(oldPath, newPath)
+	}
+	if Spine(oldPath) || Spine(newPath) {
+		return types.E("movecoll", oldPath, fmt.Errorf("renaming a top-level collection would re-home every shard: %w", types.ErrUnsupported))
+	}
+	if err := r.writable(si, "movecoll", oldPath); err != nil {
+		return err
+	}
+	if err := r.writable(di, "movecoll", newPath); err != nil {
+		return err
+	}
+	return r.migrateSubtree(si, di, oldPath, newPath)
+}
+
+// migrateSubtree moves the collection subtree rooted at oldPath on
+// shard si to newPath on shard di: copy collections shallow-first,
+// adopt objects with their state, then delete the source deepest-first.
+func (r *Router) migrateSubtree(si, di int, oldPath, newPath string) error {
+	src, dst := r.shards[si].cat, r.shards[di].cat
+	if _, err := src.GetColl(oldPath); err != nil {
+		return err
+	}
+	if !dst.CollExists(types.Parent(newPath)) {
+		return types.E("movecoll", types.Parent(newPath), types.ErrNotFound)
+	}
+	if dst.CollExists(newPath) {
+		return types.E("movecoll", newPath, types.ErrExists)
+	}
+	if _, err := dst.GetObject(newPath); err == nil {
+		return types.E("movecoll", newPath, types.ErrExists)
+	}
+
+	colls := append([]string{oldPath}, src.SubColls(oldPath)...)
+	sort.Strings(colls) // a parent sorts before its children
+	objs := src.SubtreeObjects(oldPath)
+
+	// Pre-flight: nothing may already exist at a destination path, and
+	// file-metadata attachments must stay inside the moving subtree
+	// (otherwise they would point at objects on another shard).
+	for _, p := range append(append([]string(nil), colls...), objs...) {
+		np := types.Rebase(oldPath, newPath, p)
+		if dst.CollExists(np) {
+			return types.E("movecoll", np, types.ErrExists)
+		}
+		if _, err := dst.GetObject(np); err == nil {
+			return types.E("movecoll", np, types.ErrExists)
+		}
+		for _, fm := range src.FileMeta(p) {
+			if !types.WithinOrEqual(oldPath, fm) {
+				return types.E("movecoll", p, fmt.Errorf("attached metadata file %s is outside the moving subtree: %w", fm, types.ErrUnsupported))
+			}
+		}
+	}
+
+	// Copy phase. Failures unwind the copies made so far.
+	var copiedColls, copiedObjs []string
+	undo := func() {
+		for i := len(copiedObjs) - 1; i >= 0; i-- {
+			dst.DeleteObject(copiedObjs[i])
+		}
+		for i := len(copiedColls) - 1; i >= 0; i-- {
+			dst.DeleteColl(copiedColls[i])
+		}
+	}
+	for _, p := range colls {
+		col, err := src.GetColl(p)
+		if err != nil {
+			undo()
+			return err
+		}
+		np := types.Rebase(oldPath, newPath, p)
+		col.Path = np
+		if col.LinkTarget != "" {
+			col.LinkTarget = types.Rebase(oldPath, newPath, col.LinkTarget)
+		}
+		if err := dst.AdoptColl(col); err != nil {
+			undo()
+			return err
+		}
+		copiedColls = append(copiedColls, np)
+		st := src.ExportPathState(p)
+		st.FileMeta = rebaseAll(oldPath, newPath, st.FileMeta)
+		if err := dst.ImportPathState(np, st); err != nil {
+			undo()
+			return err
+		}
+	}
+	// Objects: collections (including link targets) now all exist on
+	// the destination, so adoption order does not matter. File-meta
+	// attachments may point at objects later in the list, so import
+	// path state in a second pass.
+	for _, p := range objs {
+		o, err := src.GetObject(p)
+		if err != nil {
+			undo()
+			return err
+		}
+		np := types.Rebase(oldPath, newPath, p)
+		o.Collection, o.Name = types.Parent(np), types.Base(np)
+		if o.Container != "" && types.WithinOrEqual(oldPath, o.Container) {
+			o.Container = types.Rebase(oldPath, newPath, o.Container)
+		}
+		if o.Kind == types.KindLink && types.WithinOrEqual(oldPath, o.LinkTarget) {
+			o.LinkTarget = types.Rebase(oldPath, newPath, o.LinkTarget)
+		}
+		if err := dst.AdoptObject(&o); err != nil {
+			undo()
+			return err
+		}
+		copiedObjs = append(copiedObjs, np)
+	}
+	for _, p := range objs {
+		np := types.Rebase(oldPath, newPath, p)
+		st := src.ExportPathState(p)
+		st.Structural = nil
+		st.FileMeta = rebaseAll(oldPath, newPath, st.FileMeta)
+		if err := dst.ImportPathState(np, st); err != nil {
+			undo()
+			return err
+		}
+	}
+
+	// Delete phase: objects first, then collections deepest-first.
+	for _, p := range objs {
+		if err := src.DeleteObject(p); err != nil {
+			return err
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(colls)))
+	for _, p := range colls {
+		if err := src.DeleteColl(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rebaseAll(from, to string, paths []string) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = types.Rebase(from, to, p)
+	}
+	return out
+}
+
+// migrateKey moves everything under one routing key from shard si to
+// shard di in place (same paths). The boot-time rebalance uses it when
+// the shard count changes.
+func (r *Router) migrateKey(si, di int, key string) error {
+	src, dst := r.shards[si].cat, r.shards[di].cat
+	var colls []string
+	if !Spine(key) && src.CollExists(key) {
+		colls = append(colls, key)
+	}
+	colls = append(colls, src.SubColls(key)...)
+	sort.Strings(colls)
+	objs := src.SubtreeObjects(key)
+	if !Spine(key) {
+		if _, err := src.GetObject(key); err == nil {
+			objs = append([]string{key}, objs...)
+		}
+	}
+	for _, p := range colls {
+		col, err := src.GetColl(p)
+		if err != nil {
+			return err
+		}
+		if err := dst.AdoptColl(col); err != nil {
+			return err
+		}
+		if err := dst.ImportPathState(p, src.ExportPathState(p)); err != nil {
+			return err
+		}
+	}
+	for _, p := range objs {
+		o, err := src.GetObject(p)
+		if err != nil {
+			return err
+		}
+		if err := dst.AdoptObject(&o); err != nil {
+			return err
+		}
+	}
+	for _, p := range objs {
+		st := src.ExportPathState(p)
+		st.Structural = nil
+		if err := dst.ImportPathState(p, st); err != nil {
+			return err
+		}
+	}
+	for _, p := range objs {
+		if err := src.DeleteObject(p); err != nil {
+			return err
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(colls)))
+	for _, p := range colls {
+		if err := src.DeleteColl(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -95,6 +95,7 @@ func (a *App) routes() {
 	a.mux.HandleFunc("/help", a.withSession("help", a.handleHelp))
 	a.mux.HandleFunc("/status", a.withSession("status", a.handleStatus))
 	a.mux.HandleFunc("/usage", a.withSession("usage", a.handleUsage))
+	a.mux.HandleFunc("/shards", a.withSession("shards", a.handleShards))
 	a.mux.HandleFunc("/grid", a.withSession("grid", a.handleGrid))
 	a.mux.HandleFunc("/incidents", a.withSession("incidents", a.handleIncidents))
 	a.mux.HandleFunc("/incident", a.withSession("incident", a.handleIncidentFile))
@@ -656,7 +657,7 @@ func (a *App) handleRegister(w http.ResponseWriter, r *http.Request, user string
 		return
 	}
 	a.authn.Register(name, password)
-	a.broker.Cat.Audit.Op(user, "register-user", name, true, domain)
+	a.broker.Cat.AuditLog().Op(user, "register-user", name, true, domain)
 	redirectOutcome(w, r, "/register", nil, "user "+name+" registered")
 }
 

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"gosrb/internal/mcat/shard"
 )
 
 // handleStatus renders the server status page from the same telemetry
@@ -14,13 +16,13 @@ import (
 // counters, audit drops and the recent trace records.
 func (a *App) handleStatus(w http.ResponseWriter, r *http.Request, user string) {
 	reg := a.broker.Metrics()
-	reg.Gauge("audit.dropped").Set(a.broker.Cat.Audit.Dropped())
+	reg.Gauge("audit.dropped").Set(a.broker.Cat.AuditLog().Dropped())
 	s := reg.Snapshot()
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, `<html><head><title>mySRB server status</title></head><body>
 <h2>Server status — %s</h2>
-<p>uptime: %.0fs &middot; <a href="/usage">usage accounting</a> &middot; <a href="/browse">back to browsing</a></p>`,
+<p>uptime: %.0fs &middot; <a href="/usage">usage accounting</a> &middot; <a href="/shards">catalog shards</a> &middot; <a href="/browse">back to browsing</a></p>`,
 		template.HTMLEscapeString(a.broker.ServerName()), s.UptimeSeconds)
 
 	var ops []string
@@ -106,6 +108,44 @@ func (a *App) handleStatus(w http.ResponseWriter, r *http.Request, user string) 
 		fmt.Fprint(w, "</table>")
 	}
 	fmt.Fprint(w, "</body></html>")
+}
+
+// handleShards renders the catalog shard table — the browser view of
+// what `srb shards` reports: per-shard role, replication position,
+// staleness and entry counts. A monolithic catalog shows its single
+// implicit leader shard.
+func (a *App) handleShards(w http.ResponseWriter, r *http.Request, user string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>mySRB catalog shards</title></head><body>
+<h2>Catalog shards — %s</h2>
+<p><a href="/status">server status</a> &middot; <a href="/browse">back to browsing</a></p>`,
+		template.HTMLEscapeString(a.broker.ServerName()))
+
+	var rows []shard.Status
+	if rt, ok := a.broker.Cat.(interface{ Statuses() []shard.Status }); ok {
+		rows = rt.Statuses()
+	} else {
+		st := a.broker.Cat.Stats()
+		rows = []shard.Status{{Role: string(shard.Leader),
+			Objects: st.Objects, Collections: st.Collections, MetaEntries: st.MetaEntries}}
+	}
+	fmt.Fprint(w, `<table border="1" cellpadding="3">
+<tr><th>shard</th><th>role</th><th>leader</th><th>stale</th><th>applied</th><th>head</th><th>pull fails</th><th>objects</th><th>collections</th><th>meta entries</th><th>last sync</th></tr>`)
+	for _, sh := range rows {
+		stale := ""
+		if sh.Stale {
+			stale = "STALE"
+		}
+		last := ""
+		if !sh.LastSync.IsZero() {
+			last = sh.LastSync.Format(time.RFC3339)
+		}
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>",
+			sh.Shard, template.HTMLEscapeString(sh.Role), template.HTMLEscapeString(sh.Leader),
+			stale, sh.Applied, sh.Head, sh.PullFails, sh.Objects, sh.Collections, sh.MetaEntries,
+			template.HTMLEscapeString(last))
+	}
+	fmt.Fprint(w, "</table></body></html>")
 }
 
 // handleUsage renders the per-user/collection usage accounting table —

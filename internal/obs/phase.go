@@ -38,6 +38,8 @@ const (
 	PhaseStorageWrite   = "dispatch/storage.write"   // storage driver write fan-out
 	PhaseReplicaAttempt = "dispatch/replica.attempt" // one replica candidate attempt (repeats on failover)
 	PhaseFederationHop  = "dispatch/federation.hop"  // proxied call to a federated peer, wire round trip inclusive
+	PhaseShardFanout    = "dispatch/shard.fanout"    // scatter of a catalog query to every MCAT shard
+	PhaseShardMerge     = "dispatch/shard.merge"     // dedup + sort of per-shard query hits
 
 	// Client-side phases (recorded into the client's own registry; the
 	// client has no server span, so these never appear in span trees).

@@ -14,7 +14,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"gosrb/internal/mcat"
 	"gosrb/internal/obs"
 	"gosrb/internal/resilience"
 	"gosrb/internal/storage"
@@ -39,9 +38,17 @@ const (
 	RoundRobin
 )
 
+// Catalog is the slice of the metadata catalog the replica manager
+// consumes. Both *mcat.Catalog and the shard router satisfy it.
+type Catalog interface {
+	GetObject(path string) (types.DataObject, error)
+	GetResource(name string) (types.Resource, error)
+	UpdateObject(path string, fn func(*types.DataObject) error) error
+}
+
 // Manager performs replica operations against one catalog.
 type Manager struct {
-	cat     *mcat.Catalog
+	cat     Catalog
 	drivers DriverMap
 	policy  Policy
 	rr      atomic.Uint64
@@ -84,7 +91,7 @@ func (m *Manager) breaker(resource string) *resilience.Breaker {
 }
 
 // NewManager returns a Manager with the FirstAlive policy.
-func NewManager(cat *mcat.Catalog, drivers DriverMap) *Manager {
+func NewManager(cat Catalog, drivers DriverMap) *Manager {
 	return &Manager{cat: cat, drivers: drivers}
 }
 

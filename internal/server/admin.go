@@ -70,7 +70,7 @@ func NewAdminHandler(env AdminEnv) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		reg := b.Metrics()
-		reg.Gauge("audit.dropped").Set(b.Cat.Audit.Dropped())
+		reg.Gauge("audit.dropped").Set(b.Cat.AuditLog().Dropped())
 		b.Breakers().Publish()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if q := r.URL.Query().Get("window"); q != "" {

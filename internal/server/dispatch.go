@@ -12,6 +12,7 @@ import (
 	"gosrb/internal/core"
 
 	"gosrb/internal/acl"
+	"gosrb/internal/mcat/shard"
 	"gosrb/internal/obs"
 	"gosrb/internal/types"
 	"gosrb/internal/wire"
@@ -400,11 +401,17 @@ func (s *Server) dispatchOp(ss *session, req *wire.Request) error {
 		if err != nil {
 			return ss.fail(err)
 		}
-		hits, err := b.Query(user, a.Q)
+		qstart := time.Now()
+		hits, partial, err := b.QueryPartial(user, a.Q)
 		if err != nil {
 			return ss.fail(err)
 		}
-		return ss.reply(hits)
+		// On a sharded catalog the whole call is the scatter-gather
+		// fan-out; the router's own phase ops attribute the merge tail.
+		if sh, ok := b.Cat.(interface{ N() int }); ok && sh.N() > 1 {
+			ss.span.Phase(obs.PhaseShardFanout, time.Since(qstart))
+		}
+		return ss.reply(wire.QueryReply{Hits: hits, Partial: partial})
 
 	case wire.OpQueryAttrs:
 		a, err := decode[wire.PathArgs](req)
@@ -618,7 +625,7 @@ func (s *Server) dispatchOp(ss *session, req *wire.Request) error {
 			return ss.fail(err)
 		}
 		s.authn.Register(a.Name, a.Password)
-		b.Cat.Audit.Op(user, "adduser", a.Name, true, domain)
+		b.Cat.AuditLog().Op(user, "adduser", a.Name, true, domain)
 		return ss.reply(struct{}{})
 
 	case wire.OpAudit:
@@ -629,7 +636,7 @@ func (s *Server) dispatchOp(ss *session, req *wire.Request) error {
 		if !b.Cat.IsAdmin(user) {
 			return ss.fail(types.E("audit", "", types.ErrPermission))
 		}
-		recs := b.Cat.Audit.Query(audit.Filter{User: a.User, Op: a.Op, Target: a.Target, Trace: a.Trace})
+		recs := b.Cat.AuditLog().Query(audit.Filter{User: a.User, Op: a.Op, Target: a.Target, Trace: a.Trace})
 		if a.Limit > 0 && len(recs) > a.Limit {
 			recs = recs[len(recs)-a.Limit:]
 		}
@@ -680,6 +687,46 @@ func (s *Server) dispatchOp(ss *session, req *wire.Request) error {
 
 	case wire.OpRepairStatus:
 		return ss.reply(s.repairStatus())
+
+	case wire.OpShards:
+		if _, err := decode[wire.ShardsArgs](req); err != nil {
+			return ss.fail(err)
+		}
+		if rt, ok := b.Cat.(interface{ Statuses() []shard.Status }); ok {
+			return ss.reply(wire.ShardsReply{Server: s.name, Shards: rt.Statuses()})
+		}
+		// Monolithic catalog: report the single implicit leader shard so
+		// `srb shards` works against any daemon.
+		st := b.Cat.Stats()
+		return ss.reply(wire.ShardsReply{Server: s.name, Shards: []shard.Status{{
+			Role: string(shard.Leader), Objects: st.Objects,
+			Collections: st.Collections, MetaEntries: st.MetaEntries,
+		}}})
+
+	case wire.OpShardPull:
+		a, err := decode[wire.ShardPullArgs](req)
+		if err != nil {
+			return ss.fail(err)
+		}
+		// The replication stream exposes the whole catalog, so only
+		// peer daemons and administrators may pull it.
+		if !ss.isPeer && !b.Cat.IsAdmin(user) {
+			return ss.fail(types.E("shardpull", "", types.ErrPermission))
+		}
+		rt, ok := b.Cat.(interface {
+			Pull(int, uint64) (shard.PullResult, error)
+		})
+		if !ok {
+			return ss.fail(types.E("shardpull", "", types.ErrUnsupported))
+		}
+		res, err := rt.Pull(a.Shard, a.After)
+		if err != nil {
+			return ss.fail(err)
+		}
+		return ss.reply(wire.ShardPullReply{
+			Server: s.name, Entries: res.Entries,
+			Snapshot: res.Snapshot, Seq: res.Seq,
+		})
 
 	case wire.OpGridStat:
 		a, err := decode[wire.GridStatArgs](req)

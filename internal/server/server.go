@@ -915,7 +915,7 @@ func (s *Server) stats() wire.StatsReply {
 // path reports them.
 func (s *Server) Telemetry() wire.OpStatsReply {
 	reg := s.broker.Metrics()
-	reg.Gauge("audit.dropped").Set(s.broker.Cat.Audit.Dropped())
+	reg.Gauge("audit.dropped").Set(s.broker.Cat.AuditLog().Dropped())
 	s.broker.Breakers().Publish()
 	pool := s.peerPool.Stats()
 	return wire.OpStatsReply{Server: s.name, Snapshot: reg.Snapshot(), PeerPool: &pool}

@@ -35,6 +35,9 @@ var (
 	// budget carried in wire.Request and enforced at dispatch and on
 	// federation hops.
 	ErrTimeout = errors.New("deadline exceeded")
+	// ErrReadOnly reports a mutation sent to a follower replica of a
+	// catalog shard; the message names the leader to retry against.
+	ErrReadOnly = errors.New("read-only replica")
 )
 
 // OpError carries the failing operation and logical path along with the

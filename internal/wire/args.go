@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gosrb/internal/mcat"
+	"gosrb/internal/mcat/shard"
 	"gosrb/internal/obs"
 	"gosrb/internal/types"
 )
@@ -112,6 +113,13 @@ const (
 	// OpBulkStat stats many paths in one round trip, preserving
 	// request order in the reply.
 	OpBulkStat = "bulkstat"
+	// OpShards reports the sharded catalog's per-shard status: role,
+	// replication lag, staleness and entry counts (`srb shards`).
+	OpShards = "shards"
+	// OpShardPull serves one shard's replication stream to a follower
+	// daemon: journal entries after a sequence number, or a full
+	// snapshot when the follower is too far behind. Peer/admin only.
+	OpShardPull = "shardpull"
 )
 
 // StreamsIn reports whether op is followed by an inbound bulk data
@@ -201,6 +209,15 @@ type AnnotateArgs struct {
 // QueryArgs wraps a catalog query.
 type QueryArgs struct {
 	Q mcat.Query
+}
+
+// QueryReply carries the hits plus, when the catalog is sharded, the
+// names of shards that missed the scatter-gather deadline or were
+// stale followers — so a partial answer is visibly partial rather than
+// silently short.
+type QueryReply struct {
+	Hits    []mcat.Hit
+	Partial []string `json:",omitempty"`
 }
 
 // ChmodArgs sets a grant.
@@ -591,4 +608,31 @@ func (s *BulkStatItem) Err() error {
 type BulkStatReply struct {
 	Server string
 	Items  []BulkStatItem
+}
+
+// ShardsArgs requests the sharded catalog's per-shard status.
+type ShardsArgs struct{}
+
+// ShardsReply reports per-shard role, replication position and entry
+// counts. A monolithic (unsharded) catalog replies with one leader row.
+type ShardsReply struct {
+	Server string
+	Shards []shard.Status
+}
+
+// ShardPullArgs asks the leader daemon for shard Shard's replication
+// entries after sequence After (0 = from the beginning).
+type ShardPullArgs struct {
+	Shard int
+	After uint64
+}
+
+// ShardPullReply carries either the journal entries (After+1..Seq) or,
+// when the follower is behind the leader's retained log, a full
+// catalog snapshot positioned at Seq.
+type ShardPullReply struct {
+	Server   string
+	Entries  [][]byte `json:",omitempty"`
+	Snapshot []byte   `json:",omitempty"`
+	Seq      uint64
 }

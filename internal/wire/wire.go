@@ -145,6 +145,7 @@ var errKinds = []struct {
 	{"auth", types.ErrAuth},
 	{"mandatorymeta", types.ErrMandatoryMeta},
 	{"timeout", types.ErrTimeout},
+	{"readonly", types.ErrReadOnly},
 }
 
 // Idempotent reports whether op is safe to retry: read-only operations
