@@ -10,11 +10,11 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X gosrb/internal/obs.Version=$(VERSION)"
 
-.PHONY: all check lint vet build test race test-faults test-repair test-wire test-phases test-mcat bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate bench-wire bench-wire-gate bench-phases bench-phases-gate bench-mcat bench-mcat-gate clean
+.PHONY: all check lint vet build test race test-faults test-repair test-wire test-phases test-mcat test-heat bench bench-obs bench-obs-gate bench-repair bench-grid bench-grid-gate bench-flight bench-flight-gate bench-wire bench-wire-gate bench-phases bench-phases-gate bench-mcat bench-mcat-gate bench-heat bench-heat-gate clean
 
 all: check
 
-check: lint build race test-faults test-repair test-wire test-phases test-mcat bench-obs-gate bench-grid-gate bench-flight-gate bench-wire-gate bench-phases-gate bench-mcat-gate
+check: lint build race test-faults test-repair test-wire test-phases test-mcat test-heat bench-obs-gate bench-grid-gate bench-flight-gate bench-wire-gate bench-phases-gate bench-mcat-gate bench-heat-gate
 
 # Static analysis: go vet always, then a pinned staticcheck. The pin
 # keeps every checkout on the same analyzer; when the binary is absent
@@ -89,6 +89,16 @@ test-phases:
 # 10x TestChaos loop.)
 test-mcat:
 	$(GO) test -race -count=10 ./internal/mcat/shard/
+
+# Heat-observatory sweep: the top-K sketch (Zipf recall, decay,
+# concurrent writers, rollup fold, persistence) and the replication-lag
+# gauge/advisor suites, repeated under -race — the sketch is written
+# from every request goroutine while snapshots, folds and decays run
+# concurrently, so tears only surface across many interleavings. (The
+# heat chaos e2e rides test-faults' 10x TestChaos loop.)
+test-heat:
+	$(GO) test -race -count=10 -run 'TestHeat|TestSLOReplag' ./internal/obs/
+	$(GO) test -race -count=10 -run 'TestReplagGauges|TestReplogFallback|TestAdvisor' ./internal/mcat/shard/
 
 # Full benchmark sweep (experiments E1–E10 plus the wire and broker
 # concurrency benches).
@@ -173,7 +183,20 @@ bench-mcat:
 bench-mcat-gate:
 	BENCH_MCAT_GATE=1 $(GO) test -run TestMcatBenchGate -v .
 
+# Heat-tracking report: measures a heat-tracked broker get against the
+# same instrumented get with the heat tables detached and writes
+# BENCH_heat.json.
+bench-heat:
+	BENCH_HEAT=1 $(GO) test -run TestHeatBenchReport -v .
+
+# Absolute instrumentation budget: the hot-key sketch update plus the
+# hot-object record may cost at most 5% per request. Like the phase
+# fence this bound never ratchets — heat tracking is always on in
+# production.
+bench-heat-gate:
+	BENCH_HEAT_GATE=1 $(GO) test -run TestHeatBenchGate -v .
+
 clean:
-	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json BENCH_wire.json BENCH_phases.json BENCH_mcat.json
+	rm -f BENCH_obs.json BENCH_repair.json BENCH_grid.json BENCH_flight.json BENCH_wire.json BENCH_phases.json BENCH_mcat.json BENCH_heat.json
 	rm -rf bin
 	$(GO) clean -testcache

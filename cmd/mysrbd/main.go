@@ -53,6 +53,7 @@ func main() {
 		scrubEvery    = flag.Duration("scrub-interval", 0, "anti-entropy scrub interval: re-hash every replica against the catalog checksum and repair divergence (0 disables)")
 
 		rollupEvery = flag.Duration("rollup-interval", obs.DefaultRollupInterval, "telemetry rollup capture interval feeding /metrics?window=, /grid and the dashboard (0 disables windowed stats)")
+	heatDecay   = flag.Duration("heat-decay", time.Minute, "hot-key/hot-object score decay interval feeding the /heat page (0 disables decay)")
 		sloRules    = flag.String("slo-rules", "", "SLO rules file, one rule per line (e.g. 'get p99 < 50ms over 5m'); empty disables SLO evaluation")
 		sloEvery    = flag.Duration("slo-interval", 30*time.Second, "how often declared SLO rules are evaluated against the rollup ring")
 
@@ -151,6 +152,13 @@ func main() {
 	if *rollupEvery > 0 {
 		eng.AddJob("rollup", *rollupEvery, 0.1, func(sp *obs.Span) error {
 			broker.Metrics().CaptureRollup(time.Now())
+			return nil
+		})
+	}
+	if *heatDecay > 0 {
+		eng.AddJob("heat.decay", *heatDecay, 0.1, func(sp *obs.Span) error {
+			broker.Metrics().HeatKeys().Decay(0.5)
+			broker.Metrics().HeatObjects().Decay(0.5)
 			return nil
 		})
 	}

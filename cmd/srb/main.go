@@ -95,7 +95,11 @@ commands:
   repair status [-json]              background repair engine: queue
                                      backlog, worker health, job runs
   shards [-json]                     catalog shards: role, replication
-                                     position, staleness, entry counts
+                                     position, staleness, entry counts,
+                                     replication lag (entries/seconds)
+  heat [-json]                       heat observatory: hot-key/hot-object
+                                     top-K, per-shard replication lag and
+                                     the rebalance advisor plan
   scrub <path>                       re-hash replicas against the catalog
                                      checksum and repair divergence
                                      (object: write perm; subtree: admin)
@@ -538,7 +542,59 @@ func run(cl *client.Client, cmd string, args []string) error {
 			if sh.PullFails > 0 {
 				line += fmt.Sprintf(" pullfails=%d", sh.PullFails)
 			}
+			if sh.ReplagEntries > 0 || sh.ReplagSeconds > 0 {
+				line += fmt.Sprintf(" replag=%d/%.0fs", sh.ReplagEntries, sh.ReplagSeconds)
+			}
 			fmt.Println(line)
+		}
+		return nil
+
+	case "heat":
+		rep, err := cl.Heat()
+		if err != nil {
+			return err
+		}
+		if len(args) > 0 && args[0] == "-json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		fmt.Printf("server: %s\n", rep.Server)
+		if len(rep.Keys) == 0 && len(rep.Objects) == 0 {
+			fmt.Println("no heat recorded yet")
+		}
+		if len(rep.Keys) > 0 {
+			fmt.Printf("hot catalog keys (top %d):\n", len(rep.Keys))
+			fmt.Printf("%-32s %10s %10s %12s\n", "KEY", "COUNT", "SCORE", "BYTES")
+			for _, k := range rep.Keys {
+				fmt.Printf("%-32s %10d %10.1f %12d\n", k.Key, k.Count, k.Score, k.Bytes)
+			}
+		}
+		if len(rep.Objects) > 0 {
+			fmt.Printf("\nhot objects (top %d):\n", len(rep.Objects))
+			fmt.Printf("%-48s %10s %10s %12s\n", "OBJECT", "COUNT", "SCORE", "BYTES")
+			for _, o := range rep.Objects {
+				fmt.Printf("%-48s %10d %10.1f %12d\n", o.Key, o.Count, o.Score, o.Bytes)
+			}
+		}
+		if len(rep.Shards) > 0 {
+			fmt.Printf("\nshards:\n")
+			fmt.Printf("%-5s %-8s %10s %10s %10s\n", "SHARD", "ROLE", "OBJECTS", "REPLAG_N", "REPLAG_S")
+			for _, st := range rep.Shards {
+				fmt.Printf("%-5d %-8s %10d %10d %10.0f\n",
+					st.Shard, st.Role, st.Objects, st.ReplagEntries, st.ReplagSeconds)
+			}
+		}
+		if rep.Plan != nil {
+			fmt.Printf("\nrebalance plan (imbalance %.2fx -> %.2fx):\n",
+				rep.Plan.Imbalance, rep.Plan.Projected)
+			if rep.Plan.Note != "" {
+				fmt.Println(rep.Plan.Note)
+			}
+			for _, m := range rep.Plan.Moves {
+				fmt.Printf("  move %-32s shard %d -> %d (score %.1f, ~%d keys, ~%d bytes)\n",
+					m.Key, m.From, m.To, m.Score, m.EstKeys, m.EstBytes)
+			}
 		}
 		return nil
 

@@ -74,6 +74,8 @@ func main() {
 		scrubEvery    = flag.Duration("scrub-interval", 0, "anti-entropy scrub interval: re-hash every replica against the catalog checksum and repair divergence (0 disables)")
 
 		rollupEvery = flag.Duration("rollup-interval", obs.DefaultRollupInterval, "telemetry rollup capture interval feeding /metrics?window=, /grid and srb top (0 disables windowed stats)")
+	heatDecay   = flag.Duration("heat-decay", time.Minute, "hot-key/hot-object score decay interval: each tick halves the heat scores so the top-K tracks the current workload, not all-time totals (0 disables decay)")
+	adviseEvery = flag.Duration("advise-interval", time.Minute, "rebalance advisor interval: joins shard heat, key balance and ring ownership into a dry-run migration plan served by srb heat and /heat (0 disables)")
 		sloRules    = flag.String("slo-rules", "", "SLO rules file, one rule per line (e.g. 'get p99 < 50ms over 5m'); empty disables SLO evaluation")
 		sloEvery    = flag.Duration("slo-interval", 30*time.Second, "how often declared SLO rules are evaluated against the rollup ring")
 
@@ -254,6 +256,28 @@ func main() {
 			return nil
 		})
 	}
+	// The heat observatory rides the scheduler too: the decay job keeps
+	// the top-K tracking the current workload, the advisor job refreshes
+	// replication-lag gauges and recomputes the dry-run rebalance plan.
+	if *heatDecay > 0 {
+		eng.AddJob("heat.decay", *heatDecay, 0.1, func(sp *obs.Span) error {
+			broker.Metrics().HeatKeys().Decay(0.5)
+			broker.Metrics().HeatObjects().Decay(0.5)
+			return nil
+		})
+	}
+	if *adviseEvery > 0 {
+		eng.AddJob("advisor", *adviseEvery, 0.1, func(sp *obs.Span) error {
+			now := time.Now()
+			cat.RefreshReplag(now)
+			plan := cat.Advise(broker.Metrics().HeatKeys().Snapshot(), now)
+			if len(plan.Moves) > 0 {
+				logger.Printf("advisor: imbalance %.2fx, %d move(s) proposed (projected %.2fx); see srb heat",
+					plan.Imbalance, len(plan.Moves), plan.Projected)
+			}
+			return nil
+		})
+	}
 	if *sloRules != "" {
 		src, err := os.ReadFile(*sloRules)
 		if err != nil {
@@ -358,7 +382,9 @@ func main() {
 			return shard.PullResult{Entries: rep.Entries, Snapshot: rep.Snapshot, Seq: rep.Seq}, nil
 		}, shard.DefaultPromoteAfter)
 		eng.AddJob("shard.sync", *mcatSyncEvery, 0.1, func(sp *obs.Span) error {
-			return cat.SyncOnce()
+			err := cat.SyncOnce()
+			cat.RefreshReplag(time.Now())
+			return err
 		})
 		logger.Printf("mcat follower of %s (pull every %s)", leader, *mcatSyncEvery)
 	}

@@ -834,6 +834,15 @@ func (cl *Client) Peers() (wire.PeersReply, error) {
 	return out, err
 }
 
+// Heat fetches the connected server's heat observatory: hot-key and
+// hot-object top-K tables, per-shard replication lag, and the latest
+// rebalance advisor plan.
+func (cl *Client) Heat() (wire.HeatReply, error) {
+	var out wire.HeatReply
+	_, err := cl.call(wire.OpHeat, wire.HeatArgs{}, nil, &out)
+	return out, err
+}
+
 // Scrub runs the anti-entropy scrubber over one object (write
 // permission) or a collection subtree (admin only) and returns what it
 // found and fixed.

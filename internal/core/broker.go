@@ -92,12 +92,17 @@ type brokerOps struct {
 	// fanoutOK/fanoutFail mirror the replica.Manager counters for the
 	// ingest member loop, cached so the hot path skips the registry map.
 	fanoutOK, fanoutFail *obs.Counter
+
+	// heat is the hot-key table the dispatch path feeds (one record per
+	// operation, keyed by the depth-2 routing prefix).
+	heat *obs.HeatTable
 }
 
 func newBrokerOps(r *obs.Registry) brokerOps {
 	return brokerOps{
 		fanoutOK:      r.Counter("replica.fanout.ok"),
 		fanoutFail:    r.Counter("replica.fanout.fail"),
+		heat:          r.HeatKeys(),
 		get:           r.Op("broker.get"),
 		ingest:        r.Op("broker.ingest"),
 		reingest:      r.Op("broker.reingest"),
@@ -208,6 +213,18 @@ func (b *Broker) SetMetrics(r *obs.Registry) {
 	b.breakers = resilience.NewSet(resilience.DefaultBreakerConfig, r)
 	b.rm.SetMetrics(r)
 	b.rm.SetBreakers(b.breakers)
+}
+
+// SetHeatTracking switches hot-key/hot-object heat recording on or off
+// while leaving the rest of the instrumentation in place — the isolated
+// baseline the heat-overhead benchmark compares against.
+func (b *Broker) SetHeatTracking(on bool) {
+	if on {
+		b.ops.heat = b.metrics.HeatKeys()
+	} else {
+		b.ops.heat = nil
+	}
+	b.rm.SetHeatTracking(on)
 }
 
 // ioMetricsFor names the per-driver byte counters for one resource.

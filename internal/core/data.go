@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gosrb/internal/acl"
+	"gosrb/internal/mcat/shard"
 	"gosrb/internal/obs"
 	"gosrb/internal/replica"
 	"gosrb/internal/storage"
@@ -35,6 +36,7 @@ func (b *Broker) List(user, path string) ([]types.Stat, error) {
 	start := time.Now()
 	stats, err := b.list(user, path)
 	b.ops.list.Done(start, err)
+	b.ops.heat.Record(shard.KeyOf(path), 0)
 	return stats, err
 }
 
@@ -110,6 +112,7 @@ func (b *Broker) Ingest(user string, opts IngestOpts) (types.DataObject, error) 
 	start := time.Now()
 	o, err := b.ingest(user, opts)
 	b.ops.ingest.Done(start, err)
+	b.ops.heat.Record(shard.KeyOf(opts.Path), int64(len(opts.Data)))
 	return o, err
 }
 
@@ -290,6 +293,7 @@ func (b *Broker) GetTraced(user, path string, sp *obs.Span) ([]byte, error) {
 	start := time.Now()
 	data, err := b.get(user, path, sp)
 	b.ops.get.Done(start, err)
+	b.ops.heat.Record(shard.KeyOf(path), int64(len(data)))
 	return data, err
 }
 

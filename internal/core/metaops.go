@@ -7,6 +7,7 @@ import (
 
 	"gosrb/internal/acl"
 	"gosrb/internal/mcat"
+	"gosrb/internal/mcat/shard"
 	"gosrb/internal/metadata"
 	"gosrb/internal/types"
 )
@@ -250,6 +251,7 @@ func (b *Broker) Query(user string, q mcat.Query) ([]mcat.Hit, error) {
 	start := time.Now()
 	hits, err := b.query(user, q)
 	b.ops.query.Done(start, err)
+	b.ops.heat.Record(shard.KeyOf(q.Scope), 0)
 	return hits, err
 }
 
@@ -288,6 +290,7 @@ func (b *Broker) QueryPartial(user string, q mcat.Query) ([]mcat.Hit, []string, 
 	}
 	b.audit(user, "query", q.Scope, true, fmt.Sprintf("%d conds, %d hits, %d partial shards", len(q.Conds), len(out), len(partial)))
 	b.ops.query.Done(start, nil)
+	b.ops.heat.Record(shard.KeyOf(q.Scope), 0)
 	return out, partial, nil
 }
 

@@ -1,0 +1,197 @@
+// The rebalance advisor: joins observed key heat, per-shard catalog
+// size and ring ownership into a dry-run migration plan. It never moves
+// anything — the plan is the designed input for a future online-
+// migration layer, and until then an operator reads it via `srb heat`,
+// the admin /heat endpoint or the MySRB heat page to judge whether the
+// partitioning is still good.
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"gosrb/internal/obs"
+)
+
+// Advisor tuning: a plan proposes moves only while the hottest shard
+// carries more than adviseImbalance times the mean shard heat, and
+// never more than adviseMaxMoves prefixes per plan (each move is a
+// whole depth-2 subtree — coarse, deliberately conservative).
+const (
+	adviseImbalance = 1.25
+	adviseMaxMoves  = 3
+)
+
+// PlanMove is one proposed migration: a depth-2 routing prefix, where
+// it lives, where it should go, and what the move would carry.
+type PlanMove struct {
+	Key      string  `json:"key"`      // depth-2 prefix ("/zone/project")
+	From     int     `json:"from"`     // current home shard
+	To       int     `json:"to"`       // proposed home shard
+	Score    float64 `json:"score"`    // decayed heat score of the prefix
+	EstKeys  int     `json:"estKeys"`  // catalog objects under the prefix
+	EstBytes int64   `json:"estBytes"` // observed read volume of the prefix
+}
+
+// ShardHeat is one shard's standing in the plan's load join.
+type ShardHeat struct {
+	Shard   int     `json:"shard"`
+	Score   float64 `json:"score"`   // summed heat of tracked keys homed here
+	HotKeys int     `json:"hotKeys"` // tracked hot keys homed here
+	Objects int     `json:"objects"` // catalog objects (key-count balance)
+}
+
+// Plan is one advisor run: the per-shard heat join, the proposed moves
+// and the imbalance before and after (max shard heat over mean; 1.0 is
+// perfectly even). A plan with no moves means the partitioning held.
+type Plan struct {
+	GeneratedAt time.Time   `json:"generatedAt"`
+	Shards      []ShardHeat `json:"shards"`
+	Moves       []PlanMove  `json:"moves,omitempty"`
+	Imbalance   float64     `json:"imbalance"`
+	Projected   float64     `json:"projected"`
+	Note        string      `json:"note,omitempty"`
+}
+
+// Advise builds a dry-run rebalance plan from the hot-key table rows
+// (obs.Registry.HeatKeys().Snapshot()) and stores it as the router's
+// last plan. The repair engine drives it periodically; serving paths
+// reuse the stored plan via LastPlan.
+func (r *Router) Advise(rows []obs.HeatStat, now time.Time) Plan {
+	p := Plan{GeneratedAt: now, Shards: make([]ShardHeat, r.n)}
+	for i := range p.Shards {
+		p.Shards[i] = ShardHeat{Shard: i, Objects: r.shards[i].cat.Stats().Objects}
+	}
+	// Join heat onto ring ownership. Only rows that are well-formed
+	// routing prefixes participate; spine rows (depth < 2 scopes fed by
+	// broad queries) are broadcast state and cannot move.
+	type hotKey struct {
+		row  obs.HeatStat
+		home int
+	}
+	var keys []hotKey
+	for _, row := range rows {
+		if Spine(row.Key) || KeyOf(row.Key) != row.Key {
+			continue
+		}
+		home := r.m.Shard(row.Key)
+		p.Shards[home].Score += row.Score
+		p.Shards[home].HotKeys++
+		keys = append(keys, hotKey{row: row, home: home})
+	}
+	p.Imbalance = imbalanceOf(p.Shards)
+	p.Projected = p.Imbalance
+	if r.n < 2 {
+		p.Note = "single shard: nothing to rebalance"
+		r.storePlan(p)
+		return p
+	}
+	if p.Imbalance <= adviseImbalance {
+		p.Note = fmt.Sprintf("heat within %.2fx of mean: partitioning holds", adviseImbalance)
+		r.storePlan(p)
+		return p
+	}
+	// Greedy: repeatedly move the hottest key off the hottest shard to
+	// the coolest, stopping when balance is restored, moves run out, or
+	// a move stops helping.
+	score := make([]float64, r.n)
+	for i, sh := range p.Shards {
+		score[i] = sh.Score
+	}
+	moved := make(map[string]bool)
+	for len(p.Moves) < adviseMaxMoves {
+		hot, cool := extremes(score)
+		if score[hot] <= 0 || imbalance(score) <= adviseImbalance {
+			break
+		}
+		best := -1
+		for i, k := range keys {
+			if k.home != hot || moved[k.row.Key] {
+				continue
+			}
+			if best < 0 || k.row.Score > keys[best].row.Score {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		k := keys[best]
+		// A move that would just flip the imbalance to the target shard
+		// is churn, not balance.
+		if score[cool]+k.row.Score >= score[hot] {
+			break
+		}
+		moved[k.row.Key] = true
+		score[hot] -= k.row.Score
+		score[cool] += k.row.Score
+		p.Moves = append(p.Moves, PlanMove{
+			Key:      k.row.Key,
+			From:     hot,
+			To:       cool,
+			Score:    k.row.Score,
+			EstKeys:  len(r.shards[hot].cat.SubtreeObjects(k.row.Key)),
+			EstBytes: k.row.Bytes,
+		})
+	}
+	p.Projected = imbalance(score)
+	if len(p.Moves) == 0 {
+		p.Note = "imbalanced but no movable hot prefix on the hottest shard"
+	} else {
+		p.Note = "dry run: no data was moved"
+	}
+	r.storePlan(p)
+	return p
+}
+
+// LastPlan returns the newest advisor plan, or nil before the first
+// Advise run.
+func (r *Router) LastPlan() *Plan {
+	r.planMu.Lock()
+	defer r.planMu.Unlock()
+	return r.lastPlan
+}
+
+func (r *Router) storePlan(p Plan) {
+	r.planMu.Lock()
+	r.lastPlan = &p
+	r.planMu.Unlock()
+}
+
+// imbalanceOf is imbalance over the joined shard rows.
+func imbalanceOf(shards []ShardHeat) float64 {
+	score := make([]float64, len(shards))
+	for i, sh := range shards {
+		score[i] = sh.Score
+	}
+	return imbalance(score)
+}
+
+// imbalance is max/mean shard heat: 1.0 means perfectly even, 0 means
+// no heat observed at all.
+func imbalance(score []float64) float64 {
+	var sum, max float64
+	for _, s := range score {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if sum == 0 || len(score) == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(score)))
+}
+
+// extremes returns the hottest and coolest shard indices.
+func extremes(score []float64) (hot, cool int) {
+	for i, s := range score {
+		if s > score[hot] {
+			hot = i
+		}
+		if s < score[cool] {
+			cool = i
+		}
+	}
+	return hot, cool
+}

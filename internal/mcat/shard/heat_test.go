@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"gosrb/internal/obs"
+)
+
+// TestReplagGauges walks the lag gauges through a replication lifecycle:
+// quiet before any pull, zero when caught up, climbing while the leader
+// runs ahead or the follower stops syncing, and reset across a follower
+// restart.
+func TestReplagGauges(t *testing.T) {
+	leader := newTestRouter(t, 1)
+	lreg := obs.NewRegistry()
+	leader.SetMetrics(lreg)
+	seedGrid(t, leader)
+
+	// A leader no follower ever pulled stays quiet: single-server
+	// deployments must not report phantom lag.
+	leader.RefreshReplag(time.Now())
+	if v := lreg.Gauge("mcat.shard.0.replag_entries").Value(); v != 0 {
+		t.Fatalf("never-pulled leader lag = %d, want 0", v)
+	}
+
+	f := followerOf(t, leader)
+	freg := obs.NewRegistry()
+	f.SetMetrics(freg)
+	if err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	// Caught up: the follower reads zero immediately; the leader learns
+	// the ack from the follower's next pull (the ack rides the pull
+	// request), so a second no-op sync clears the leader side too.
+	if v := freg.Gauge("mcat.shard.0.replag_entries").Value(); v != 0 {
+		t.Fatalf("caught-up follower entries lag = %d, want 0", v)
+	}
+	if err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	leader.RefreshReplag(time.Now())
+	if v := lreg.Gauge("mcat.shard.0.replag_entries").Value(); v != 0 {
+		t.Fatalf("acked leader entries lag = %d, want 0", v)
+	}
+
+	// The leader runs ahead: its gauge counts unacked journal entries.
+	for _, coll := range []string{"/home/l1", "/home/l2", "/home/l3"} {
+		if err := leader.MkColl(coll, "admin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leader.RefreshReplag(time.Now())
+	if v := lreg.Gauge("mcat.shard.0.replag_entries").Value(); v != 3 {
+		t.Fatalf("leader entries lag = %d, want 3", v)
+	}
+	// The follower has not pulled since, so its seconds gauge climbs
+	// with the clock even though no pull is happening.
+	f.RefreshReplag(time.Now().Add(42 * time.Second))
+	if v := freg.Gauge("mcat.shard.0.replag_seconds").Value(); v < 41 {
+		t.Fatalf("idle follower seconds lag = %d, want >= 41", v)
+	}
+
+	// One sync clears the follower; the ack-carrying second pull clears
+	// the leader.
+	if err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if v := freg.Gauge("mcat.shard.0.replag_entries").Value(); v != 0 {
+		t.Fatalf("post-sync follower entries lag = %d, want 0", v)
+	}
+	if v := freg.Gauge("mcat.shard.0.replag_seconds").Value(); v != 0 {
+		t.Fatalf("post-sync follower seconds lag = %d, want 0", v)
+	}
+	leader.RefreshReplag(time.Now())
+	if v := lreg.Gauge("mcat.shard.0.replag_entries").Value(); v != 0 {
+		t.Fatalf("post-sync leader entries lag = %d, want 0", v)
+	}
+
+	// The statuses surface carries the same numbers.
+	sts := leader.Statuses()
+	if sts[0].ReplagEntries != 0 {
+		t.Fatalf("status replag = %+v, want 0", sts[0])
+	}
+
+	// Follower restart: SetFollower resets the sync bookkeeping, so the
+	// stale pre-restart lag cannot leak into the fresh gauges, and the
+	// first sync rebuilds correct values.
+	f.RefreshReplag(time.Now().Add(time.Hour)) // gauge now huge
+	f.SetFollower(0, "leader")
+	if v := freg.Gauge("mcat.shard.0.replag_seconds").Value(); v != 0 {
+		t.Fatalf("restarted follower seconds lag = %d, want 0 until first sync", v)
+	}
+	if err := leader.MkColl("/home/after-restart", "admin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if v := freg.Gauge("mcat.shard.0.replag_entries").Value(); v != 0 {
+		t.Fatalf("resynced follower entries lag = %d, want 0", v)
+	}
+	if !f.CollExists("/home/after-restart") {
+		t.Fatal("restarted follower did not converge")
+	}
+}
+
+// TestReplogFallbackCounter: a pull from below the replication log's
+// retained tail serves a snapshot and counts the fallback.
+func TestReplogFallbackCounter(t *testing.T) {
+	leader := newTestRouter(t, 1)
+	reg := obs.NewRegistry()
+	leader.SetMetrics(reg)
+	leader.SetRepLogBase(100) // sequences 1..100 predate the retained log
+	seedGrid(t, leader)
+
+	res, err := leader.Pull(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot == nil {
+		t.Fatal("pull below the log tail should serve a snapshot")
+	}
+	if v := reg.Counter("mcat.shard.replog.fallback").Value(); v != 1 {
+		t.Fatalf("fallback counter = %d, want 1", v)
+	}
+	// From the snapshot's sequence the entry stream works again and the
+	// counter stays put.
+	if _, err := leader.Pull(0, res.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("mcat.shard.replog.fallback").Value(); v != 1 {
+		t.Fatalf("fallback counter after caught-up pull = %d, want still 1", v)
+	}
+}
+
+// TestAdvisorBalancedAndSingleShard: the advisor refuses to churn when
+// there is nothing to fix.
+func TestAdvisorBalancedAndSingleShard(t *testing.T) {
+	one := newTestRouter(t, 1)
+	p := one.Advise([]obs.HeatStat{{Key: "/home/alice", Score: 100}}, time.Now())
+	if len(p.Moves) != 0 || p.Note == "" {
+		t.Fatalf("single-shard plan = %+v, want no moves with a note", p)
+	}
+	if one.LastPlan() == nil {
+		t.Fatal("Advise must store the plan")
+	}
+
+	r := newTestRouter(t, 4)
+	seedGrid(t, r)
+	// Perfectly even heat across four prefixes that hash to four homes
+	// is (at worst) mildly imbalanced; equal scores keep max/mean low
+	// only if homes differ, so instead check the no-heat degenerate case
+	// and the within-threshold case explicitly.
+	p = r.Advise(nil, time.Now())
+	if p.Imbalance != 0 || len(p.Moves) != 0 {
+		t.Fatalf("no-heat plan = %+v, want imbalance 0, no moves", p)
+	}
+	// Spine rows and non-prefix rows (full object paths) never join.
+	p = r.Advise([]obs.HeatStat{
+		{Key: "/", Score: 500},
+		{Key: "/home", Score: 500},
+		{Key: "/home/alice/deep/f0.dat", Score: 500},
+	}, time.Now())
+	for _, sh := range p.Shards {
+		if sh.HotKeys != 0 {
+			t.Fatalf("unroutable rows joined the plan: %+v", p.Shards)
+		}
+	}
+}
+
+// TestAdvisorProposesMoves: a skewed workload yields moves off the
+// hottest shard that project a better balance, without flipping the
+// hotspot onto the target.
+func TestAdvisorProposesMoves(t *testing.T) {
+	r := newTestRouter(t, 4)
+	seedGrid(t, r)
+
+	// Find two prefixes homed on the same shard to manufacture skew, and
+	// one elsewhere for background heat.
+	prefixes := []string{}
+	for _, c := range "abcdefghijklmnop" {
+		prefixes = append(prefixes, "/zone/proj-"+string(c))
+	}
+	home := r.Map().Shard(prefixes[0])
+	same := []string{prefixes[0]}
+	var other string
+	for _, p := range prefixes[1:] {
+		if r.Map().Shard(p) == home && len(same) < 3 {
+			same = append(same, p)
+		} else if r.Map().Shard(p) != home && other == "" {
+			other = p
+		}
+	}
+	if len(same) < 2 || other == "" {
+		t.Skip("hash layout gave no co-homed prefixes to skew")
+	}
+
+	rows := []obs.HeatStat{
+		{Key: same[0], Score: 900, Bytes: 1 << 20},
+		{Key: same[1], Score: 300},
+		{Key: other, Score: 50},
+	}
+	p := r.Advise(rows, time.Now())
+	if p.Imbalance <= adviseImbalance {
+		t.Fatalf("manufactured skew not imbalanced: %+v", p)
+	}
+	if len(p.Moves) == 0 {
+		t.Fatalf("skewed plan proposed no moves: %+v", p)
+	}
+	m := p.Moves[0]
+	if m.From != home {
+		t.Fatalf("move %+v does not come off the hottest shard %d", m, home)
+	}
+	if m.To == home {
+		t.Fatalf("move %+v targets its own shard", m)
+	}
+	if p.Projected >= p.Imbalance {
+		t.Fatalf("plan projects no improvement: %.2f -> %.2f", p.Imbalance, p.Projected)
+	}
+	if len(p.Moves) > adviseMaxMoves {
+		t.Fatalf("plan proposes %d moves, cap is %d", len(p.Moves), adviseMaxMoves)
+	}
+	// The stored plan is what the serving paths reuse.
+	if lp := r.LastPlan(); lp == nil || lp.GeneratedAt != p.GeneratedAt {
+		t.Fatal("LastPlan does not return the newest plan")
+	}
+}

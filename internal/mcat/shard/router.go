@@ -38,16 +38,22 @@ type Router struct {
 	logf         func(format string, args ...any)
 
 	// Metrics are optional; counters stay nil until SetMetrics.
-	mutations  []*obs.Counter
-	singleQ    *obs.Counter
-	scatterQ   *obs.Counter
-	partialQ   *obs.Counter
-	fanoutOp   *obs.Op
-	mergeOp    *obs.Op
-	pullOK     *obs.Counter
-	pullFailed *obs.Counter
-	pullLines  *obs.Counter
-	promotions *obs.Counter
+	mutations      []*obs.Counter
+	singleQ        *obs.Counter
+	scatterQ       *obs.Counter
+	partialQ       *obs.Counter
+	fanoutOp       *obs.Op
+	mergeOp        *obs.Op
+	pullOK         *obs.Counter
+	pullFailed     *obs.Counter
+	pullLines      *obs.Counter
+	promotions     *obs.Counter
+	replogFallback *obs.Counter
+	replagEntries  []*obs.Gauge
+	replagSeconds  []*obs.Gauge
+
+	planMu   sync.Mutex
+	lastPlan *Plan // newest advisor output (see advisor.go)
 }
 
 // state is one shard slot: its catalog, replication log and role.
@@ -60,6 +66,11 @@ type state struct {
 	applied   uint64 // leader journal sequence applied so far
 	pullFails int    // consecutive failed pulls (promotion trigger)
 	lastSync  time.Time
+
+	// Replication-lag bookkeeping (see replag in sync.go).
+	seenHead uint64    // follower: newest leader sequence a pull reported
+	ackSeq   uint64    // leader: newest sequence a follower acked by pulling past it
+	lastPull time.Time // leader: when a follower last pulled this shard
 }
 
 // NewRouter builds an N-shard router of fresh catalogs. Shard i
@@ -157,6 +168,13 @@ func (r *Router) SetMetrics(reg *obs.Registry) {
 	r.pullFailed = reg.Counter("mcat.shard.pull.fail")
 	r.pullLines = reg.Counter("mcat.shard.pull.entries")
 	r.promotions = reg.Counter("mcat.shard.promote")
+	r.replogFallback = reg.Counter("mcat.shard.replog.fallback")
+	r.replagEntries = make([]*obs.Gauge, r.n)
+	r.replagSeconds = make([]*obs.Gauge, r.n)
+	for i := 0; i < r.n; i++ {
+		r.replagEntries[i] = reg.Gauge(fmt.Sprintf("mcat.shard.%d.replag_entries", i))
+		r.replagSeconds[i] = reg.Gauge(fmt.Sprintf("mcat.shard.%d.replag_seconds", i))
+	}
 }
 
 // ---- routing primitives ----

@@ -46,7 +46,9 @@ func (r *Router) SetFollower(i int, leaderPeer string) {
 	st := r.shards[i]
 	st.role, st.leader, st.stale = Follower, leaderPeer, true
 	st.applied, st.pullFails = 0, 0
+	st.seenHead, st.lastSync = 0, time.Time{}
 	r.mu.Unlock()
+	r.refreshReplag(i, time.Now())
 }
 
 // Promote makes shard i a leader (failover or operator action).
@@ -56,6 +58,7 @@ func (r *Router) Promote(i int) {
 	was := st.role
 	st.role, st.leader, st.stale, st.pullFails = Leader, "", false, 0
 	r.mu.Unlock()
+	r.refreshReplag(i, time.Now())
 	if was == Follower {
 		if r.promotions != nil {
 			r.promotions.Inc()
@@ -85,17 +88,34 @@ func (r *Router) SetPuller(pull PullFunc, promoteAfter int) {
 
 // Pull serves the leader side of replication: the journal lines after
 // afterSeq, or a consistent snapshot when the log window has moved on.
+// Each pull also acks the follower's position, which feeds the leader's
+// replication-lag gauges.
 func (r *Router) Pull(i int, afterSeq uint64) (PullResult, error) {
 	if i < 0 || i >= r.n {
 		return PullResult{}, types.E("shardpull", fmt.Sprint(i), types.ErrInvalid)
 	}
 	st := r.shards[i]
+	r.mu.Lock()
+	if afterSeq > st.ackSeq {
+		st.ackSeq = afterSeq
+	}
+	st.lastPull = time.Now()
+	r.mu.Unlock()
+	r.refreshReplag(i, time.Now())
 	if lines, ok := st.rl.Since(afterSeq); ok {
 		if r.pullLines != nil {
 			r.pullLines.Add(int64(len(lines)))
 		}
 		return PullResult{Entries: lines, Seq: afterSeq + uint64(len(lines))}, nil
 	}
+	// The follower fell off the bounded log tail: it catches up from a
+	// snapshot instead. Count and warn — repeated fallbacks mean the log
+	// window is too small for the sync cadence (tail pressure).
+	if r.replogFallback != nil {
+		r.replogFallback.Inc()
+	}
+	r.logf("mcat shard %d: follower at seq %d fell off the replication log tail (head %d); serving full snapshot",
+		i, afterSeq, st.rl.Head())
 	// Snapshot path. The journal appends under the catalog's write
 	// lock and Save holds the read lock, so retry until no line lands
 	// between the sequence reads — then the snapshot is exactly seq.
@@ -147,6 +167,7 @@ func (r *Router) SyncOnce() error {
 			fails := st.pullFails
 			r.mu.Unlock()
 			r.logf("mcat shard %d pull from %q failed (%d/%d): %v", i, leader, fails, promoteAfter, err)
+			r.refreshReplag(i, time.Now())
 			if fails >= promoteAfter {
 				r.Promote(i)
 			}
@@ -184,11 +205,63 @@ func (r *Router) applyPull(i int, res PullResult) error {
 	}
 	r.mu.Lock()
 	st.applied = res.Seq
+	st.seenHead = res.Seq
 	st.stale = false
 	st.pullFails = 0
 	st.lastSync = time.Now()
 	r.mu.Unlock()
+	r.refreshReplag(i, time.Now())
 	return nil
+}
+
+// replagOf computes shard i's replication lag at time now. Callers must
+// hold r.mu (read or write). A follower reports entries it knows it has
+// not applied and the seconds since its last successful sync; a leader
+// reports how far the last puller's ack trails its journal head. Slots
+// that never replicated (no sync, no puller) report zero so a
+// single-server deployment stays quiet.
+func (r *Router) replagOf(st *state, now time.Time) (entries uint64, seconds float64) {
+	switch st.role {
+	case Follower:
+		if st.seenHead > st.applied {
+			entries = st.seenHead - st.applied
+		}
+		if !st.lastSync.IsZero() {
+			if d := now.Sub(st.lastSync); d > 0 {
+				seconds = d.Seconds()
+			}
+		}
+	default:
+		if st.lastPull.IsZero() {
+			return 0, 0
+		}
+		if head := st.rl.Head(); head > st.ackSeq {
+			entries = head - st.ackSeq
+		}
+	}
+	return entries, seconds
+}
+
+// refreshReplag recomputes shard i's replication-lag gauges.
+func (r *Router) refreshReplag(i int, now time.Time) {
+	if r.replagEntries == nil {
+		return
+	}
+	r.mu.RLock()
+	entries, seconds := r.replagOf(r.shards[i], now)
+	r.mu.RUnlock()
+	r.replagEntries[i].Set(int64(entries))
+	r.replagSeconds[i].Set(int64(seconds))
+}
+
+// RefreshReplag recomputes every shard's replication-lag gauges at time
+// now. The daemons call it from the shard-sync job between pulls so the
+// lag gauges keep climbing while a leader is unreachable; tests call it
+// with explicit times for determinism.
+func (r *Router) RefreshReplag(now time.Time) {
+	for i := range r.shards {
+		r.refreshReplag(i, now)
+	}
 }
 
 // Status is one shard's replication and size snapshot (the shard-status
@@ -205,28 +278,40 @@ type Status struct {
 	Collections int       `json:"collections"`
 	MetaEntries int       `json:"metaEntries"`
 	LastSync    time.Time `json:"lastSync,omitempty"`
+	// Replication lag at status time: journal entries the replica side
+	// has not acked, and seconds since the follower last synced.
+	ReplagEntries uint64  `json:"replagEntries,omitempty"`
+	ReplagSeconds float64 `json:"replagSeconds,omitempty"`
 }
 
 // Statuses reports every shard slot.
 func (r *Router) Statuses() []Status {
+	now := time.Now()
 	out := make([]Status, r.n)
 	for i, st := range r.shards {
 		cs := st.cat.Stats()
 		r.mu.RLock()
+		entries, seconds := r.replagOf(st, now)
 		out[i] = Status{
-			Shard:       i,
-			Role:        string(st.role),
-			Leader:      st.leader,
-			Stale:       st.stale,
-			Applied:     st.applied,
-			Head:        st.rl.Head(),
-			PullFails:   st.pullFails,
-			Objects:     cs.Objects,
-			Collections: cs.Collections,
-			MetaEntries: cs.MetaEntries,
-			LastSync:    st.lastSync,
+			Shard:         i,
+			Role:          string(st.role),
+			Leader:        st.leader,
+			Stale:         st.stale,
+			Applied:       st.applied,
+			Head:          st.rl.Head(),
+			PullFails:     st.pullFails,
+			Objects:       cs.Objects,
+			Collections:   cs.Collections,
+			MetaEntries:   cs.MetaEntries,
+			LastSync:      st.lastSync,
+			ReplagEntries: entries,
+			ReplagSeconds: seconds,
 		}
 		r.mu.RUnlock()
+		if r.replagEntries != nil {
+			r.replagEntries[i].Set(int64(entries))
+			r.replagSeconds[i].Set(int64(seconds))
+		}
 	}
 	return out
 }

@@ -100,6 +100,7 @@ func (a *App) routes() {
 	a.mux.HandleFunc("/incidents", a.withSession("incidents", a.handleIncidents))
 	a.mux.HandleFunc("/incident", a.withSession("incident", a.handleIncidentFile))
 	a.mux.HandleFunc("/peers", a.withSession("peers", a.handlePeers))
+	a.mux.HandleFunc("/heat", a.withSession("heat", a.handleHeat))
 }
 
 // withSession performs the paper's "security checks on the session keys

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gosrb/internal/mcat/shard"
+	"gosrb/internal/obs"
 )
 
 // handleStatus renders the server status page from the same telemetry
@@ -22,7 +23,7 @@ func (a *App) handleStatus(w http.ResponseWriter, r *http.Request, user string) 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, `<html><head><title>mySRB server status</title></head><body>
 <h2>Server status — %s</h2>
-<p>uptime: %.0fs &middot; <a href="/usage">usage accounting</a> &middot; <a href="/shards">catalog shards</a> &middot; <a href="/browse">back to browsing</a></p>`,
+<p>uptime: %.0fs &middot; <a href="/usage">usage accounting</a> &middot; <a href="/shards">catalog shards</a> &middot; <a href="/heat">heat observatory</a> &middot; <a href="/browse">back to browsing</a></p>`,
 		template.HTMLEscapeString(a.broker.ServerName()), s.UptimeSeconds)
 
 	var ops []string
@@ -118,7 +119,7 @@ func (a *App) handleShards(w http.ResponseWriter, r *http.Request, user string) 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, `<html><head><title>mySRB catalog shards</title></head><body>
 <h2>Catalog shards — %s</h2>
-<p><a href="/status">server status</a> &middot; <a href="/browse">back to browsing</a></p>`,
+<p><a href="/status">server status</a> &middot; <a href="/heat">heat observatory</a> &middot; <a href="/browse">back to browsing</a></p>`,
 		template.HTMLEscapeString(a.broker.ServerName()))
 
 	var rows []shard.Status
@@ -130,7 +131,7 @@ func (a *App) handleShards(w http.ResponseWriter, r *http.Request, user string) 
 			Objects: st.Objects, Collections: st.Collections, MetaEntries: st.MetaEntries}}
 	}
 	fmt.Fprint(w, `<table border="1" cellpadding="3">
-<tr><th>shard</th><th>role</th><th>leader</th><th>stale</th><th>applied</th><th>head</th><th>pull fails</th><th>objects</th><th>collections</th><th>meta entries</th><th>last sync</th></tr>`)
+<tr><th>shard</th><th>role</th><th>leader</th><th>stale</th><th>applied</th><th>head</th><th>pull fails</th><th>replag entries</th><th>replag seconds</th><th>objects</th><th>collections</th><th>meta entries</th><th>last sync</th></tr>`)
 	for _, sh := range rows {
 		stale := ""
 		if sh.Stale {
@@ -140,12 +141,102 @@ func (a *App) handleShards(w http.ResponseWriter, r *http.Request, user string) 
 		if !sh.LastSync.IsZero() {
 			last = sh.LastSync.Format(time.RFC3339)
 		}
-		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>",
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.0f</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>",
 			sh.Shard, template.HTMLEscapeString(sh.Role), template.HTMLEscapeString(sh.Leader),
-			stale, sh.Applied, sh.Head, sh.PullFails, sh.Objects, sh.Collections, sh.MetaEntries,
+			stale, sh.Applied, sh.Head, sh.PullFails, sh.ReplagEntries, sh.ReplagSeconds,
+			sh.Objects, sh.Collections, sh.MetaEntries,
 			template.HTMLEscapeString(last))
 	}
 	fmt.Fprint(w, "</table></body></html>")
+}
+
+// handleHeat renders the heat observatory — the browser view of what
+// `srb heat` and the admin /heat endpoint report: hot-key/hot-object
+// top-K tables, per-shard heat bars, replication lag, and the latest
+// rebalance advisor plan.
+func (a *App) handleHeat(w http.ResponseWriter, r *http.Request, user string) {
+	reg := a.broker.Metrics()
+	keys := reg.HeatKeys().Snapshot()
+	objects := reg.HeatObjects().Snapshot()
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>mySRB heat observatory</title></head><body>
+<h2>Heat observatory — %s</h2>
+<p><a href="/status">server status</a> &middot; <a href="/shards">catalog shards</a> &middot; <a href="/browse">back to browsing</a></p>`,
+		template.HTMLEscapeString(a.broker.ServerName()))
+
+	var plan *shard.Plan
+	if rt, ok := a.broker.Cat.(interface {
+		Advise(rows []obs.HeatStat, now time.Time) shard.Plan
+		LastPlan() *shard.Plan
+	}); ok {
+		if plan = rt.LastPlan(); plan == nil {
+			p := rt.Advise(keys, time.Now())
+			plan = &p
+		}
+	}
+
+	if plan != nil && len(plan.Shards) > 0 {
+		maxScore := float64(0)
+		for _, sh := range plan.Shards {
+			if sh.Score > maxScore {
+				maxScore = sh.Score
+			}
+		}
+		fmt.Fprint(w, `<h3>Shard heat</h3><table border="1" cellpadding="3">
+<tr><th>shard</th><th>heat</th><th>score</th><th>hot keys</th><th>objects</th></tr>`)
+		for _, sh := range plan.Shards {
+			pct := 0
+			if maxScore > 0 {
+				pct = int(sh.Score / maxScore * 100)
+			}
+			fmt.Fprintf(w, `<tr><td>%d</td><td><div style="width:200px;background:#eee"><div style="width:%d%%;background:#c33;color:#fff;white-space:nowrap">&nbsp;</div></div></td><td>%.1f</td><td>%d</td><td>%d</td></tr>`,
+				sh.Shard, pct, sh.Score, sh.HotKeys, sh.Objects)
+		}
+		fmt.Fprint(w, "</table>")
+	}
+
+	if len(keys) > 0 {
+		fmt.Fprint(w, `<h3>Hot catalog keys</h3><table border="1" cellpadding="3">
+<tr><th>key</th><th>count</th><th>score</th><th>bytes</th></tr>`)
+		for _, k := range keys {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%.1f</td><td>%d</td></tr>",
+				template.HTMLEscapeString(k.Key), k.Count, k.Score, k.Bytes)
+		}
+		fmt.Fprint(w, "</table>")
+	}
+
+	if len(objects) > 0 {
+		fmt.Fprint(w, `<h3>Hot objects</h3><table border="1" cellpadding="3">
+<tr><th>object</th><th>count</th><th>score</th><th>bytes</th></tr>`)
+		for _, o := range objects {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%.1f</td><td>%d</td></tr>",
+				template.HTMLEscapeString(o.Key), o.Count, o.Score, o.Bytes)
+		}
+		fmt.Fprint(w, "</table>")
+	}
+
+	if len(keys) == 0 && len(objects) == 0 {
+		fmt.Fprint(w, "<p>No heat recorded yet.</p>")
+	}
+
+	if plan != nil {
+		fmt.Fprintf(w, `<h3>Rebalance advisor</h3><p>imbalance %.2fx &rarr; %.2fx projected</p>`,
+			plan.Imbalance, plan.Projected)
+		if plan.Note != "" {
+			fmt.Fprintf(w, "<p>%s</p>", template.HTMLEscapeString(plan.Note))
+		}
+		if len(plan.Moves) > 0 {
+			fmt.Fprint(w, `<table border="1" cellpadding="3">
+<tr><th>key</th><th>from</th><th>to</th><th>score</th><th>est keys</th><th>est bytes</th></tr>`)
+			for _, m := range plan.Moves {
+				fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f</td><td>%d</td><td>%d</td></tr>",
+					template.HTMLEscapeString(m.Key), m.From, m.To, m.Score, m.EstKeys, m.EstBytes)
+			}
+			fmt.Fprint(w, "</table>")
+		}
+	}
+	fmt.Fprint(w, "</body></html>")
 }
 
 // handleUsage renders the per-user/collection usage accounting table —

@@ -301,6 +301,8 @@ type Registry struct {
 	usage    *UsageTable
 	rollups  *RollupRing
 	peers    *PeerHistory
+	heatKeys    *HeatTable // hot depth-2 routing prefixes (broker dispatch)
+	heatObjects *HeatTable // hot object paths (replica reads)
 	exMin    atomic.Int64 // exemplar threshold in microseconds
 }
 
@@ -320,6 +322,8 @@ func NewRegistry() *Registry {
 		usage:    NewUsageTable(),
 		rollups:  NewRollupRing(DefaultRollupSlots),
 		peers:    NewPeerHistory(),
+		heatKeys:    NewHeatTable("heat.key.", DefaultHeatK),
+		heatObjects: NewHeatTable("heat.object.", DefaultHeatK),
 	}
 	r.exMin.Store(DefaultExemplarThreshold.Microseconds())
 	return r
@@ -466,6 +470,11 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
 	}
+	// Heat rides the counter namespace (heat.key.*, heat.object.*)
+	// without registering real counters: sketch eviction would strand
+	// dead names in the registry forever, while the fold stays bounded
+	// by the tables' top-K capacity.
+	r.foldHeat(s.Counters)
 	for k, v := range gauges {
 		s.Gauges[k] = v.Value()
 	}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -39,20 +40,24 @@ const telemetryCompactEvery = 20
 
 // telemetryEntry is one journal line. Exactly one field is set.
 type telemetryEntry struct {
-	Rollup *Rollup     `json:",omitempty"`
-	Alert  *Alert      `json:",omitempty"`
-	Usage  []UsageStat `json:",omitempty"`
-	Peers  []PeerStat  `json:",omitempty"`
+	Rollup      *Rollup     `json:",omitempty"`
+	Alert       *Alert      `json:",omitempty"`
+	Usage       []UsageStat `json:",omitempty"`
+	Peers       []PeerStat  `json:",omitempty"`
+	HeatKeys    []HeatStat  `json:",omitempty"`
+	HeatObjects []HeatStat  `json:",omitempty"`
 }
 
 // TelemetrySnapshot is the full persisted state.
 type TelemetrySnapshot struct {
-	SavedAt time.Time
-	Server  string
-	Rollups []Rollup    `json:",omitempty"`
-	Alerts  []Alert     `json:",omitempty"`
-	Usage   []UsageStat `json:",omitempty"`
-	Peers   []PeerStat  `json:",omitempty"`
+	SavedAt     time.Time
+	Server      string
+	Rollups     []Rollup    `json:",omitempty"`
+	Alerts      []Alert     `json:",omitempty"`
+	Usage       []UsageStat `json:",omitempty"`
+	Peers       []PeerStat  `json:",omitempty"`
+	HeatKeys    []HeatStat  `json:",omitempty"`
+	HeatObjects []HeatStat  `json:",omitempty"`
 }
 
 // TelemetryStore owns the on-disk telemetry history of one daemon.
@@ -118,6 +123,8 @@ func (ts *TelemetryStore) Restore(reg *Registry) (*TelemetrySnapshot, error) {
 		}
 		reg.Usage().Restore(snap.Usage)
 		reg.Peers().Restore(snap.Peers)
+		reg.HeatKeys().Restore(snap.HeatKeys)
+		reg.HeatObjects().Restore(snap.HeatObjects)
 	}
 	ts.alertsSeen = int64(len(snap.Alerts))
 	return snap, nil
@@ -154,6 +161,10 @@ func (ts *TelemetryStore) load() *TelemetrySnapshot {
 				snap.Usage = e.Usage // whole-table entries: last wins
 			case e.Peers != nil:
 				snap.Peers = e.Peers
+			case e.HeatKeys != nil:
+				snap.HeatKeys = e.HeatKeys
+			case e.HeatObjects != nil:
+				snap.HeatObjects = e.HeatObjects
 			}
 		}
 		f.Close()
@@ -223,6 +234,16 @@ func (ts *TelemetryStore) Flush(reg *Registry, log *AlertLog, now time.Time) err
 			return err
 		}
 	}
+	if rows := reg.HeatKeys().Snapshot(); len(rows) > 0 {
+		if err := ts.enc.Encode(telemetryEntry{HeatKeys: rows}); err != nil {
+			return err
+		}
+	}
+	if rows := reg.HeatObjects().Snapshot(); len(rows) > 0 {
+		if err := ts.enc.Encode(telemetryEntry{HeatObjects: rows}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -265,6 +286,8 @@ func (ts *TelemetryStore) compact(reg *Registry, log *AlertLog, now time.Time) e
 	}
 	snap.Usage = reg.Usage().Snapshot()
 	snap.Peers = reg.Peers().Snapshot()
+	snap.HeatKeys = reg.HeatKeys().Snapshot()
+	snap.HeatObjects = reg.HeatObjects().Snapshot()
 
 	b, err := json.Marshal(&snap)
 	if err != nil {
@@ -320,6 +343,12 @@ func (r *Registry) seedFrom(ru Rollup) {
 		return
 	}
 	for k, v := range ru.Counters {
+		if strings.HasPrefix(k, "heat.") {
+			// Heat counters are folded from the restored heat tables at
+			// snapshot time, never registered live: seeding them here
+			// would strand dead names once the sketch evicts the key.
+			continue
+		}
 		c := r.Counter(k)
 		c.Add(v - c.Value())
 	}

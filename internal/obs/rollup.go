@@ -177,6 +177,9 @@ func (r *Registry) CaptureRollup(now time.Time) {
 	for k, v := range counters {
 		ru.Counters[k] = v.Value()
 	}
+	// Heat counts fold in as heat.key.* / heat.object.* counters so
+	// baselines carry them and windows report heat rates.
+	r.foldHeat(ru.Counters)
 	for k, v := range gauges {
 		ru.Gauges[k] = v.Value()
 	}
@@ -274,8 +277,16 @@ func (r *Registry) WindowAt(now time.Time, window time.Duration) WindowStats {
 		ops[k] = v
 	}
 	r.mu.RUnlock()
+	live := make(map[string]int64, len(counters))
 	for k, v := range counters {
-		delta := v.Value() - base.Counters[k]
+		live[k] = v.Value()
+	}
+	// Heat counts join the live counter set; the baseline rollup carries
+	// their capture-time values, so the usual delta below yields the
+	// per-window heat.
+	r.foldHeat(live)
+	for k, cur := range live {
+		delta := cur - base.Counters[k]
 		if delta < 0 {
 			delta = 0
 		}

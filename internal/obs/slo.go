@@ -5,6 +5,7 @@
 //	server.put p95 < 200ms over 1m
 //	error_rate < 1% over 30m        # all-ops aggregate error rate
 //	get rate > 0.1 over 10m         # throughput floor, ops/sec
+//	replag_seconds < 30s over 5m    # shard replication lag (worst shard)
 //
 // A periodic job (riding the repair scheduler) evaluates each rule
 // against the windowed view, computes error-budget burn (observed as a
@@ -30,6 +31,10 @@ const (
 	SLOP99       SLOMetric = "p99"        // windowed 99th-percentile latency
 	SLOErrorRate SLOMetric = "error_rate" // windowed errors / count, percent
 	SLORate      SLOMetric = "rate"       // windowed ops per second
+	// SLOReplag reads the mcat.shard.<n>.replag_seconds gauges: target
+	// "*" takes the worst shard, an explicit target names one gauge.
+	// Threshold is a duration, stored in seconds.
+	SLOReplag SLOMetric = "replag_seconds"
 )
 
 // SLORule is one parsed objective: "<target> <metric> <cmp> <threshold>
@@ -83,9 +88,9 @@ func parseSLORule(line string) (SLORule, error) {
 	}
 	r := SLORule{Target: f[0], Metric: SLOMetric(f[1]), Raw: line}
 	switch r.Metric {
-	case SLOP50, SLOP95, SLOP99, SLOErrorRate, SLORate:
+	case SLOP50, SLOP95, SLOP99, SLOErrorRate, SLORate, SLOReplag:
 	default:
-		return SLORule{}, fmt.Errorf("unknown metric %q (want p50, p95, p99, error_rate or rate)", f[1])
+		return SLORule{}, fmt.Errorf("unknown metric %q (want p50, p95, p99, error_rate, rate or replag_seconds)", f[1])
 	}
 	if r.Target == "*" && (r.Metric == SLOP50 || r.Metric == SLOP95 || r.Metric == SLOP99) {
 		return SLORule{}, fmt.Errorf("quantile rule needs a target op family, not %q", "*")
@@ -100,6 +105,12 @@ func parseSLORule(line string) (SLORule, error) {
 	}
 	th := f[3]
 	switch r.Metric {
+	case SLOReplag:
+		d, err := time.ParseDuration(th)
+		if err != nil {
+			return SLORule{}, fmt.Errorf("threshold %q: %v", f[3], err)
+		}
+		r.Threshold = d.Seconds()
 	case SLOErrorRate:
 		th = strings.TrimSuffix(th, "%")
 		v, err := strconv.ParseFloat(th, 64)
@@ -410,6 +421,9 @@ func (e *SLOEvaluator) Firing() int {
 // observe extracts the rule's measurable from the window. ok is false
 // when the window holds no matching activity.
 func observe(ws WindowStats, r SLORule) (float64, bool) {
+	if r.Metric == SLOReplag {
+		return observeReplag(ws, r.Target)
+	}
 	if r.Target == "*" {
 		var count, errs int64
 		var rate float64
@@ -444,6 +458,34 @@ func observe(ws WindowStats, r SLORule) (float64, bool) {
 		return o.ErrorPct, true
 	case SLORate:
 		return o.PerSec, true
+	}
+	return 0, false
+}
+
+// observeReplag reads replication-lag gauges out of the window. Target
+// "*" reports the worst lag across every mcat.shard.<n>.replag_seconds
+// gauge; an explicit target names one gauge, with or without the
+// ".replag_seconds" suffix. ok is false when no gauge exists yet (the
+// catalog is not sharded or replication never started).
+func observeReplag(ws WindowStats, target string) (float64, bool) {
+	if target == "*" {
+		var worst float64
+		found := false
+		for k, v := range ws.Gauges {
+			if strings.HasPrefix(k, "mcat.shard.") && strings.HasSuffix(k, ".replag_seconds") {
+				found = true
+				if f := float64(v); f > worst {
+					worst = f
+				}
+			}
+		}
+		return worst, found
+	}
+	if v, ok := ws.Gauges[target]; ok {
+		return float64(v), true
+	}
+	if v, ok := ws.Gauges[target+".replag_seconds"]; ok {
+		return float64(v), true
 	}
 	return 0, false
 }

@@ -71,6 +71,15 @@ type Manager struct {
 	// read contributes a per-resource latency/bandwidth observation —
 	// the observed history a cost-model replica selector ranks by.
 	peers *obs.PeerHistory
+
+	// heat, when set, is the hot-object table: every whole-object read
+	// records the object path, feeding the heat observatory's per-object
+	// view (and, downstream, replica-selection cost models).
+	heat *obs.HeatTable
+
+	// heatReg keeps the registry handle so SetHeatTracking can re-attach
+	// the table after a benchmark baseline detached it.
+	heatReg *obs.Registry
 }
 
 // SetMetrics attaches fan-out counters from the registry (nil detaches).
@@ -79,6 +88,19 @@ func (m *Manager) SetMetrics(r *obs.Registry) {
 	m.fanoutFail = r.Counter("replica.fanout.fail")
 	m.failover = r.Counter("replica.read.failover")
 	m.peers = r.Peers()
+	m.heat = r.HeatObjects()
+	m.heatReg = r
+}
+
+// SetHeatTracking switches hot-object recording on or off while leaving
+// the rest of the instrumentation attached (the heat-overhead benchmark
+// baseline).
+func (m *Manager) SetHeatTracking(on bool) {
+	if on {
+		m.heat = m.heatReg.HeatObjects()
+	} else {
+		m.heat = nil
+	}
 }
 
 // SetBreakers attaches the per-resource circuit breakers (nil disables
@@ -244,6 +266,7 @@ func (m *Manager) ReadAllEv(path, preferResource string, sp *obs.Span) ([]byte, 
 	dur := time.Since(start)
 	sp.Phase(obs.PhaseStorageRead, dur)
 	m.peers.Record("", r.Resource, dur, int64(len(data)), err != nil)
+	m.heat.Record(path, int64(len(data)))
 	if err != nil {
 		return nil, r, types.E("read", path, err)
 	}

@@ -64,6 +64,9 @@ type AdminEnv struct {
 //	               the raw records)
 //	/usage         per-user/collection usage accounting (text table,
 //	               ?format=json for machine consumption)
+//	/heat          hot-key/hot-object top-K, per-shard replication lag
+//	               and the rebalance advisor plan (text table,
+//	               ?format=json for machine consumption)
 //	/debug/pprof/  the Go runtime profiler
 func NewAdminHandler(env AdminEnv) http.Handler {
 	b := env.Broker
@@ -207,6 +210,46 @@ func NewAdminHandler(env AdminEnv) http.Handler {
 			fmt.Fprintf(w, "%-16s %-12s %8d %6d %12d %10.2f %12.2f %8.1f\n",
 				p.Peer, p.Resource, p.Ops, p.Errors, p.Bytes,
 				p.EWMALatMicros/1000, p.EWMABytesPerSec/1e6, p.SuccessPct)
+		}
+	})
+	mux.HandleFunc("/heat", func(w http.ResponseWriter, r *http.Request) {
+		rep := heatOf(b, env.Name)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(rep)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "hot catalog keys on %s (top %d)\n", env.Name, len(rep.Keys))
+		fmt.Fprintf(w, "%-32s %10s %10s %12s\n", "KEY", "COUNT", "SCORE", "BYTES")
+		for _, k := range rep.Keys {
+			fmt.Fprintf(w, "%-32s %10d %10.1f %12d\n", k.Key, k.Count, k.Score, k.Bytes)
+		}
+		if len(rep.Objects) > 0 {
+			fmt.Fprintf(w, "\nhot objects (top %d)\n", len(rep.Objects))
+			fmt.Fprintf(w, "%-48s %10s %10s %12s\n", "OBJECT", "COUNT", "SCORE", "BYTES")
+			for _, o := range rep.Objects {
+				fmt.Fprintf(w, "%-48s %10d %10.1f %12d\n", o.Key, o.Count, o.Score, o.Bytes)
+			}
+		}
+		if len(rep.Shards) > 0 {
+			fmt.Fprintf(w, "\nshards\n")
+			fmt.Fprintf(w, "%-5s %-8s %10s %10s %10s\n", "SHARD", "ROLE", "OBJECTS", "REPLAG_N", "REPLAG_S")
+			for _, st := range rep.Shards {
+				fmt.Fprintf(w, "%-5d %-8s %10d %10d %10.0f\n",
+					st.Shard, st.Role, st.Objects, st.ReplagEntries, st.ReplagSeconds)
+			}
+		}
+		if rep.Plan != nil {
+			fmt.Fprintf(w, "\nrebalance plan (imbalance %.2fx -> %.2fx)\n",
+				rep.Plan.Imbalance, rep.Plan.Projected)
+			if rep.Plan.Note != "" {
+				fmt.Fprintf(w, "%s\n", rep.Plan.Note)
+			}
+			for _, m := range rep.Plan.Moves {
+				fmt.Fprintf(w, "move %-32s shard %d -> %d (score %.1f, ~%d keys, ~%d bytes)\n",
+					m.Key, m.From, m.To, m.Score, m.EstKeys, m.EstBytes)
+			}
 		}
 	})
 	mux.HandleFunc("/repair", func(w http.ResponseWriter, r *http.Request) {

@@ -780,6 +780,12 @@ func (s *Server) dispatchOp(ss *session, req *wire.Request) error {
 		}
 		return ss.reply(s.peersReply())
 
+	case wire.OpHeat:
+		if _, err := decode[wire.HeatArgs](req); err != nil {
+			return ss.fail(err)
+		}
+		return ss.reply(s.heat())
+
 	case wire.OpScrub:
 		a, err := decode[wire.PathArgs](req)
 		if err != nil {

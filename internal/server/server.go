@@ -26,6 +26,7 @@ import (
 
 	"gosrb/internal/auth"
 	"gosrb/internal/core"
+	"gosrb/internal/mcat/shard"
 	"gosrb/internal/obs"
 	"gosrb/internal/resilience"
 	"gosrb/internal/types"
@@ -1008,7 +1009,39 @@ func readiness(b *core.Broker, name string) (bool, []string) {
 			detail = append(detail, fmt.Sprintf("warn: slo %s violating (burn %.0f%%)", st.Rule, st.BurnPct))
 		}
 	}
+	// Shard replication lag mirrors the repair-backlog treatment: when a
+	// replag SLO rule is declared and a shard's exported lag gauge
+	// exceeds its threshold, warn without degrading — lag is an alerting
+	// concern, not downtime. The gauges (refreshed by the shard-sync and
+	// advisor jobs) are read as exported, so the probe agrees with what
+	// /metrics and the SLO evaluator saw.
+	if th, declared := replagThreshold(b.SLO()); declared {
+		gauges := b.Metrics().Snapshot().Gauges
+		var warns []string
+		for name, v := range gauges {
+			if strings.HasPrefix(name, "mcat.shard.") && strings.HasSuffix(name, ".replag_seconds") && float64(v) >= th {
+				warns = append(warns, fmt.Sprintf("warn: %s at %ds exceeds slo threshold %.0fs (replication lag)", name, v, th))
+			}
+		}
+		sort.Strings(warns)
+		detail = append(detail, warns...)
+	}
 	return len(degraded) == 0, detail
+}
+
+// replagThreshold returns the tightest declared replag_seconds ceiling,
+// and whether any replag rule exists at all.
+func replagThreshold(ev *obs.SLOEvaluator) (float64, bool) {
+	th, found := 0.0, false
+	for _, r := range ev.Rules() {
+		if r.Metric != obs.SLOReplag || !r.Less {
+			continue
+		}
+		if !found || r.Threshold < th {
+			th, found = r.Threshold, true
+		}
+	}
+	return th, found
 }
 
 // repairStatus snapshots the repair engine for the repairstatus wire op
@@ -1208,4 +1241,41 @@ func (s *Server) peersReply() wire.PeersReply {
 
 func peersOf(b *core.Broker, name string) wire.PeersReply {
 	return wire.PeersReply{Server: name, Peers: b.Metrics().Peers().Snapshot()}
+}
+
+// heatRouter is the slice of the shard Router the heat surfaces use.
+// Declared as an interface so the monolithic catalog degrades to a
+// keys/objects-only reply.
+type heatRouter interface {
+	Statuses() []shard.Status
+	Advise(rows []obs.HeatStat, now time.Time) shard.Plan
+	LastPlan() *shard.Plan
+}
+
+func (s *Server) heat() wire.HeatReply {
+	return heatOf(s.broker, s.name)
+}
+
+// heatOf builds the heat-observatory reply: top-K tables always; shard
+// statuses and the advisor plan only when the catalog is sharded. The
+// advisor job keeps a plan stored on the router; when none exists yet
+// (job not wired, or first run pending) a fresh one is computed so the
+// reply is never planless on a sharded catalog.
+func heatOf(b *core.Broker, name string) wire.HeatReply {
+	reg := b.Metrics()
+	rep := wire.HeatReply{
+		Server:  name,
+		Keys:    reg.HeatKeys().Snapshot(),
+		Objects: reg.HeatObjects().Snapshot(),
+	}
+	if rt, ok := b.Cat.(heatRouter); ok {
+		rep.Shards = rt.Statuses()
+		p := rt.LastPlan()
+		if p == nil {
+			fresh := rt.Advise(rep.Keys, time.Now())
+			p = &fresh
+		}
+		rep.Plan = p
+	}
+	return rep
 }

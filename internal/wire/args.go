@@ -120,6 +120,10 @@ const (
 	// daemon: journal entries after a sequence number, or a full
 	// snapshot when the follower is too far behind. Peer/admin only.
 	OpShardPull = "shardpull"
+	// OpHeat reports the heat observatory: top-K hot keys and objects,
+	// per-shard status with replication lag, and the rebalance advisor's
+	// dry-run migration plan (`srb heat`).
+	OpHeat = "heat"
 )
 
 // StreamsIn reports whether op is followed by an inbound bulk data
@@ -635,4 +639,19 @@ type ShardPullReply struct {
 	Entries  [][]byte `json:",omitempty"`
 	Snapshot []byte   `json:",omitempty"`
 	Seq      uint64
+}
+
+// HeatArgs requests the heat observatory view (local only).
+type HeatArgs struct{}
+
+// HeatReply carries one server's heat observatory: the hot-key and
+// hot-object top-K tables, the per-shard status rows (empty on a
+// monolithic catalog) and the rebalance advisor's newest dry-run plan
+// (nil when the catalog is not sharded).
+type HeatReply struct {
+	Server  string
+	Keys    []obs.HeatStat `json:",omitempty"`
+	Objects []obs.HeatStat `json:",omitempty"`
+	Shards  []shard.Status `json:",omitempty"`
+	Plan    *shard.Plan    `json:",omitempty"`
 }

@@ -162,7 +162,7 @@ func Idempotent(op string) bool {
 		OpOpStats, OpShadowList, OpShadowOpen, OpExecSQL, OpAudit,
 		OpTrace, OpUsage, OpRepairStatus, OpChecksum, OpScrub,
 		OpGridStat, OpAlerts, OpIncidents, OpIncidentGet, OpPeers,
-		OpMultiGet, OpBulkStat:
+		OpMultiGet, OpBulkStat, OpHeat:
 		// OpScrub mutates replicas, but only toward the catalog
 		// checksum — re-running a scrub is always safe.
 		return true
